@@ -1,0 +1,33 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper at SMOKE
+scale (seconds-to-minutes per experiment on one CPU core) and prints
+the result next to the paper's numbers.  Set the ``REPRO_PRESET``
+environment variable to ``small`` or ``paper`` to run a benchmark at a
+larger scale.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import PRESETS, ExperimentConfig
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    """The experiment scale used by all benchmarks."""
+    preset = os.environ.get("REPRO_PRESET", "smoke")
+    if preset not in PRESETS:
+        raise KeyError(f"REPRO_PRESET must be one of {sorted(PRESETS)}, got {preset!r}")
+    return PRESETS[preset]
+
+
+def print_block(text: str) -> None:
+    """Print a result block, visibly separated in benchmark output."""
+    print()
+    print("=" * 72)
+    print(text)
+    print("=" * 72)

@@ -1,0 +1,24 @@
+"""Figure 4: ablation study of TP-GNN-GRU (same protocol as Fig. 3)."""
+
+from benchmarks.conftest import print_block
+from repro.experiments import format_ablation, run_ablation
+
+
+def test_fig4_ablation_gru(config, benchmark):
+    datasets = ("Forum-java", "Gowalla") if config.num_graphs <= 150 else (
+        "Forum-java", "HDFS", "Gowalla", "Brightkite"
+    )
+    results = benchmark.pedantic(
+        lambda: run_ablation(config, updater="gru", datasets=datasets),
+        rounds=1,
+        iterations=1,
+    )
+    print_block(format_ablation(results, updater="gru"))
+
+    def mean_over_datasets(variant):
+        return sum(r[variant].f1_mean for r in results.values()) / len(results)
+
+    full = mean_over_datasets("full")
+    rand = mean_over_datasets("rand")
+    print_block(f"full={100 * full:.2f} rand={100 * rand:.2f}")
+    assert full > rand - 0.02, f"full {full:.3f} did not beat rand {rand:.3f}"

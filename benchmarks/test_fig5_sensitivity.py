@@ -1,0 +1,35 @@
+"""Figure 5: hyperparameter sensitivity heat-map (GRU hidden size d x
+time dimension d_t) for TP-GNN.
+
+Shape: the model works across the grid (no catastrophic cell), echoing
+the paper's robustness claim.  The full 5x4 grid is swept at ``small``
+preset; smoke uses a reduced grid for tractability.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_block
+from repro.experiments import format_sensitivity, run_sensitivity
+
+
+def test_fig5_sensitivity(config, benchmark):
+    if config.num_graphs <= 150:
+        hidden_sizes, time_dims = (8, 32), (2, 6)
+        datasets = ("Forum-java",)
+    else:
+        hidden_sizes, time_dims = (8, 16, 32, 64, 128), (2, 4, 6, 8)
+        datasets = ("Forum-java", "HDFS")
+    results = benchmark.pedantic(
+        lambda: run_sensitivity(
+            config, datasets=datasets, hidden_sizes=hidden_sizes, time_dims=time_dims
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print_block(format_sensitivity(results))
+
+    for dataset, grid in results.items():
+        values = np.array(list(grid.values()))
+        assert np.all(values >= 0.3), f"catastrophic cell on {dataset}: {grid}"
+        # Robustness: the spread across the grid stays moderate.
+        assert values.max() - values.min() < 0.45, grid

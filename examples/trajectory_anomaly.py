@@ -1,0 +1,53 @@
+"""User-trajectory anomaly detection (Brightkite profile).
+
+The paper's second motivating scenario: a user's check-in sequence
+forms a dynamic user-trajectory network; anomalous behaviour (rewired
+movements, shuffled visit order) is detected by classifying the whole
+dynamic graph.  This example shows the paper's two negative samplers in
+action and reproduces the Fig. 7 perturbation probes on a trained
+model.
+
+    python examples/trajectory_anomaly.py
+"""
+
+import numpy as np
+
+from repro.core import TPGNN
+from repro.data import make_dataset, structural_negative, temporal_negative
+from repro.training import TrainConfig, evaluate, train_model
+
+
+def main() -> None:
+    data = make_dataset("Brightkite", num_graphs=120, seed=3, scale=0.2)
+    train_data, test_data = data.split(0.3)
+
+    model = TPGNN(data.feature_dim, updater="gru", hidden_size=16,
+                  gru_hidden_size=16, time_dim=4, seed=0)
+    train_model(model, train_data, TrainConfig(epochs=10, learning_rate=0.01, seed=0))
+    metrics = evaluate(model, test_data)
+    print(f"TP-GNN-GRU on Brightkite: F1={100 * metrics.f1:.2f} "
+          f"P={100 * metrics.precision:.2f} R={100 * metrics.recall:.2f}")
+
+    # Probe the test positives with the paper's two samplers and compare
+    # the model's average confidence on originals vs probed versions.
+    rng = np.random.default_rng(7)
+    positives = [g for g in test_data if g.label == 1 and g.num_edges >= 8][:20]
+    original, rewired, shuffled = [], [], []
+    for trajectory in positives:
+        try:
+            rewired.append(model.predict_proba(structural_negative(trajectory, rng)))
+            shuffled.append(model.predict_proba(temporal_negative(trajectory, rng)))
+        except (ValueError, RuntimeError):
+            continue  # degenerate trajectory (too small / constant time)
+        original.append(model.predict_proba(trajectory))
+
+    print(f"\nprobing {len(original)} held-out normal trajectories:")
+    print(f"  mean P(normal | original)             = {np.mean(original):.3f}")
+    print(f"  mean P(normal | rewired movements)    = {np.mean(rewired):.3f}")
+    print(f"  mean P(normal | shuffled visit order) = {np.mean(shuffled):.3f}")
+    print("\nthe shuffled probes keep the exact same POIs and movements — only")
+    print("their order changes; a time-blind model cannot see any difference.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""Trimmed reference runs of Figs. 3-7 for EXPERIMENTS.md."""
+import time
+from repro.experiments import (ExperimentConfig, run_ablation, format_ablation,
+                               run_sensitivity, format_sensitivity,
+                               run_runtime, format_runtime,
+                               run_case_study, format_case_study)
+
+config = ExperimentConfig(num_graphs=160, graph_scale=0.25, epochs=10,
+                          learning_rate=0.01, batch_size=4, runs=1,
+                          hidden_size=32, time_dim=6, seed=0)
+start = time.perf_counter()
+def stamp(msg):
+    print(f"\n[{time.perf_counter()-start:7.1f}s] ==== {msg} ====", flush=True)
+
+for updater, fig in (("sum", "Fig3"), ("gru", "Fig4")):
+    stamp(f"{fig} ablation {updater}")
+    ab = run_ablation(config, updater=updater, datasets=("Forum-java", "Gowalla"),
+                      progress=lambda d, v, s: print(f"  {d:12s} {v:10s} F1={s.format_cell('f1')}", flush=True))
+    print(format_ablation(ab, updater=updater))
+
+stamp("Fig5 sensitivity")
+sens = run_sensitivity(config, datasets=("Forum-java",),
+                       hidden_sizes=(8, 16, 32, 64, 128), time_dims=(2, 4, 6, 8),
+                       progress=lambda ds, d, dt, s: print(f"  {ds} d={d} dt={dt} F1={s.format_cell('f1')}", flush=True))
+print(format_sensitivity(sens))
+
+stamp("Fig6 runtime")
+fast = config.with_overrides(epochs=4)
+points = run_runtime(fast, datasets=("Forum-java", "Gowalla"),
+                     progress=lambda p: print(f"  {p.dataset:12s} {p.model:12s} {p.microseconds_per_graph:10.0f}us F1={100*p.f1:.2f}", flush=True))
+print(format_runtime(points))
+
+stamp("Fig7 case study")
+cs = run_case_study(config)
+print(format_case_study(cs))
+stamp("done")

@@ -1,0 +1,17 @@
+"""Reference run of Table II for EXPERIMENTS.md."""
+import time
+from repro.experiments import ExperimentConfig, run_table2, format_table2, category_means
+
+config = ExperimentConfig(num_graphs=240, graph_scale=0.25, epochs=12,
+                          learning_rate=0.01, batch_size=4, runs=1,
+                          hidden_size=32, time_dim=6, seed=0)
+start = time.perf_counter()
+
+def progress(dataset, model, summary):
+    print(f"[{time.perf_counter()-start:7.1f}s] {dataset:12s} {model:20s} F1={summary.format_cell('f1')}", flush=True)
+
+results = run_table2(config, progress=progress)
+print()
+print(format_table2(results))
+print()
+print("category means:", {k: round(100*v, 2) for k, v in category_means(results).items()})

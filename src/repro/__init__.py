@@ -1,0 +1,47 @@
+"""repro — a from-scratch reproduction of TP-GNN (ICDE 2024).
+
+TP-GNN is a continuous dynamic graph neural network for graph
+classification.  This package implements the full system on a numpy
+autograd substrate:
+
+* :mod:`repro.tensor` / :mod:`repro.nn` / :mod:`repro.optim` — the
+  deep-learning substrate (reverse-mode autograd, layers, optimisers).
+* :mod:`repro.graph` — continuous-time dynamic networks, snapshots,
+  temporal reachability.
+* :mod:`repro.data` — generators for the five evaluation datasets and
+  the paper's two negative samplers.
+* :mod:`repro.core` — temporal propagation, the global temporal
+  embedding extractor, and the TP-GNN model.
+* :mod:`repro.baselines` — the twelve Table II baselines and the
+  Table III ``+G`` wrappers.
+* :mod:`repro.training` — trainer, metrics, evaluation protocol.
+* :mod:`repro.experiments` — one harness module per table/figure.
+
+Quickstart
+----------
+>>> from repro.data import make_dataset
+>>> from repro.core import TPGNN
+>>> from repro.training import TrainConfig, train_model, evaluate
+>>> data = make_dataset("Forum-java", num_graphs=60, seed=0, scale=0.2)
+>>> train, test = data.split(0.3)
+>>> model = TPGNN(in_features=data.feature_dim, updater="sum", seed=0)
+>>> _ = train_model(model, train, TrainConfig(epochs=5))
+>>> metrics = evaluate(model, test)
+"""
+
+__version__ = "1.0.0"
+
+from repro import baselines, core, data, experiments, graph, nn, optim, tensor, training
+
+__all__ = [
+    "__version__",
+    "tensor",
+    "nn",
+    "optim",
+    "graph",
+    "data",
+    "core",
+    "baselines",
+    "training",
+    "experiments",
+]

@@ -1,0 +1,40 @@
+"""The twelve Table II baselines plus the Table III ``+G`` wrappers."""
+
+from repro.baselines.static import GAT, GCN, GraphSAGE, SpectralClusteringModel
+from repro.baselines.discrete import TADDY, AddGraph, EvolveGCN, GCLSTM
+from repro.baselines.continuous import TGAT, TGN, DyGNN, GraphMixer
+from repro.baselines.plus_g import PlusGlobalExtractor
+from repro.baselines.registry import (
+    ALL_MODELS,
+    CONTINUOUS_MODELS,
+    DISCRETE_MODELS,
+    PLUS_G_MODELS,
+    STATIC_MODELS,
+    TPGNN_MODELS,
+    make_model,
+    model_category,
+)
+
+__all__ = [
+    "SpectralClusteringModel",
+    "GCN",
+    "GraphSAGE",
+    "GAT",
+    "AddGraph",
+    "TADDY",
+    "EvolveGCN",
+    "GCLSTM",
+    "TGAT",
+    "DyGNN",
+    "TGN",
+    "GraphMixer",
+    "PlusGlobalExtractor",
+    "ALL_MODELS",
+    "STATIC_MODELS",
+    "DISCRETE_MODELS",
+    "CONTINUOUS_MODELS",
+    "TPGNN_MODELS",
+    "PLUS_G_MODELS",
+    "make_model",
+    "model_category",
+]

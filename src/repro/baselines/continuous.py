@@ -1,0 +1,284 @@
+"""Continuous-DGNN baselines (paper Table II, bottom block).
+
+TGAT, DyGNN, TGN and GraphMixer consume the raw timestamped edge stream
+without snapshotting.  Each implementation keeps the defining mechanism
+of its paper:
+
+* **TGAT** — K layers of temporal self-attention over the ``b`` most
+  recent in-neighbours, with Bochner/Time2Vec functional time encoding
+  (paper config: 2 layers, 2 heads).
+* **DyGNN** — LSTM-based *update* components refresh both endpoints of
+  every interaction and a *propagate* component pushes the interaction
+  message to recent neighbours with time decay.
+* **TGN** — per-node memory, GRU memory updater fed by interaction
+  messages, and an embedding module combining memory with raw features.
+* **GraphMixer** — a token/channel-mixing MLP over the most recent
+  1-hop links plus a mean-pooling node encoder.
+
+As in the paper, node embeddings are mean-pooled into graph embeddings
+for classification.  Every model also exposes ``node_embeddings`` so
+the Table III ``+G`` wrappers can substitute the paper's global
+temporal embedding extractor for the mean pooling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import GraphClassifierBase, MeanReadout
+from repro.graph.ctdn import CTDN
+from repro.graph.reachability import temporal_neighbors
+from repro.nn import GRUCell, Linear, LSTMCell, MultiHeadAttention, Time2Vec
+from repro.tensor import Tensor, ops
+
+
+class TGAT(GraphClassifierBase):
+    """Temporal Graph Attention network (Xu et al., 2020)."""
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden_size: int = 32,
+        time_dim: int = 6,
+        num_layers: int = 2,
+        num_heads: int = 2,
+        num_neighbors: int = 3,
+        seed: int = 0,
+    ):
+        rng = np.random.default_rng(seed)
+        super().__init__(embedding_dim=hidden_size, rng=rng)
+        self.hidden_size = hidden_size
+        self.num_layers = num_layers
+        self.num_neighbors = num_neighbors
+        self.input_proj = Linear(in_features, hidden_size, rng=rng)
+        self.time_encoder = Time2Vec(time_dim, rng=rng)
+        self.query_proj = Linear(hidden_size + time_dim, hidden_size, rng=rng)
+        self.attention = MultiHeadAttention(
+            hidden_size, num_heads, kdim=hidden_size + time_dim, vdim=hidden_size + time_dim, rng=rng
+        )
+        self.combine = Linear(2 * hidden_size, hidden_size, rng=rng)
+
+    def _node_at(self, graph: CTDN, node: int, at_time: float, layer: int) -> Tensor:
+        """Recursive temporal attention embedding of ``node`` at ``at_time``."""
+        base = self.input_proj(Tensor(graph.features[node : node + 1]))
+        if layer == 0:
+            return base
+        h_self = self._node_at(graph, node, at_time, layer - 1)
+        neighbors = temporal_neighbors(graph, node, before=at_time, limit=self.num_neighbors)
+        if not neighbors:
+            return ops.relu(self.combine(ops.concat([h_self, h_self], axis=1)))
+        keys = []
+        for neighbor, event_time in neighbors:
+            h_n = self._node_at(graph, neighbor, event_time, layer - 1)
+            delta = self.time_encoder(np.array([at_time - event_time]))
+            keys.append(ops.concat([h_n, delta], axis=1))
+        key_matrix = ops.concat(keys, axis=0)
+        query = self.query_proj(
+            ops.concat([h_self, self.time_encoder(np.array([0.0]))], axis=1)
+        )
+        attended = self.attention(query, key_matrix, key_matrix)
+        return ops.relu(self.combine(ops.concat([attended, h_self], axis=1)))
+
+    def node_embeddings(self, graph: CTDN, rng: np.random.Generator | None = None) -> Tensor:
+        """Embed every node at the end of the observation window."""
+        del rng
+        end_time = max((e.time for e in graph.edges), default=0.0) + 1.0
+        rows = [
+            self._node_at(graph, node, end_time, self.num_layers).reshape(self.hidden_size)
+            for node in range(graph.num_nodes)
+        ]
+        return ops.stack(rows, axis=0)
+
+    def embed(self, graph: CTDN, rng: np.random.Generator | None = None) -> Tensor:
+        """Mean-pool the temporal attention embeddings."""
+        return MeanReadout()(self.node_embeddings(graph, rng=rng))
+
+
+class DyGNN(GraphClassifierBase):
+    """Streaming GNN with update/propagate components (Ma et al., 2020)."""
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden_size: int = 32,
+        num_propagate: int = 3,
+        decay: float = 0.5,
+        seed: int = 0,
+    ):
+        rng = np.random.default_rng(seed)
+        super().__init__(embedding_dim=hidden_size, rng=rng)
+        self.hidden_size = hidden_size
+        self.num_propagate = num_propagate
+        self.decay = decay
+        self.input_proj = Linear(in_features, hidden_size, rng=rng)
+        self.interact = Linear(2 * hidden_size, hidden_size, rng=rng)
+        self.update_source = LSTMCell(hidden_size, hidden_size, rng=rng)
+        self.update_target = LSTMCell(hidden_size, hidden_size, rng=rng)
+        self.propagate = Linear(hidden_size, hidden_size, rng=rng)
+
+    def node_embeddings(self, graph: CTDN, rng: np.random.Generator | None = None) -> Tensor:
+        """Process the interaction stream chronologically."""
+        del rng
+        encoded = self.input_proj(Tensor(graph.features))
+        h = [encoded[i].reshape(1, self.hidden_size) for i in range(graph.num_nodes)]
+        c = [Tensor(np.zeros((1, self.hidden_size))) for _ in range(graph.num_nodes)]
+        # Recent interaction partners and times, for the propagate step.
+        partners: list[list[tuple[int, float]]] = [[] for _ in range(graph.num_nodes)]
+        for edge in graph.edges_sorted():
+            message = ops.tanh(
+                self.interact(ops.concat([h[edge.src], h[edge.dst]], axis=1))
+            )
+            h[edge.src], c[edge.src] = self.update_source(message, (h[edge.src], c[edge.src]))
+            h[edge.dst], c[edge.dst] = self.update_target(message, (h[edge.dst], c[edge.dst]))
+            propagated = self.propagate(message)
+            for endpoint in (edge.src, edge.dst):
+                for neighbor, last_time in partners[endpoint][-self.num_propagate :]:
+                    weight = float(np.exp(-self.decay * max(0.0, edge.time - last_time)))
+                    h[neighbor] = h[neighbor] + weight * propagated
+            partners[edge.src].append((edge.dst, edge.time))
+            partners[edge.dst].append((edge.src, edge.time))
+        rows = [state.reshape(self.hidden_size) for state in h]
+        return ops.tanh(ops.stack(rows, axis=0))
+
+    def embed(self, graph: CTDN, rng: np.random.Generator | None = None) -> Tensor:
+        """Mean-pool the streamed node states."""
+        return MeanReadout()(self.node_embeddings(graph, rng=rng))
+
+
+class TGN(GraphClassifierBase):
+    """Temporal Graph Network (Rossi et al., 2020).
+
+    Per-node memories are updated by a GRU on interaction messages
+    (memory of both endpoints + time-delta encoding); the embedding
+    module fuses the final memory with the raw node features.  Note the
+    contrast with TP-GNN that the paper highlights: TGN updates *both*
+    endpoints symmetrically rather than following information flow.
+
+    Faithful to the real system, events are processed in **batches**
+    (``batch_size`` edges): messages within a batch are computed against
+    the memory as of the batch start, aggregated per node by keeping the
+    most recent message, and the memory is updated once per node per
+    batch.  This is the "staleness" trade-off of the original TGN that
+    the TIGER follow-up (cited by the paper) addresses — and a key
+    reason TGN under-uses fine-grained edge ordering compared to
+    TP-GNN's one-edge-at-a-time temporal propagation.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden_size: int = 32,
+        time_dim: int = 6,
+        batch_size: int = 20,
+        seed: int = 0,
+    ):
+        rng = np.random.default_rng(seed)
+        super().__init__(embedding_dim=hidden_size, rng=rng)
+        self.hidden_size = hidden_size
+        self.batch_size = batch_size
+        self.time_encoder = Time2Vec(time_dim, rng=rng)
+        self.memory_updater = GRUCell(2 * hidden_size + time_dim, hidden_size, rng=rng)
+        self.feature_proj = Linear(in_features, hidden_size, rng=rng)
+        self.embed_proj = Linear(2 * hidden_size, hidden_size, rng=rng)
+
+    def node_embeddings(self, graph: CTDN, rng: np.random.Generator | None = None) -> Tensor:
+        """Run the batched memory module over the event stream and embed."""
+        del rng
+        n = graph.num_nodes
+        memory = [Tensor(np.zeros((1, self.hidden_size))) for _ in range(n)]
+        last_update = np.zeros(n)
+        edges = graph.edges_sorted()
+        for start in range(0, len(edges), self.batch_size):
+            batch = edges[start : start + self.batch_size]
+            # Most-recent-message aggregation: within the batch, messages
+            # read the *stale* batch-start memory; only the latest message
+            # per node survives.
+            latest: dict[int, Tensor] = {}
+            latest_time: dict[int, float] = {}
+            for edge in batch:
+                for node, other in ((edge.src, edge.dst), (edge.dst, edge.src)):
+                    delta = self.time_encoder(np.array([edge.time - last_update[node]]))
+                    latest[node] = ops.concat([memory[node], memory[other], delta], axis=1)
+                    latest_time[node] = edge.time
+            for node, message in latest.items():
+                memory[node] = self.memory_updater(message, memory[node])
+                last_update[node] = latest_time[node]
+        memory_matrix = ops.concat(memory, axis=0)
+        features = self.feature_proj(Tensor(graph.features))
+        return ops.relu(self.embed_proj(ops.concat([memory_matrix, features], axis=1)))
+
+    def embed(self, graph: CTDN, rng: np.random.Generator | None = None) -> Tensor:
+        """Mean-pool the memory-based embeddings."""
+        return MeanReadout()(self.node_embeddings(graph, rng=rng))
+
+
+class GraphMixer(GraphClassifierBase):
+    """MLP-only temporal model (Cong et al., 2023).
+
+    The link encoder tokenises each node's ``K`` most recent incoming
+    interactions as (time-encoding ‖ source features) rows, mixes them
+    with a two-layer token/channel MLP, and fuses the result with a
+    mean-pooling node encoder.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden_size: int = 32,
+        time_dim: int = 6,
+        num_recent: int = 5,
+        seed: int = 0,
+    ):
+        rng = np.random.default_rng(seed)
+        super().__init__(embedding_dim=hidden_size, rng=rng)
+        self.hidden_size = hidden_size
+        self.num_recent = num_recent
+        self.time_encoder = Time2Vec(time_dim, rng=rng)
+        token_dim = time_dim + in_features
+        self.channel_mix1 = Linear(token_dim, hidden_size, rng=rng)
+        self.channel_mix2 = Linear(hidden_size, hidden_size, rng=rng)
+        self.token_mix1 = Linear(num_recent, num_recent, rng=rng)
+        self.token_mix2 = Linear(num_recent, num_recent, rng=rng)
+        self.node_proj = Linear(in_features, hidden_size, rng=rng)
+        self.fuse = Linear(2 * hidden_size, hidden_size, rng=rng)
+
+    def _link_tokens(self, graph: CTDN, node: int, end_time: float) -> Tensor:
+        """(K, time_dim + q) token matrix of the most recent in-links."""
+        recent = temporal_neighbors(graph, node, before=end_time, limit=self.num_recent)
+        token_dim = self.time_encoder.dim + graph.feature_dim
+        rows = []
+        for neighbor, event_time in recent:
+            encoding = self.time_encoder(np.array([end_time - event_time]))
+            source = Tensor(graph.features[neighbor : neighbor + 1])
+            rows.append(ops.concat([encoding, source], axis=1))
+        while len(rows) < self.num_recent:
+            rows.append(Tensor(np.zeros((1, token_dim))))
+        return ops.concat(rows, axis=0)
+
+    def node_embeddings(self, graph: CTDN, rng: np.random.Generator | None = None) -> Tensor:
+        """Mix recent-link tokens per node; fuse with the node encoder."""
+        del rng
+        end_time = max((e.time for e in graph.edges), default=0.0) + 1.0
+        neighbor_mean = np.zeros_like(graph.features)
+        counts = np.zeros(graph.num_nodes)
+        for edge in graph.edges:
+            neighbor_mean[edge.dst] += graph.features[edge.src]
+            counts[edge.dst] += 1
+        neighbor_mean /= np.maximum(counts, 1.0)[:, None]
+        node_context = self.node_proj(Tensor(graph.features + neighbor_mean))
+
+        rows = []
+        for node in range(graph.num_nodes):
+            tokens = self._link_tokens(graph, node, end_time)  # (K, token_dim)
+            channels = ops.relu(self.channel_mix1(tokens))  # (K, d)
+            mixed = self.token_mix2(ops.relu(self.token_mix1(channels.T))).T  # (K, d)
+            link_info = self.channel_mix2(mixed).mean(axis=0).reshape(1, self.hidden_size)
+            fused = self.fuse(
+                ops.concat([link_info, node_context[node].reshape(1, self.hidden_size)], axis=1)
+            )
+            rows.append(ops.relu(fused).reshape(self.hidden_size))
+        return ops.stack(rows, axis=0)
+
+    def embed(self, graph: CTDN, rng: np.random.Generator | None = None) -> Tensor:
+        """Mean-pool the mixer embeddings."""
+        return MeanReadout()(self.node_embeddings(graph, rng=rng))

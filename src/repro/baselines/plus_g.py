@@ -1,0 +1,70 @@
+"""``+G`` wrappers: baseline encoders + the global temporal extractor.
+
+Table III of the paper replaces each continuous DGNN's mean pooling
+with TP-GNN's global temporal embedding extractor: the baseline's node
+embeddings are converted to a chronological edge-embedding sequence and
+GRU-encoded into the graph embedding.  The result isolates the
+contribution of temporal propagation (the only remaining difference
+from the full TP-GNN).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import GraphClassifierBase
+from repro.core.extractor import GlobalTemporalExtractor
+from repro.graph.ctdn import CTDN
+from repro.tensor import Tensor
+
+
+class PlusGlobalExtractor(GraphClassifierBase):
+    """Wrap any node-embedding model with the global temporal extractor.
+
+    Parameters
+    ----------
+    encoder:
+        A model exposing ``node_embeddings(graph) -> Tensor (n, d)``
+        (all baselines in this package do).  Its parameters are trained
+        jointly with the extractor.
+    node_dim:
+        Width of the encoder's node embeddings.
+    gru_hidden_size:
+        Hidden width of the extractor GRU (graph embedding size).
+    seed:
+        Seed for the extractor and classifier head initialisation.
+    """
+
+    def __init__(
+        self,
+        encoder: GraphClassifierBase,
+        node_dim: int | None = None,
+        gru_hidden_size: int = 32,
+        seed: int = 0,
+    ):
+        rng = np.random.default_rng(seed)
+        super().__init__(embedding_dim=gru_hidden_size, rng=rng)
+        if not hasattr(encoder, "node_embeddings"):
+            raise TypeError(
+                f"{type(encoder).__name__} does not expose node_embeddings(); "
+                "cannot attach the global temporal extractor"
+            )
+        node_dim = node_dim if node_dim is not None else encoder.embedding_dim
+        self.encoder = encoder
+        self.extractor = GlobalTemporalExtractor(
+            node_dim=node_dim, hidden_size=gru_hidden_size, rng=rng
+        )
+
+    @property
+    def name(self) -> str:
+        """Display name, e.g. ``TGAT+G``."""
+        return f"{type(self.encoder).__name__}+G"
+
+    def embed(self, graph: CTDN, rng: np.random.Generator | None = None) -> Tensor:
+        """Encoder node embeddings -> chronological edge GRU -> g."""
+        if graph.num_edges == 0:
+            raise ValueError("+G models require at least one temporal edge per graph")
+        if rng is not None:
+            graph = graph.with_edges(graph.edges_sorted(rng=rng))
+        local = self.encoder.node_embeddings(graph)
+        return self.extractor(local, graph)

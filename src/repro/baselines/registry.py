@@ -1,0 +1,95 @@
+"""Model registry: name -> factory, as used by the experiment harness.
+
+Factories take ``(in_features, seed, **overrides)`` and return a fresh
+:class:`~repro.core.base.GraphClassifierBase`.  Names match the rows of
+Table II; ``snapshot_size`` follows the paper (5 for the log datasets,
+20 for the trajectory datasets — the harness passes it per dataset).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.baselines.continuous import TGAT, TGN, DyGNN, GraphMixer
+from repro.baselines.discrete import TADDY, AddGraph, EvolveGCN, GCLSTM
+from repro.baselines.plus_g import PlusGlobalExtractor
+from repro.baselines.static import GAT, GCN, GraphSAGE, SpectralClusteringModel
+from repro.core.base import GraphClassifierBase
+from repro.core.model import TPGNN
+
+ModelFactory = Callable[..., GraphClassifierBase]
+
+STATIC_MODELS = ("Spectral Clustering", "GCN", "GraphSage", "GAT")
+DISCRETE_MODELS = ("AddGraph", "TADDY", "EvolveGCN", "GC-LSTM")
+CONTINUOUS_MODELS = ("TGN", "DyGNN", "TGAT", "GraphMixer")
+TPGNN_MODELS = ("TP-GNN-GRU", "TP-GNN-SUM")
+
+#: Table II row order.
+ALL_MODELS = STATIC_MODELS + DISCRETE_MODELS + CONTINUOUS_MODELS + TPGNN_MODELS
+
+#: Table III rows: continuous baselines wrapped with the global extractor.
+PLUS_G_MODELS = ("TGAT+G", "DyGNN+G", "TGN+G", "GraphMixer+G")
+
+
+def make_model(
+    name: str,
+    in_features: int,
+    seed: int = 0,
+    hidden_size: int = 32,
+    time_dim: int = 6,
+    snapshot_size: int = 5,
+    gru_hidden_size: int | None = None,
+) -> GraphClassifierBase:
+    """Instantiate any Table II / Table III model by name."""
+    gru_hidden = gru_hidden_size if gru_hidden_size is not None else hidden_size
+    static = {
+        "Spectral Clustering": lambda: SpectralClusteringModel(in_features, hidden_size, seed=seed),
+        "GCN": lambda: GCN(in_features, hidden_size, seed=seed),
+        "GraphSage": lambda: GraphSAGE(in_features, hidden_size, seed=seed),
+        "GAT": lambda: GAT(in_features, hidden_size, seed=seed),
+    }
+    discrete = {
+        "AddGraph": lambda: AddGraph(in_features, hidden_size, snapshot_size=snapshot_size, seed=seed),
+        "TADDY": lambda: TADDY(in_features, hidden_size, snapshot_size=snapshot_size, seed=seed),
+        "EvolveGCN": lambda: EvolveGCN(in_features, hidden_size, snapshot_size=snapshot_size, seed=seed),
+        "GC-LSTM": lambda: GCLSTM(in_features, hidden_size, snapshot_size=snapshot_size, seed=seed),
+    }
+    continuous = {
+        "TGN": lambda: TGN(in_features, hidden_size, time_dim=time_dim, seed=seed),
+        "DyGNN": lambda: DyGNN(in_features, hidden_size, seed=seed),
+        "TGAT": lambda: TGAT(in_features, hidden_size, time_dim=time_dim, seed=seed),
+        "GraphMixer": lambda: GraphMixer(in_features, hidden_size, time_dim=time_dim, seed=seed),
+    }
+    tpgnn = {
+        "TP-GNN-SUM": lambda: TPGNN(
+            in_features, updater="sum", hidden_size=hidden_size,
+            gru_hidden_size=gru_hidden, time_dim=time_dim, seed=seed,
+        ),
+        "TP-GNN-GRU": lambda: TPGNN(
+            in_features, updater="gru", hidden_size=hidden_size,
+            gru_hidden_size=gru_hidden, time_dim=time_dim, seed=seed,
+        ),
+    }
+    table = {**static, **discrete, **continuous, **tpgnn}
+    if name in table:
+        return table[name]()
+    if name in PLUS_G_MODELS:
+        base_name = name[: -len("+G")]
+        encoder = continuous[base_name]()
+        return PlusGlobalExtractor(encoder, gru_hidden_size=gru_hidden, seed=seed)
+    raise KeyError(f"unknown model {name!r}; choose from {ALL_MODELS + PLUS_G_MODELS}")
+
+
+def model_category(name: str) -> str:
+    """Category label for reporting (static / discrete / continuous / ours)."""
+    if name in STATIC_MODELS:
+        return "static"
+    if name in DISCRETE_MODELS:
+        return "discrete"
+    if name in CONTINUOUS_MODELS:
+        return "continuous"
+    if name in TPGNN_MODELS:
+        return "ours"
+    if name in PLUS_G_MODELS:
+        return "plus_g"
+    raise KeyError(f"unknown model {name!r}")

@@ -1,0 +1,173 @@
+"""Static-graph baselines (paper Table II, top block).
+
+Spectral Clustering, GCN, GraphSAGE and GAT all ignore edge timestamps:
+the CTDN is collapsed into a static (undirected, for spectral methods)
+graph before node embeddings are computed.  Graph embeddings use Mean
+pooling, as the paper prescribes for all node-level baselines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import GraphClassifierBase, MeanReadout
+from repro.graph.ctdn import CTDN
+from repro.graph.static import (
+    gcn_normalized_adjacency,
+    laplacian,
+    mean_aggregation_matrix,
+)
+from repro.nn import Linear, Module
+from repro.tensor import Tensor, ops
+
+
+class SpectralClusteringModel(GraphClassifierBase):
+    """Spectral clustering baseline (Ng, Jordan & Weiss, 2001).
+
+    Node embeddings are the leading eigenvectors of the normalised
+    Laplacian of the *undirected* collapsed graph — as the paper notes,
+    the method must symmetrise the graph and ignores node features,
+    which is why it trails every learned baseline.  Only the classifier
+    head on the pooled spectral embedding is trained.
+    """
+
+    def __init__(self, in_features: int, hidden_size: int = 32, seed: int = 0):
+        del in_features  # spectral clustering ignores node features
+        rng = np.random.default_rng(seed)
+        super().__init__(embedding_dim=hidden_size, rng=rng)
+        self.hidden_size = hidden_size
+        self.readout = MeanReadout()
+
+    def node_embeddings(self, graph: CTDN, rng: np.random.Generator | None = None) -> Tensor:
+        """Spectral node embedding: |leading Laplacian eigenvectors|.
+
+        Absolute values are taken because eigenvector signs are
+        arbitrary; columns are ordered by ascending eigenvalue and
+        padded with zeros when the graph has fewer nodes than the
+        embedding width.
+        """
+        del rng
+        lap = laplacian(graph, normalized=True)
+        eigenvalues, eigenvectors = np.linalg.eigh(lap)
+        order = np.argsort(eigenvalues)
+        width = min(self.hidden_size, graph.num_nodes)
+        embedding = np.zeros((graph.num_nodes, self.hidden_size))
+        embedding[:, :width] = np.abs(eigenvectors[:, order[:width]])
+        # Scale rows by eigenvalues so pooled embeddings carry spectrum info.
+        scale = np.zeros(self.hidden_size)
+        scale[:width] = 1.0 + eigenvalues[order[:width]]
+        return Tensor(embedding * scale)
+
+    def embed(self, graph: CTDN, rng: np.random.Generator | None = None) -> Tensor:
+        """Mean-pool the spectral node embeddings."""
+        return self.readout(self.node_embeddings(graph, rng=rng))
+
+
+class GCNLayer(Module):
+    """One graph-convolution layer ``act(Â H W)``."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator):
+        super().__init__()
+        self.linear = Linear(in_features, out_features, rng=rng)
+
+    def forward(self, adjacency: Tensor, h: Tensor) -> Tensor:
+        """Propagate ``h`` through the normalised adjacency."""
+        return adjacency @ self.linear(h)
+
+
+class GCN(GraphClassifierBase):
+    """Two-layer GCN (Kipf & Welling, 2017) with mean pooling."""
+
+    def __init__(self, in_features: int, hidden_size: int = 32, seed: int = 0):
+        rng = np.random.default_rng(seed)
+        super().__init__(embedding_dim=hidden_size, rng=rng)
+        self.layer1 = GCNLayer(in_features, hidden_size, rng)
+        self.layer2 = GCNLayer(hidden_size, hidden_size, rng)
+        self.readout = MeanReadout()
+
+    def node_embeddings(self, graph: CTDN, rng: np.random.Generator | None = None) -> Tensor:
+        """Two rounds of symmetric-normalised neighbourhood smoothing."""
+        del rng
+        adjacency = Tensor(gcn_normalized_adjacency(graph))
+        h = ops.relu(self.layer1(adjacency, Tensor(graph.features)))
+        return self.layer2(adjacency, h)
+
+    def embed(self, graph: CTDN, rng: np.random.Generator | None = None) -> Tensor:
+        """Mean-pool the GCN node embeddings."""
+        return self.readout(self.node_embeddings(graph, rng=rng))
+
+
+class GraphSAGE(GraphClassifierBase):
+    """Two-layer GraphSAGE with the MEAN aggregator (Hamilton et al., 2017).
+
+    Each layer concatenates a node's own representation with the mean of
+    its neighbours' and applies a shared linear map — the paper's chosen
+    configuration.
+    """
+
+    def __init__(self, in_features: int, hidden_size: int = 32, seed: int = 0):
+        rng = np.random.default_rng(seed)
+        super().__init__(embedding_dim=hidden_size, rng=rng)
+        self.layer1 = Linear(2 * in_features, hidden_size, rng=rng)
+        self.layer2 = Linear(2 * hidden_size, hidden_size, rng=rng)
+        self.readout = MeanReadout()
+
+    def node_embeddings(self, graph: CTDN, rng: np.random.Generator | None = None) -> Tensor:
+        """Two MEAN-aggregator layers."""
+        del rng
+        mean_op = Tensor(mean_aggregation_matrix(graph))
+        h = Tensor(graph.features)
+        h = ops.relu(self.layer1(ops.concat([h, mean_op @ h], axis=1)))
+        return self.layer2(ops.concat([h, mean_op @ h], axis=1))
+
+    def embed(self, graph: CTDN, rng: np.random.Generator | None = None) -> Tensor:
+        """Mean-pool the SAGE node embeddings."""
+        return self.readout(self.node_embeddings(graph, rng=rng))
+
+
+class GATLayer(Module):
+    """Single-head graph attention layer (Velickovic et al., 2018)."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator):
+        super().__init__()
+        self.project = Linear(in_features, out_features, bias=False, rng=rng)
+        self.attn_src = Linear(out_features, 1, bias=False, rng=rng)
+        self.attn_dst = Linear(out_features, 1, bias=False, rng=rng)
+
+    def forward(self, adjacency_mask: np.ndarray, h: Tensor) -> Tensor:
+        """Attention-weighted aggregation over the masked neighbourhood."""
+        projected = self.project(h)
+        scores_src = self.attn_src(projected)  # (n, 1)
+        scores_dst = self.attn_dst(projected)  # (n, 1)
+        scores = ops.leaky_relu(scores_src + scores_dst.T, negative_slope=0.2)
+        penalty = np.where(adjacency_mask, 0.0, -1e9)
+        weights = ops.softmax(scores + Tensor(penalty), axis=1)
+        return weights @ projected
+
+
+class GAT(GraphClassifierBase):
+    """Two-layer, two-head GAT with mean pooling."""
+
+    def __init__(self, in_features: int, hidden_size: int = 32, num_heads: int = 2, seed: int = 0):
+        rng = np.random.default_rng(seed)
+        super().__init__(embedding_dim=hidden_size, rng=rng)
+        if hidden_size % num_heads != 0:
+            raise ValueError(f"hidden_size {hidden_size} not divisible by heads {num_heads}")
+        head_dim = hidden_size // num_heads
+        self.heads1 = [GATLayer(in_features, head_dim, rng) for _ in range(num_heads)]
+        for index, head in enumerate(self.heads1):
+            setattr(self, f"head1_{index}", head)
+        self.layer2 = GATLayer(hidden_size, hidden_size, rng)
+        self.readout = MeanReadout()
+
+    def node_embeddings(self, graph: CTDN, rng: np.random.Generator | None = None) -> Tensor:
+        """Multi-head attention layer followed by a single-head layer."""
+        del rng
+        mask = (gcn_normalized_adjacency(graph) > 0.0)
+        h = Tensor(graph.features)
+        first = ops.concat([ops.relu(head(mask, h)) for head in self.heads1], axis=1)
+        return self.layer2(mask, first)
+
+    def embed(self, graph: CTDN, rng: np.random.Generator | None = None) -> Tensor:
+        """Mean-pool the GAT node embeddings."""
+        return self.readout(self.node_embeddings(graph, rng=rng))

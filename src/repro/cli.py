@@ -1,0 +1,151 @@
+"""Command-line interface for the reproduction experiments.
+
+Usage::
+
+    python -m repro.cli table1  --preset smoke
+    python -m repro.cli table2  --preset small --datasets Forum-java HDFS
+    python -m repro.cli table3  --preset smoke
+    python -m repro.cli fig3    --preset smoke          # ablation, SUM
+    python -m repro.cli fig4    --preset smoke          # ablation, GRU
+    python -m repro.cli fig5    --preset smoke          # sensitivity
+    python -m repro.cli fig6    --preset smoke          # runtime vs F1
+    python -m repro.cli fig7    --preset smoke          # case study
+    python -m repro.cli train   --dataset HDFS --model TP-GNN-SUM
+
+Every command prints the same text tables/figures the benchmarks emit,
+at the chosen preset (override individual knobs with the flags below).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.baselines.registry import ALL_MODELS, PLUS_G_MODELS, make_model
+from repro.data.registry import DATASET_NAMES
+from repro.experiments import (
+    PRESETS,
+    format_ablation,
+    format_case_study,
+    format_runtime,
+    format_sensitivity,
+    format_table1,
+    format_table2,
+    format_table3,
+    run_ablation,
+    run_case_study,
+    run_runtime,
+    run_sensitivity,
+    run_table2,
+    run_table3,
+    snapshot_size_for,
+)
+from repro.training import TrainConfig, evaluate, train_model
+
+
+def _config_from_args(args) -> "ExperimentConfig":
+    config = PRESETS[args.preset]
+    overrides = {}
+    for field in ("num_graphs", "epochs", "runs", "hidden_size", "time_dim", "seed"):
+        value = getattr(args, field, None)
+        if value is not None:
+            overrides[field] = value
+    if getattr(args, "scale", None) is not None:
+        overrides["graph_scale"] = args.scale
+    return config.with_overrides(**overrides) if overrides else config
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--preset", choices=sorted(PRESETS), default="smoke")
+    parser.add_argument("--num-graphs", dest="num_graphs", type=int)
+    parser.add_argument("--scale", type=float)
+    parser.add_argument("--epochs", type=int)
+    parser.add_argument("--runs", type=int)
+    parser.add_argument("--hidden-size", dest="hidden_size", type=int)
+    parser.add_argument("--time-dim", dest="time_dim", type=int)
+    parser.add_argument("--seed", type=int)
+
+
+def _progress(*parts) -> None:
+    print("  " + " ".join(str(p) for p in parts[:-1]), flush=True)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name in ("table1", "table2", "table3", "fig3", "fig4", "fig5", "fig6", "fig7"):
+        cmd = sub.add_parser(name, help=f"regenerate {name}")
+        _add_common(cmd)
+        if name in ("table2", "table3", "fig3", "fig4", "fig6"):
+            cmd.add_argument("--datasets", nargs="+", choices=DATASET_NAMES)
+
+    train = sub.add_parser("train", help="train one model on one dataset")
+    _add_common(train)
+    train.add_argument("--dataset", choices=DATASET_NAMES, required=True)
+    train.add_argument("--model", choices=ALL_MODELS + PLUS_G_MODELS, required=True)
+    train.add_argument("--checkpoint", help="save the trained model to this .npz path")
+    return parser
+
+
+def _run_train(args) -> None:
+    from repro.experiments.runner import build_dataset
+
+    config = _config_from_args(args)
+    dataset = build_dataset(args.dataset, config)
+    train_data, test_data = dataset.split(config.train_fraction)
+    model = make_model(
+        args.model,
+        in_features=dataset.feature_dim,
+        seed=config.seed,
+        hidden_size=config.hidden_size,
+        time_dim=config.time_dim,
+        snapshot_size=snapshot_size_for(args.dataset),
+    )
+    print(f"training {args.model} on {args.dataset} "
+          f"({len(train_data)} train / {len(test_data)} test graphs)")
+    result = train_model(model, train_data, config.train_config())
+    metrics = evaluate(model, test_data)
+    print(f"loss {result.losses[0]:.3f} -> {result.losses[-1]:.3f} "
+          f"({result.train_seconds:.1f}s)")
+    print(f"F1={100 * metrics.f1:.2f} precision={100 * metrics.precision:.2f} "
+          f"recall={100 * metrics.recall:.2f}")
+    if args.checkpoint:
+        from repro.nn import save_checkpoint
+
+        path = save_checkpoint(model, args.checkpoint, metadata={"f1": metrics.f1})
+        print(f"checkpoint written to {path}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    config = _config_from_args(args) if args.command != "train" else None
+
+    if args.command == "table1":
+        print(format_table1(config))
+    elif args.command == "table2":
+        datasets = tuple(args.datasets) if args.datasets else DATASET_NAMES
+        results = run_table2(config, datasets=datasets, progress=_progress)
+        print(format_table2(results))
+    elif args.command == "table3":
+        kwargs = {"datasets": tuple(args.datasets)} if args.datasets else {}
+        print(format_table3(run_table3(config, progress=_progress, **kwargs)))
+    elif args.command in ("fig3", "fig4"):
+        updater = "sum" if args.command == "fig3" else "gru"
+        kwargs = {"datasets": tuple(args.datasets)} if args.datasets else {}
+        results = run_ablation(config, updater=updater, progress=_progress, **kwargs)
+        print(format_ablation(results, updater=updater))
+    elif args.command == "fig5":
+        print(format_sensitivity(run_sensitivity(config)))
+    elif args.command == "fig6":
+        kwargs = {"datasets": tuple(args.datasets)} if args.datasets else {}
+        print(format_runtime(run_runtime(config, **kwargs)))
+    elif args.command == "fig7":
+        print(format_case_study(run_case_study(config)))
+    elif args.command == "train":
+        _run_train(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

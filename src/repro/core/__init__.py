@@ -1,0 +1,56 @@
+"""TP-GNN core: the paper's primary contribution.
+
+* :class:`TPGNN` — the end-to-end model (SUM or GRU updater).
+* :class:`TemporalPropagationSum` / :class:`TemporalPropagationGRU` —
+  the temporal propagation message passing (Algorithm 1).
+* :class:`GlobalTemporalExtractor` — GRU over the chronological edge
+  sequence (Eqs. 7-10).
+* Ablation variants for the Fig. 3/4 studies.
+"""
+
+from repro.core.base import GraphClassifierBase, MeanReadout
+from repro.core.edge_agg import EDGE_AGGREGATORS, edge_dim
+from repro.core.propagation import (
+    RandomAggregation,
+    TemporalPropagationBase,
+    TemporalPropagationGRU,
+    TemporalPropagationSum,
+)
+from repro.core.extractor import GlobalTemporalExtractor
+from repro.core.unsupervised import UnsupervisedTPGNN
+from repro.core.transformer_extractor import (
+    GlobalTemporalTransformer,
+    make_tpgnn_with_extractor,
+)
+from repro.core.model import TPGNN, UPDATERS
+from repro.core.ablation import (
+    ABLATION_VARIANTS,
+    TPGNNRandVariant,
+    TPGNNTempVariant,
+    TPGNNTime2VecVariant,
+    TPGNNWithoutTemporalPropagation,
+    make_ablation_variant,
+)
+
+__all__ = [
+    "GraphClassifierBase",
+    "MeanReadout",
+    "EDGE_AGGREGATORS",
+    "edge_dim",
+    "TemporalPropagationBase",
+    "TemporalPropagationSum",
+    "TemporalPropagationGRU",
+    "RandomAggregation",
+    "GlobalTemporalExtractor",
+    "GlobalTemporalTransformer",
+    "make_tpgnn_with_extractor",
+    "UnsupervisedTPGNN",
+    "TPGNN",
+    "UPDATERS",
+    "ABLATION_VARIANTS",
+    "TPGNNRandVariant",
+    "TPGNNTempVariant",
+    "TPGNNTime2VecVariant",
+    "TPGNNWithoutTemporalPropagation",
+    "make_ablation_variant",
+]

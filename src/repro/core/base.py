@@ -1,0 +1,72 @@
+"""Shared interface for all graph classifiers in the reproduction.
+
+Every model — TP-GNN, its ablation variants, and all twelve baselines —
+implements :class:`GraphClassifierBase`: a single-graph forward that
+returns a raw logit, plus an ``embed`` method exposing the graph
+embedding ``g`` (used by the Table III ``+G`` wrappers and the case
+study).  The trainer in :mod:`repro.training` works against this
+interface only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.ctdn import CTDN
+from repro.nn import Linear, Module
+from repro.tensor import Tensor
+
+
+class MeanReadout(Module):
+    """Mean graph pooling (Wu et al., 2021).
+
+    The paper equips every node/edge-level baseline with this readout to
+    obtain graph representations, and uses it in the ablation variants
+    that drop the global temporal embedding extractor.
+    """
+
+    def forward(self, node_embeddings: Tensor) -> Tensor:
+        """Average node embeddings into a single graph vector."""
+        return node_embeddings.mean(axis=0)
+
+
+class GraphClassifierBase(Module):
+    """A binary dynamic-graph classifier.
+
+    Subclasses implement :meth:`embed` producing the graph embedding;
+    the shared classifier head (paper Eq. 11: ``sigmoid(W g + b)``,
+    returned here as the raw logit) lives in this base class.
+
+    Parameters
+    ----------
+    embedding_dim:
+        Width of the graph embedding produced by :meth:`embed`.
+    rng:
+        Generator for the classifier head initialisation.
+    """
+
+    def __init__(self, embedding_dim: int, rng: np.random.Generator | None = None):
+        super().__init__()
+        self.embedding_dim = embedding_dim
+        self.classifier = Linear(embedding_dim, 1, rng=rng)
+
+    def embed(self, graph: CTDN, rng: np.random.Generator | None = None) -> Tensor:
+        """Return the graph embedding ``g`` (shape ``(embedding_dim,)``)."""
+        raise NotImplementedError
+
+    def forward(self, graph: CTDN, rng: np.random.Generator | None = None) -> Tensor:
+        """Return the raw classification logit for ``graph`` (scalar tensor)."""
+        embedding = self.embed(graph, rng=rng)
+        return self.classifier(embedding.reshape(1, self.embedding_dim)).reshape(1)
+
+    def predict_proba(self, graph: CTDN) -> float:
+        """Probability that ``graph`` is positive (label 1)."""
+        from repro.tensor import no_grad
+
+        with no_grad():
+            logit = self.forward(graph)
+        return float(1.0 / (1.0 + np.exp(-logit.item())))
+
+    def predict(self, graph: CTDN, threshold: float = 0.5) -> int:
+        """Hard label prediction at the given probability threshold."""
+        return int(self.predict_proba(graph) >= threshold)

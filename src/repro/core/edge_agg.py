@@ -1,0 +1,63 @@
+"""EdgeAgg: converting node embeddings to edge embeddings.
+
+The paper adopts the *Average* method among the six EdgeAgg operators
+introduced by Qu et al. (WWW 2020): Average, Hadamard, Weighted-L1,
+Weighted-L2, Activation, Concatenation.  All six are implemented so the
+choice can be ablated (see ``benchmarks/test_ablation_edge_agg.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.tensor import Tensor, ops
+
+EdgeAggFn = Callable[[Tensor, Tensor], Tensor]
+
+
+def average(h_u: Tensor, h_v: Tensor) -> Tensor:
+    """Mean of the endpoint embeddings (the paper's default)."""
+    return (h_u + h_v) * 0.5
+
+
+def hadamard(h_u: Tensor, h_v: Tensor) -> Tensor:
+    """Elementwise product of the endpoints."""
+    return h_u * h_v
+
+
+def weighted_l1(h_u: Tensor, h_v: Tensor) -> Tensor:
+    """Elementwise absolute difference."""
+    return ops.absolute(h_u - h_v)
+
+
+def weighted_l2(h_u: Tensor, h_v: Tensor) -> Tensor:
+    """Elementwise squared difference."""
+    diff = h_u - h_v
+    return diff * diff
+
+
+def activation(h_u: Tensor, h_v: Tensor) -> Tensor:
+    """Nonlinear blend ``tanh(h_u + h_v)``."""
+    return ops.tanh(h_u + h_v)
+
+
+def concatenation(h_u: Tensor, h_v: Tensor) -> Tensor:
+    """Concatenate endpoints (doubles the edge-embedding width)."""
+    return ops.concat([h_u, h_v], axis=0)
+
+
+EDGE_AGGREGATORS: dict[str, EdgeAggFn] = {
+    "average": average,
+    "hadamard": hadamard,
+    "weighted_l1": weighted_l1,
+    "weighted_l2": weighted_l2,
+    "activation": activation,
+    "concatenation": concatenation,
+}
+
+
+def edge_dim(aggregator: str, node_dim: int) -> int:
+    """Edge-embedding width produced by ``aggregator`` on ``node_dim`` inputs."""
+    if aggregator not in EDGE_AGGREGATORS:
+        raise KeyError(f"unknown EdgeAgg method {aggregator!r}; choose from {sorted(EDGE_AGGREGATORS)}")
+    return 2 * node_dim if aggregator == "concatenation" else node_dim

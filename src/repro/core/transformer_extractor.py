@@ -1,0 +1,144 @@
+"""Transformer-based global temporal extractor (paper Sec. IV-C note).
+
+The paper remarks that the extractor's GRU "can be replaced by other
+sequential models according to the characteristics of a dataset — for
+instance, one can choose Transformer for large dynamic graphs to
+capture longer dependencies".  This module implements that variant: a
+single-block transformer encoder with learnable positional encodings
+over the chronological edge-embedding sequence, mean-pooled into the
+graph embedding.
+
+Use it by passing ``extractor="transformer"`` to
+:func:`make_tpgnn_with_extractor`, or construct it directly and wire it
+into a custom model; `benchmarks/test_ablation_design_choices.py`'s
+sibling bench compares it against the GRU extractor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.edge_agg import EDGE_AGGREGATORS, edge_dim
+from repro.graph.ctdn import CTDN
+from repro.nn import LayerNorm, Linear, Module, MultiHeadAttention
+from repro.nn.module import Parameter
+from repro.tensor import Tensor, ops
+
+
+class GlobalTemporalTransformer(Module):
+    """Transformer encoder over the chronological edge sequence.
+
+    Parameters
+    ----------
+    node_dim:
+        Width of the local node embeddings.
+    hidden_size:
+        Model width (graph embedding dimensionality).
+    num_heads:
+        Attention heads in the encoder block.
+    max_edges:
+        Capacity of the learnable positional table; sequences longer
+        than this share the final position embedding.
+    aggregator:
+        EdgeAgg operator converting node to edge embeddings.
+    """
+
+    def __init__(
+        self,
+        node_dim: int,
+        hidden_size: int = 32,
+        num_heads: int = 2,
+        max_edges: int = 512,
+        aggregator: str = "average",
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if aggregator not in EDGE_AGGREGATORS:
+            raise KeyError(
+                f"unknown EdgeAgg method {aggregator!r}; choose from {sorted(EDGE_AGGREGATORS)}"
+            )
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.node_dim = node_dim
+        self.hidden_size = hidden_size
+        self.max_edges = max_edges
+        self.aggregator_name = aggregator
+        self._aggregate = EDGE_AGGREGATORS[aggregator]
+        self.input_proj = Linear(edge_dim(aggregator, node_dim), hidden_size, rng=rng)
+        self.positions = Parameter(
+            rng.normal(0.0, 0.02, size=(max_edges, hidden_size)), name="positions"
+        )
+        self.attention = MultiHeadAttention(hidden_size, num_heads, rng=rng)
+        self.norm1 = LayerNorm(hidden_size)
+        self.ffn1 = Linear(hidden_size, 2 * hidden_size, rng=rng)
+        self.ffn2 = Linear(2 * hidden_size, hidden_size, rng=rng)
+        self.norm2 = LayerNorm(hidden_size)
+
+    def forward(
+        self,
+        node_embeddings: Tensor,
+        graph: CTDN,
+        rng: np.random.Generator | None = None,
+    ) -> Tensor:
+        """Return the graph embedding ``g`` of shape (hidden_size,).
+
+        Unlike the GRU extractor, order enters through the positional
+        encodings; the attention itself sees the whole sequence at once,
+        which is the "longer dependencies" benefit the paper alludes to.
+        """
+        edges = graph.edges_sorted(rng=rng)
+        if not edges:
+            raise ValueError("cannot embed a graph with no edges")
+        src = np.array([e.src for e in edges], dtype=np.int64)
+        dst = np.array([e.dst for e in edges], dtype=np.int64)
+        if self.aggregator_name == "average":
+            sequence = (node_embeddings[src] + node_embeddings[dst]) * 0.5
+        else:
+            rows = [
+                self._aggregate(node_embeddings[int(u)], node_embeddings[int(v)])
+                for u, v in zip(src, dst)
+            ]
+            sequence = ops.stack(rows, axis=0)
+        tokens = self.input_proj(sequence)
+        indices = np.minimum(np.arange(len(edges)), self.max_edges - 1)
+        tokens = tokens + ops.embedding_lookup(self.positions, indices)
+        attended = self.norm1(tokens + self.attention(tokens, tokens, tokens))
+        encoded = self.norm2(attended + self.ffn2(ops.relu(self.ffn1(attended))))
+        return encoded.mean(axis=0)
+
+
+def make_tpgnn_with_extractor(
+    in_features: int,
+    extractor: str = "gru",
+    updater: str = "sum",
+    hidden_size: int = 32,
+    gru_hidden_size: int = 32,
+    time_dim: int = 6,
+    seed: int = 0,
+):
+    """Build a TP-GNN with either the GRU or the Transformer extractor.
+
+    ``extractor="gru"`` returns the stock :class:`~repro.core.model.TPGNN`;
+    ``extractor="transformer"`` swaps in
+    :class:`GlobalTemporalTransformer` (same interface, same training
+    loop).
+    """
+    from repro.core.model import TPGNN
+
+    model = TPGNN(
+        in_features,
+        updater=updater,
+        hidden_size=hidden_size,
+        gru_hidden_size=gru_hidden_size,
+        time_dim=time_dim,
+        seed=seed,
+    )
+    if extractor == "gru":
+        return model
+    if extractor != "transformer":
+        raise KeyError(f"unknown extractor {extractor!r}; choose 'gru' or 'transformer'")
+    model.extractor = GlobalTemporalTransformer(
+        node_dim=model.propagation.output_dim,
+        hidden_size=gru_hidden_size,
+        rng=np.random.default_rng(seed + 17),
+    )
+    return model

@@ -1,0 +1,44 @@
+"""Dataset generators and negative samplers for the five evaluation datasets."""
+
+from repro.data.forum_java import FAULT_TYPES, ForumJavaConfig, generate_forum_java
+from repro.data.hdfs import ANOMALY_TYPES, HDFSConfig, generate_hdfs
+from repro.data.negative_sampling import structural_negative, temporal_negative
+from repro.data.registry import (
+    DATASET_NAMES,
+    PAPER_GRAPH_COUNTS,
+    PAPER_SIZES,
+    make_all_datasets,
+    make_dataset,
+)
+from repro.data.session import SessionBuilder
+from repro.data.trajectory import (
+    BRIGHTKITE,
+    FOURSQUARE,
+    GOWALLA,
+    PROFILES,
+    TrajectoryProfile,
+    generate_trajectories,
+)
+
+__all__ = [
+    "FAULT_TYPES",
+    "ForumJavaConfig",
+    "generate_forum_java",
+    "ANOMALY_TYPES",
+    "HDFSConfig",
+    "generate_hdfs",
+    "structural_negative",
+    "temporal_negative",
+    "DATASET_NAMES",
+    "PAPER_GRAPH_COUNTS",
+    "PAPER_SIZES",
+    "make_dataset",
+    "make_all_datasets",
+    "SessionBuilder",
+    "TrajectoryProfile",
+    "BRIGHTKITE",
+    "GOWALLA",
+    "FOURSQUARE",
+    "PROFILES",
+    "generate_trajectories",
+]

@@ -1,0 +1,104 @@
+"""The paper's two negative-sample generators (Sec. V-A).
+
+For the public datasets (HDFS, Gowalla, Brightkite, FourSquare) the
+paper synthesises negatives from positives in two ways:
+
+1. **Structural** ("context-dependent" sampling, Cai et al. 2021):
+   randomly pick a small number of edges and replace one endpoint,
+   keeping the replacement only if the resulting edge does not occur in
+   the normal graph.
+2. **Temporal**: randomly shuffle the edge establishment order, so the
+   negative has identical topology and features but a different
+   evolution sequence — exactly the Fig. 1 situation that motivates
+   temporal propagation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.ctdn import CTDN
+from repro.graph.edge import TemporalEdge
+
+
+def structural_negative(
+    graph: CTDN,
+    rng: np.random.Generator,
+    fraction: float = 0.2,
+    min_edges: int = 1,
+    max_attempts: int = 50,
+) -> CTDN:
+    """Rewire a fraction of edges to endpoints never used by the positive.
+
+    For each selected edge ``(u, v, t)`` one endpoint is replaced with a
+    random node; candidates that produce an edge already present in the
+    positive graph are rejected (the paper deletes such candidates), so
+    every kept rewiring is genuinely anomalous.
+
+    Returns a new CTDN labelled 0.
+    """
+    if graph.num_edges == 0:
+        raise ValueError("cannot build a structural negative from an empty graph")
+    if graph.num_nodes < 3:
+        raise ValueError("structural negatives need at least 3 nodes to rewire")
+    normal_pairs = {(e.src, e.dst) for e in graph.edges}
+    edges = list(graph.edges)
+    count = max(min_edges, int(round(fraction * len(edges))))
+    picked = rng.choice(len(edges), size=min(count, len(edges)), replace=False)
+    changed = 0
+    for index in picked:
+        edge = edges[index]
+        for _ in range(max_attempts):
+            replace_dst = rng.random() < 0.5
+            candidate_node = int(rng.integers(0, graph.num_nodes))
+            if replace_dst:
+                new_edge = TemporalEdge(edge.src, candidate_node, edge.time)
+            else:
+                new_edge = TemporalEdge(candidate_node, edge.dst, edge.time)
+            if new_edge.src == new_edge.dst:
+                continue
+            if (new_edge.src, new_edge.dst) in normal_pairs:
+                continue
+            edges[index] = new_edge
+            changed += 1
+            break
+    if changed == 0:
+        raise RuntimeError(
+            "failed to rewire any edge; the graph may be (nearly) complete"
+        )
+    return graph.with_edges(edges, label=0)
+
+
+def temporal_negative(
+    graph: CTDN, rng: np.random.Generator, max_attempts: int = 50
+) -> CTDN:
+    """Shuffle edge establishment order, keeping topology and features.
+
+    The multiset of timestamps is preserved but reassigned to edges by a
+    random permutation, producing a negative that differs from the
+    positive only in its temporal evolution.  Retries until the order of
+    at least one distinct-time pair actually changes.
+    """
+    if graph.num_edges < 2:
+        raise ValueError("temporal negatives need at least 2 edges to permute")
+    edges = graph.edges_sorted()
+    times = [e.time for e in edges]
+    if len(set(times)) < 2:
+        raise ValueError("all edges share one timestamp; shuffling cannot change the order")
+    for _ in range(max_attempts):
+        order = rng.permutation(len(edges))
+        shuffled = [
+            TemporalEdge(edges[int(i)].src, edges[int(i)].dst, times[pos])
+            for pos, i in enumerate(order)
+        ]
+        if _order_changed(edges, shuffled):
+            return graph.with_edges(shuffled, label=0)
+    raise RuntimeError("failed to produce a changed edge order")
+
+
+def _order_changed(original: list[TemporalEdge], shuffled: list[TemporalEdge]) -> bool:
+    """True when the chronological (src, dst) sequence differs."""
+    key = lambda e: (e.time, e.src, e.dst)  # noqa: E731
+    seq_a = [(e.src, e.dst) for e in sorted(original, key=key)]
+    seq_b = [(e.src, e.dst) for e in sorted(shuffled, key=key)]
+    return seq_a != seq_b

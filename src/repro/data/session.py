@@ -1,0 +1,85 @@
+"""Session-building utilities shared by the log dataset generators.
+
+A *session* is an ordered stream of events; each event instance becomes
+one node of the resulting CTDN, and each causal "event b follows event
+a" relation becomes a temporal edge ``a -> b``.  The Forum-java and
+HDFS generators both assemble sessions through :class:`SessionBuilder`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.ctdn import CTDN
+from repro.graph.edge import TemporalEdge
+
+
+class SessionBuilder:
+    """Incrementally build a log-session CTDN.
+
+    Nodes carry a fixed-width feature vector; edges are added between
+    previously created nodes with strictly tracked timestamps.
+    """
+
+    def __init__(self, feature_dim: int, graph_id: str | None = None):
+        self.feature_dim = feature_dim
+        self.graph_id = graph_id
+        self._features: list[np.ndarray] = []
+        self._edges: list[TemporalEdge] = []
+        self._clock = 0.0
+
+    @property
+    def num_nodes(self) -> int:
+        """Nodes created so far."""
+        return len(self._features)
+
+    @property
+    def num_edges(self) -> int:
+        """Edges created so far."""
+        return len(self._edges)
+
+    @property
+    def clock(self) -> float:
+        """Current session time."""
+        return self._clock
+
+    def advance(self, delta: float) -> float:
+        """Move the session clock forward and return the new time."""
+        if delta < 0:
+            raise ValueError(f"cannot move time backwards (delta={delta})")
+        self._clock += delta
+        return self._clock
+
+    def add_event(self, features) -> int:
+        """Create an event node; returns its id."""
+        vector = np.asarray(features, dtype=np.float64)
+        if vector.shape != (self.feature_dim,):
+            raise ValueError(
+                f"event features must have shape ({self.feature_dim},), got {vector.shape}"
+            )
+        self._features.append(vector)
+        return len(self._features) - 1
+
+    def add_edge(self, src: int, dst: int, time: float | None = None) -> None:
+        """Connect two events at ``time`` (defaults to the current clock)."""
+        stamp = self._clock if time is None else time
+        self._edges.append(TemporalEdge(src, dst, stamp))
+
+    def follow(self, src: int, features, gap: float) -> int:
+        """Emit a new event ``gap`` after the clock, linked from ``src``."""
+        self.advance(gap)
+        node = self.add_event(features)
+        self.add_edge(src, node)
+        return node
+
+    def build(self, label: int) -> CTDN:
+        """Finalise into a labelled CTDN."""
+        if not self._features:
+            raise ValueError("session has no events")
+        return CTDN(
+            num_nodes=len(self._features),
+            features=np.stack(self._features, axis=0),
+            edges=self._edges,
+            label=label,
+            graph_id=self.graph_id,
+        )

@@ -1,0 +1,89 @@
+"""Experiment harness: one module per table/figure of the paper."""
+
+from repro.experiments.config import (
+    PAPER_SHAPE,
+    PRESETS,
+    SMALL,
+    SMOKE,
+    ExperimentConfig,
+    snapshot_size_for,
+)
+from repro.experiments.runner import build_dataset, evaluate_model
+from repro.experiments.reporting import render_bar_chart, render_heatmap, render_table
+from repro.experiments.table1 import format_table1, table1_rows
+from repro.experiments.table2 import (
+    PAPER_F1,
+    category_means,
+    format_table2,
+    run_table2,
+)
+from repro.experiments.table3 import (
+    PAPER_TABLE3_F1,
+    TABLE3_DATASETS,
+    TABLE3_MODELS,
+    format_table3,
+    run_table3,
+)
+from repro.experiments.ablation import (
+    ABLATION_DATASETS,
+    format_ablation,
+    run_ablation,
+)
+from repro.experiments.sensitivity import (
+    PAPER_HIDDEN_SIZES,
+    PAPER_TIME_DIMS,
+    format_sensitivity,
+    run_sensitivity,
+)
+from repro.experiments.runtime import (
+    RUNTIME_DATASETS,
+    RUNTIME_MODELS,
+    RuntimePoint,
+    format_runtime,
+    run_runtime,
+)
+from repro.experiments.case_study import (
+    CaseStudyResult,
+    format_case_study,
+    run_case_study,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "SMOKE",
+    "SMALL",
+    "PAPER_SHAPE",
+    "PRESETS",
+    "snapshot_size_for",
+    "build_dataset",
+    "evaluate_model",
+    "render_table",
+    "render_heatmap",
+    "render_bar_chart",
+    "table1_rows",
+    "format_table1",
+    "run_table2",
+    "format_table2",
+    "category_means",
+    "PAPER_F1",
+    "run_table3",
+    "format_table3",
+    "PAPER_TABLE3_F1",
+    "TABLE3_DATASETS",
+    "TABLE3_MODELS",
+    "run_ablation",
+    "format_ablation",
+    "ABLATION_DATASETS",
+    "run_sensitivity",
+    "format_sensitivity",
+    "PAPER_HIDDEN_SIZES",
+    "PAPER_TIME_DIMS",
+    "run_runtime",
+    "format_runtime",
+    "RuntimePoint",
+    "RUNTIME_MODELS",
+    "RUNTIME_DATASETS",
+    "run_case_study",
+    "format_case_study",
+    "CaseStudyResult",
+]

@@ -1,0 +1,82 @@
+"""Plain-text rendering of tables and figures.
+
+The paper's figures are bar charts and heat-maps; without a plotting
+stack the harness renders them as aligned ASCII tables / heat-maps so
+benchmark output can be compared against the paper side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def render_table(
+    rows: Sequence[Mapping[str, object]], title: str | None = None
+) -> str:
+    """Render a list of dict rows as an aligned ASCII table.
+
+    Column order follows the first row's key order.
+    """
+    if not rows:
+        return "(empty table)"
+    columns = list(rows[0].keys())
+    cells = [[str(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(row[i]) for row in cells)) for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(col.ljust(width) for col, width in zip(columns, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in cells:
+        lines.append(" | ".join(value.ljust(width) for value, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_heatmap(
+    values: Sequence[Sequence[float]],
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    title: str | None = None,
+    fmt: str = "{:.1f}",
+) -> str:
+    """Render a 2-d grid of numbers with row/column labels (Fig. 5 style)."""
+    header_width = max(len(label) for label in row_labels)
+    col_width = max(
+        max(len(label) for label in col_labels),
+        max(len(fmt.format(v)) for row in values for v in row),
+    )
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        " " * header_width
+        + " "
+        + " ".join(label.rjust(col_width) for label in col_labels)
+    )
+    for label, row in zip(row_labels, values):
+        cells = " ".join(fmt.format(v).rjust(col_width) for v in row)
+        lines.append(label.ljust(header_width) + " " + cells)
+    return "\n".join(lines)
+
+
+def render_bar_chart(
+    series: Mapping[str, float],
+    title: str | None = None,
+    width: int = 40,
+    fmt: str = "{:.3f}",
+) -> str:
+    """Render named values as a horizontal ASCII bar chart (Fig. 3/4 style)."""
+    if not series:
+        return "(empty chart)"
+    label_width = max(len(name) for name in series)
+    peak = max(series.values()) or 1.0
+    lines = []
+    if title:
+        lines.append(title)
+    for name, value in series.items():
+        bar = "#" * max(0, int(round(width * value / peak)))
+        lines.append(f"{name.ljust(label_width)} | {bar} {fmt.format(value)}")
+    return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""Shared machinery for running reproduction experiments."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.baselines.registry import make_model
+from repro.data.registry import make_dataset
+from repro.experiments.config import ExperimentConfig, snapshot_size_for
+from repro.graph.dataset import GraphDataset
+from repro.training.metrics import MetricSummary
+from repro.training.trainer import run_trials
+
+
+@lru_cache(maxsize=16)
+def _cached_dataset(name: str, num_graphs: int, seed: int, scale: float) -> GraphDataset:
+    return make_dataset(name, num_graphs, seed=seed, scale=scale)
+
+
+def build_dataset(name: str, config: ExperimentConfig) -> GraphDataset:
+    """Deterministically build (and cache) a dataset for ``config``.
+
+    Caching matters because one benchmark session evaluates many models
+    on the same datasets; generation is deterministic so a cache hit is
+    exactly equivalent to regeneration.
+    """
+    return _cached_dataset(name, config.num_graphs, config.seed, config.graph_scale)
+
+
+def evaluate_model(
+    model_name: str, dataset_name: str, config: ExperimentConfig
+) -> MetricSummary:
+    """Train + evaluate one model on one dataset per the paper's protocol.
+
+    Chronological ``train_fraction`` split, ``config.runs`` independent
+    seeded repetitions, metrics averaged with std — the Table II cell
+    for (model, dataset).
+    """
+    dataset = build_dataset(dataset_name, config)
+    snapshot_size = snapshot_size_for(dataset_name)
+
+    def factory(seed: int):
+        return make_model(
+            model_name,
+            in_features=dataset.feature_dim,
+            seed=seed,
+            hidden_size=config.hidden_size,
+            time_dim=config.time_dim,
+            snapshot_size=snapshot_size,
+        )
+
+    return run_trials(
+        factory,
+        dataset,
+        config.train_config(),
+        runs=config.runs,
+        train_fraction=config.train_fraction,
+    )

@@ -1,0 +1,123 @@
+"""Table II: dynamic graph classification across all models and datasets.
+
+The paper's headline result: F1 / Precision / Recall of four static
+GNNs, four discrete DGNNs, four continuous DGNNs and the two TP-GNN
+variants on five datasets.  The reproduction asserts the qualitative
+*shape* rather than absolute numbers (see DESIGN.md §4):
+
+* category ordering on average: static < discrete < continuous;
+* TP-GNN (best of SUM/GRU) is the best model overall on average.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.registry import (
+    ALL_MODELS,
+    CONTINUOUS_MODELS,
+    DISCRETE_MODELS,
+    STATIC_MODELS,
+    TPGNN_MODELS,
+)
+from repro.data.registry import DATASET_NAMES
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import render_table
+from repro.experiments.runner import evaluate_model
+from repro.training.metrics import MetricSummary
+
+#: Paper Table II F1 means (%), used for side-by-side reporting.
+PAPER_F1 = {
+    "Forum-java": {
+        "Spectral Clustering": 74.23, "GCN": 83.86, "GraphSage": 84.11, "GAT": 80.12,
+        "AddGraph": 84.67, "TADDY": 88.10, "EvolveGCN": 82.17, "GC-LSTM": 87.67,
+        "TGN": 93.12, "DyGNN": 94.25, "TGAT": 95.96, "GraphMixer": 96.44,
+        "TP-GNN-GRU": 98.53, "TP-GNN-SUM": 99.21,
+    },
+    "HDFS": {
+        "Spectral Clustering": 61.71, "GCN": 84.49, "GraphSage": 86.60, "GAT": 82.91,
+        "AddGraph": 87.20, "TADDY": 82.29, "EvolveGCN": 81.46, "GC-LSTM": 89.71,
+        "TGN": 89.54, "DyGNN": 94.89, "TGAT": 90.44, "GraphMixer": 93.06,
+        "TP-GNN-GRU": 97.53, "TP-GNN-SUM": 98.26,
+    },
+    "Gowalla": {
+        "Spectral Clustering": 58.47, "GCN": 82.90, "GraphSage": 83.21, "GAT": 87.76,
+        "AddGraph": 82.82, "TADDY": 88.70, "EvolveGCN": 84.87, "GC-LSTM": 92.36,
+        "TGN": 93.25, "DyGNN": 92.13, "TGAT": 91.96, "GraphMixer": 94.62,
+        "TP-GNN-GRU": 98.08, "TP-GNN-SUM": 98.23,
+    },
+    "FourSquare": {
+        "Spectral Clustering": 63.41, "GCN": 82.10, "GraphSage": 83.11, "GAT": 81.75,
+        "AddGraph": 85.59, "TADDY": 88.81, "EvolveGCN": 86.68, "GC-LSTM": 88.41,
+        "TGN": 92.09, "DyGNN": 94.64, "TGAT": 91.89, "GraphMixer": 94.11,
+        "TP-GNN-GRU": 99.58, "TP-GNN-SUM": 99.02,
+    },
+    "Brightkite": {
+        "Spectral Clustering": 62.63, "GCN": 76.56, "GraphSage": 80.12, "GAT": 81.42,
+        "AddGraph": 81.31, "TADDY": 84.42, "EvolveGCN": 81.83, "GC-LSTM": 81.82,
+        "TGN": 85.26, "DyGNN": 83.25, "TGAT": 84.57, "GraphMixer": 86.80,
+        "TP-GNN-GRU": 96.66, "TP-GNN-SUM": 95.61,
+    },
+}
+
+Table2Results = dict[str, dict[str, MetricSummary]]
+
+
+def run_table2(
+    config: ExperimentConfig,
+    datasets: tuple[str, ...] = DATASET_NAMES,
+    models: tuple[str, ...] = ALL_MODELS,
+    progress=None,
+) -> Table2Results:
+    """Evaluate every (dataset, model) pair.
+
+    ``progress`` is an optional callback ``(dataset, model, summary)``
+    invoked after each cell, for streaming output from the benchmarks.
+    """
+    results: Table2Results = {}
+    for dataset in datasets:
+        results[dataset] = {}
+        for model in models:
+            summary = evaluate_model(model, dataset, config)
+            results[dataset][model] = summary
+            if progress is not None:
+                progress(dataset, model, summary)
+    return results
+
+
+def format_table2(results: Table2Results) -> str:
+    """Render the measured cells next to the paper's F1 values."""
+    blocks = []
+    for dataset, per_model in results.items():
+        rows = []
+        for model, summary in per_model.items():
+            rows.append(
+                {
+                    "Model": model,
+                    "F1": summary.format_cell("f1"),
+                    "Precision": summary.format_cell("precision"),
+                    "Recall": summary.format_cell("recall"),
+                    "paper F1": f"{PAPER_F1[dataset].get(model, float('nan')):.2f}",
+                }
+            )
+        blocks.append(render_table(rows, title=f"Table II — {dataset}"))
+    return "\n\n".join(blocks)
+
+
+def category_means(results: Table2Results) -> dict[str, float]:
+    """Average F1 per model category across all evaluated datasets."""
+    groups = {
+        "static": STATIC_MODELS,
+        "discrete": DISCRETE_MODELS,
+        "continuous": CONTINUOUS_MODELS,
+        "ours": TPGNN_MODELS,
+    }
+    means: dict[str, float] = {}
+    for label, members in groups.items():
+        cells = [
+            summary.f1_mean
+            for per_model in results.values()
+            for model, summary in per_model.items()
+            if model in members
+        ]
+        if cells:
+            means[label] = sum(cells) / len(cells)
+    return means

@@ -1,0 +1,42 @@
+"""Dynamic-graph substrate: CTDNs, static views, snapshots, reachability."""
+
+from repro.graph.edge import TemporalEdge
+from repro.graph.ctdn import CTDN
+from repro.graph.dataset import DatasetStatistics, GraphDataset
+from repro.graph.static import (
+    adjacency_matrix,
+    gcn_normalized_adjacency,
+    laplacian,
+    mean_aggregation_matrix,
+)
+from repro.graph.snapshots import (
+    cumulative_snapshots,
+    snapshots_by_count,
+    snapshots_by_edge_count,
+    snapshots_by_time_window,
+)
+from repro.graph.reachability import (
+    influence_sets,
+    is_influential,
+    temporal_neighbors,
+    valid_path,
+)
+
+__all__ = [
+    "TemporalEdge",
+    "CTDN",
+    "GraphDataset",
+    "DatasetStatistics",
+    "adjacency_matrix",
+    "gcn_normalized_adjacency",
+    "laplacian",
+    "mean_aggregation_matrix",
+    "snapshots_by_count",
+    "snapshots_by_edge_count",
+    "snapshots_by_time_window",
+    "cumulative_snapshots",
+    "influence_sets",
+    "is_influential",
+    "valid_path",
+    "temporal_neighbors",
+]

@@ -1,0 +1,157 @@
+"""Continuous-Time Dynamic Network (CTDN) — paper Definition 1.
+
+A CTDN is a directed graph ``G = (V, E^T, X, T)`` whose edges carry
+timestamps.  This module provides the central data structure shared by
+the TP-GNN core, every baseline, the dataset generators, and the
+negative samplers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.graph.edge import TemporalEdge
+
+
+class CTDN:
+    """A continuous-time dynamic network with node features and a label.
+
+    Parameters
+    ----------
+    num_nodes:
+        Size of the node set ``V``; nodes are the integers ``0..n-1``.
+    features:
+        ``(num_nodes, q)`` float array: the raw feature matrix ``X``.
+    edges:
+        Iterable of ``(src, dst, time)`` triples or :class:`TemporalEdge`.
+        Stored exactly as given; use :meth:`edges_sorted` for the
+        chronological view the models consume.
+    label:
+        Graph class in ``{0, 1}`` (1 = positive/normal in the paper's
+        datasets), or ``None`` for unlabelled graphs.
+    graph_id:
+        Optional identifier (session/trace/user id) for traceability.
+    """
+
+    __slots__ = ("num_nodes", "features", "edges", "label", "graph_id")
+
+    def __init__(
+        self,
+        num_nodes: int,
+        features: np.ndarray,
+        edges: Iterable[tuple[int, int, float] | TemporalEdge],
+        label: int | None = None,
+        graph_id: str | None = None,
+    ):
+        if num_nodes <= 0:
+            raise ValueError(f"CTDN needs at least one node, got {num_nodes}")
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2 or features.shape[0] != num_nodes:
+            raise ValueError(
+                f"features must have shape ({num_nodes}, q), got {features.shape}"
+            )
+        edge_list = [TemporalEdge(int(e[0]), int(e[1]), float(e[2])) for e in edges]
+        for edge in edge_list:
+            if not (0 <= edge.src < num_nodes and 0 <= edge.dst < num_nodes):
+                raise ValueError(f"edge {edge} references a node outside [0, {num_nodes})")
+            if edge.time < 0:
+                raise ValueError(f"edge {edge} has a negative timestamp")
+        self.num_nodes = num_nodes
+        self.features = features
+        self.edges: list[TemporalEdge] = edge_list
+        self.label = label
+        self.graph_id = graph_id
+
+    # ------------------------------------------------------------------
+    # Basic views
+    # ------------------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        """Number of temporal edges ``m``."""
+        return len(self.edges)
+
+    @property
+    def feature_dim(self) -> int:
+        """Raw node feature dimensionality ``q``."""
+        return self.features.shape[1]
+
+    @property
+    def duration(self) -> float:
+        """Time span between the first and last edge (0 when empty)."""
+        if not self.edges:
+            return 0.0
+        times = [e.time for e in self.edges]
+        return max(times) - min(times)
+
+    def edges_sorted(self, rng: np.random.Generator | None = None) -> list[TemporalEdge]:
+        """Edges in ascending timestamp order.
+
+        When ``rng`` is given, edges sharing a timestamp are shuffled
+        among themselves before the (stable) sort — the paper shuffles
+        ties before each training epoch to remove order artifacts within
+        a timestamp.
+        """
+        edges = list(self.edges)
+        if rng is not None:
+            order = rng.permutation(len(edges))
+            edges = [edges[i] for i in order]
+        return sorted(edges, key=lambda e: e.time)
+
+    def timestamps(self) -> np.ndarray:
+        """All edge timestamps in storage order."""
+        return np.array([e.time for e in self.edges], dtype=np.float64)
+
+    def in_neighbors(self) -> list[list[tuple[int, float]]]:
+        """Per-node list of ``(source, time)`` pairs of incoming edges."""
+        table: list[list[tuple[int, float]]] = [[] for _ in range(self.num_nodes)]
+        for edge in self.edges:
+            table[edge.dst].append((edge.src, edge.time))
+        return table
+
+    def out_degree(self) -> np.ndarray:
+        """Out-degree per node, counting multi-edges."""
+        degree = np.zeros(self.num_nodes, dtype=np.int64)
+        for edge in self.edges:
+            degree[edge.src] += 1
+        return degree
+
+    def in_degree(self) -> np.ndarray:
+        """In-degree per node, counting multi-edges."""
+        degree = np.zeros(self.num_nodes, dtype=np.int64)
+        for edge in self.edges:
+            degree[edge.dst] += 1
+        return degree
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def with_edges(self, edges: Sequence[TemporalEdge], label: int | None = None) -> "CTDN":
+        """Return a copy of this graph with a different edge set."""
+        return CTDN(
+            self.num_nodes,
+            self.features.copy(),
+            edges,
+            label=self.label if label is None else label,
+            graph_id=self.graph_id,
+        )
+
+    def copy(self) -> "CTDN":
+        """Deep copy."""
+        return self.with_edges(list(self.edges))
+
+    def to_networkx(self):
+        """Export as a ``networkx.MultiDiGraph`` with ``time`` edge attrs."""
+        import networkx as nx
+
+        graph = nx.MultiDiGraph()
+        for node in range(self.num_nodes):
+            graph.add_node(node, features=self.features[node])
+        for edge in self.edges:
+            graph.add_edge(edge.src, edge.dst, time=edge.time)
+        return graph
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = f", label={self.label}" if self.label is not None else ""
+        return f"CTDN(nodes={self.num_nodes}, edges={self.num_edges}{label})"

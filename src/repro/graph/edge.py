@@ -1,0 +1,26 @@
+"""Temporal edges: the atomic events of a continuous-time dynamic network."""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+
+class TemporalEdge(NamedTuple):
+    """A T-labelled directed edge ``(u, v, t)`` (paper Definition 1).
+
+    ``src -> dst`` denotes the direction of information flow: in a log
+    session network, event ``dst`` occurs after event ``src``; in a
+    user-trajectory network, the user moves from POI ``src`` to ``dst``.
+    """
+
+    src: int
+    dst: int
+    time: float
+
+    def reversed(self) -> "TemporalEdge":
+        """Return the edge with its direction flipped (case study, Fig. 7)."""
+        return TemporalEdge(self.dst, self.src, self.time)
+
+    def at(self, time: float) -> "TemporalEdge":
+        """Return a copy of this edge with a different timestamp."""
+        return TemporalEdge(self.src, self.dst, time)

@@ -1,0 +1,73 @@
+"""Static-graph views of a CTDN.
+
+The static baselines (Spectral Clustering, GCN, GraphSAGE, GAT) ignore
+edge timestamps; this module collapses a CTDN into adjacency structures
+and provides the standard normalisations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.ctdn import CTDN
+
+
+def adjacency_matrix(graph: CTDN, directed: bool = True, weighted: bool = False) -> np.ndarray:
+    """Dense adjacency matrix of the time-collapsed graph.
+
+    Parameters
+    ----------
+    graph:
+        The dynamic network.
+    directed:
+        When False, the matrix is symmetrised (spectral clustering needs
+        an undirected graph, as the paper notes).
+    weighted:
+        When True, multi-edges accumulate counts; otherwise entries are
+        binary.
+    """
+    n = graph.num_nodes
+    adj = np.zeros((n, n))
+    for edge in graph.edges:
+        if weighted:
+            adj[edge.src, edge.dst] += 1.0
+        else:
+            adj[edge.src, edge.dst] = 1.0
+    if not directed:
+        adj = np.maximum(adj, adj.T) if not weighted else adj + adj.T
+    return adj
+
+
+def gcn_normalized_adjacency(graph: CTDN) -> np.ndarray:
+    """Symmetric GCN normalisation ``D^-1/2 (A + I) D^-1/2`` (Kipf & Welling)."""
+    adj = adjacency_matrix(graph, directed=False) + np.eye(graph.num_nodes)
+    degree = adj.sum(axis=1)
+    inv_sqrt = 1.0 / np.sqrt(np.maximum(degree, 1e-12))
+    return adj * inv_sqrt[:, None] * inv_sqrt[None, :]
+
+
+def mean_aggregation_matrix(graph: CTDN, include_self: bool = False) -> np.ndarray:
+    """Row-stochastic neighbour-mean operator (GraphSAGE MEAN aggregator).
+
+    Row ``v`` averages over the (undirected) neighbours of ``v``; rows of
+    isolated nodes are zero unless ``include_self`` adds a self-loop.
+    """
+    adj = adjacency_matrix(graph, directed=False)
+    if include_self:
+        adj = adj + np.eye(graph.num_nodes)
+    degree = adj.sum(axis=1, keepdims=True)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        mean = np.where(degree > 0, adj / np.maximum(degree, 1e-12), 0.0)
+    return mean
+
+
+def laplacian(graph: CTDN, normalized: bool = True) -> np.ndarray:
+    """(Normalised) graph Laplacian of the undirected collapsed graph."""
+    adj = adjacency_matrix(graph, directed=False, weighted=True)
+    degree = adj.sum(axis=1)
+    if not normalized:
+        return np.diag(degree) - adj
+    inv_sqrt = 1.0 / np.sqrt(np.maximum(degree, 1e-12))
+    lap = np.eye(graph.num_nodes) - adj * inv_sqrt[:, None] * inv_sqrt[None, :]
+    # Zero-degree nodes contribute identity rows; keep them finite.
+    return np.where(np.isfinite(lap), lap, 0.0)

@@ -1,0 +1,44 @@
+"""Neural-network layers built on :mod:`repro.tensor`.
+
+Public surface mirrors the subset of ``torch.nn`` the TP-GNN paper uses:
+modules/parameters, dense and embedding layers, GRU/LSTM cells and
+sequence wrappers, multi-head attention, Time2Vec time encoding,
+normalisation and losses.
+"""
+
+from repro.nn.module import Module, ModuleList, Parameter
+from repro.nn.linear import Linear
+from repro.nn.embedding import Embedding, FeatureEncoder
+from repro.nn.mlp import MLP
+from repro.nn.rnn import GRU, GRUCell, LSTM, LSTMCell
+from repro.nn.attention import MultiHeadAttention, scaled_dot_product_attention
+from repro.nn.time2vec import Time2Vec
+from repro.nn.norm import Dropout, LayerNorm
+from repro.nn.loss import bce_with_logits, binary_cross_entropy, cross_entropy
+from repro.nn.serialization import load_checkpoint, save_checkpoint
+from repro.nn import init
+
+__all__ = [
+    "Module",
+    "ModuleList",
+    "Parameter",
+    "Linear",
+    "Embedding",
+    "FeatureEncoder",
+    "MLP",
+    "GRU",
+    "GRUCell",
+    "LSTM",
+    "LSTMCell",
+    "MultiHeadAttention",
+    "scaled_dot_product_attention",
+    "Time2Vec",
+    "Dropout",
+    "LayerNorm",
+    "bce_with_logits",
+    "binary_cross_entropy",
+    "cross_entropy",
+    "save_checkpoint",
+    "load_checkpoint",
+    "init",
+]

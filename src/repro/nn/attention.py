@@ -1,0 +1,82 @@
+"""Attention building blocks.
+
+Needed by the TGAT and TGN baselines (temporal multi-head attention over
+sampled neighbours), the TADDY baseline (transformer encoder over
+snapshot codings), and the GAT baseline (additive attention scores).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+from repro.tensor import Tensor, ops
+
+
+def scaled_dot_product_attention(
+    query: Tensor, key: Tensor, value: Tensor, mask: np.ndarray | None = None
+) -> Tensor:
+    """Classic attention: ``softmax(Q K^T / sqrt(d)) V``.
+
+    Parameters
+    ----------
+    query, key, value:
+        Tensors of shape ``(n_q, d)``, ``(n_k, d)``, ``(n_k, d_v)``.
+    mask:
+        Optional boolean array of shape ``(n_q, n_k)``; False entries are
+        excluded from attention.
+    """
+    d = query.shape[-1]
+    scores = (query @ key.T) * (1.0 / np.sqrt(d))
+    if mask is not None:
+        penalty = np.where(mask, 0.0, -1e9)
+        scores = scores + Tensor(penalty)
+    weights = ops.softmax(scores, axis=-1)
+    return weights @ value
+
+
+class MultiHeadAttention(Module):
+    """Multi-head attention over flat ``(sequence, dim)`` tensors.
+
+    A per-head projection + scaled dot-product attention + output
+    projection.  Works on single sequences (no batch axis), which is all
+    the per-graph baselines require.
+    """
+
+    def __init__(
+        self,
+        embed_dim: int,
+        num_heads: int,
+        kdim: int | None = None,
+        vdim: int | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if embed_dim % num_heads != 0:
+            raise ValueError(f"embed_dim {embed_dim} not divisible by num_heads {num_heads}")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.embed_dim = embed_dim
+        self.num_heads = num_heads
+        self.head_dim = embed_dim // num_heads
+        kdim = kdim if kdim is not None else embed_dim
+        vdim = vdim if vdim is not None else embed_dim
+        self.q_proj = Linear(embed_dim, embed_dim, rng=rng)
+        self.k_proj = Linear(kdim, embed_dim, rng=rng)
+        self.v_proj = Linear(vdim, embed_dim, rng=rng)
+        self.out_proj = Linear(embed_dim, embed_dim, rng=rng)
+
+    def forward(
+        self, query: Tensor, key: Tensor, value: Tensor, mask: np.ndarray | None = None
+    ) -> Tensor:
+        """Attend ``query`` (n_q, embed_dim) over ``key``/``value`` (n_k, *)."""
+        q = self.q_proj(query)
+        k = self.k_proj(key)
+        v = self.v_proj(value)
+        heads = []
+        for head in range(self.num_heads):
+            lo, hi = head * self.head_dim, (head + 1) * self.head_dim
+            heads.append(
+                scaled_dot_product_attention(q[:, lo:hi], k[:, lo:hi], v[:, lo:hi], mask=mask)
+            )
+        return self.out_proj(ops.concat(heads, axis=1))

@@ -1,0 +1,59 @@
+"""Embedding layers.
+
+TP-GNN's node feature encoding layer (Eq. 1 of the paper) is an affine
+transform of the raw feature matrix; :class:`FeatureEncoder` implements
+exactly that.  :class:`Embedding` is the classic integer-id lookup used
+by the log-event datasets whose node features are label-coded.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.linear import Linear
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor, ops
+
+
+class Embedding(Module):
+    """Lookup table mapping integer ids to dense vectors.
+
+    Gradients from duplicate ids accumulate (scatter-add), matching the
+    semantics of ``torch.nn.Embedding``.
+    """
+
+    def __init__(self, num_embeddings: int, embedding_dim: int, rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(
+            init.xavier_normal((num_embeddings, embedding_dim), rng), name="embedding"
+        )
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        """Return ``weight[indices]`` as a differentiable tensor."""
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.size and (idx.min() < 0 or idx.max() >= self.num_embeddings):
+            raise IndexError(
+                f"embedding index out of range [0, {self.num_embeddings}): "
+                f"min={idx.min()}, max={idx.max()}"
+            )
+        return ops.embedding_lookup(self.weight, idx)
+
+
+class FeatureEncoder(Module):
+    """TP-GNN's node feature encoding layer (paper Eq. 1).
+
+    Transforms the raw ``n x q_raw`` node feature matrix into a dense
+    continuous representation ``X := W_i * raw + b_i``.
+    """
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator | None = None):
+        super().__init__()
+        self.projection = Linear(in_features, out_features, rng=rng)
+
+    def forward(self, raw_features: Tensor) -> Tensor:
+        """Encode the raw node feature matrix."""
+        return self.projection(raw_features)

@@ -1,0 +1,46 @@
+"""Dense (fully connected) layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor
+
+
+class Linear(Module):
+    """Affine map ``y = x @ W + b``.
+
+    Parameters
+    ----------
+    in_features:
+        Size of the last axis of the input.
+    out_features:
+        Size of the last axis of the output.
+    bias:
+        Whether to add a learnable bias (default True).
+    rng:
+        Generator used for Xavier-uniform weight initialisation.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.xavier_uniform((in_features, out_features), rng), name="weight")
+        self.bias = Parameter(init.zeros((out_features,)), name="bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Apply the affine map to the last axis of ``x``."""
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out

@@ -1,0 +1,47 @@
+"""Multi-layer perceptrons (GraphMixer's core block, classifier heads)."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.nn.linear import Linear
+from repro.nn.module import Module, ModuleList
+from repro.tensor import Tensor, ops
+
+
+class MLP(Module):
+    """A stack of Linear layers with a configurable activation.
+
+    Parameters
+    ----------
+    sizes:
+        Layer widths, e.g. ``[in, hidden, out]``.
+    activation:
+        Elementwise nonlinearity applied between layers (not after the
+        last one).  Defaults to ReLU.
+    """
+
+    def __init__(
+        self,
+        sizes: Sequence[int],
+        activation: Callable[[Tensor], Tensor] = ops.relu,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if len(sizes) < 2:
+            raise ValueError(f"MLP needs at least [in, out] sizes, got {list(sizes)}")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.activation = activation
+        self.layers = ModuleList(
+            [Linear(sizes[i], sizes[i + 1], rng=rng) for i in range(len(sizes) - 1)]
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Apply the layer stack."""
+        for i, layer in enumerate(self.layers):
+            x = layer(x)
+            if i < len(self.layers) - 1:
+                x = self.activation(x)
+        return x

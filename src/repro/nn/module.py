@@ -1,0 +1,144 @@
+"""Base classes for neural-network modules.
+
+Mirrors the familiar ``torch.nn.Module`` contract at the scale this
+reproduction needs: parameter registration via attribute assignment,
+recursive ``parameters()`` traversal, train/eval mode, and state-dict
+save/load for checkpointing experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A trainable tensor; always requires gradients."""
+
+    def __init__(self, data, name: str | None = None):
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for all layers and models.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` instances as
+    attributes; these are discovered automatically for optimisation,
+    gradient zeroing, and checkpointing.
+    """
+
+    def __init__(self):
+        self._parameters: dict[str, Parameter] = {}
+        self._modules: dict[str, Module] = {}
+        self.training: bool = True
+
+    def __setattr__(self, key: str, value) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", {})[key] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", {})[key] = value
+        object.__setattr__(self, key, value)
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def parameters(self) -> Iterator[Parameter]:
+        """Yield every trainable parameter in this module tree."""
+        yield from self._parameters.values()
+        for module in self._modules.values():
+            yield from module.parameters()
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` pairs."""
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{name}.")
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and every descendant."""
+        yield self
+        for module in self._modules.values():
+            yield from module.modules()
+
+    def num_parameters(self) -> int:
+        """Total number of scalar trainable parameters."""
+        return sum(p.size for p in self.parameters())
+
+    # ------------------------------------------------------------------
+    # Training state
+    # ------------------------------------------------------------------
+    def zero_grad(self) -> None:
+        """Reset gradients of all parameters."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    def train(self) -> "Module":
+        """Switch the module tree to training mode."""
+        for module in self.modules():
+            module.training = True
+        return self
+
+    def eval(self) -> "Module":
+        """Switch the module tree to evaluation mode."""
+        for module in self.modules():
+            module.training = False
+        return self
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Return a copy of every parameter keyed by dotted name."""
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load parameters from :meth:`state_dict` output."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(f"state dict mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}")
+        for name, values in state.items():
+            param = own[name]
+            if param.data.shape != values.shape:
+                raise ValueError(f"shape mismatch for {name}: {param.data.shape} vs {values.shape}")
+            param.data = values.copy()
+
+    # ------------------------------------------------------------------
+    # Call protocol
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        """Compute the module's output; must be overridden."""
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+class ModuleList(Module):
+    """An indexable container whose children are registered modules."""
+
+    def __init__(self, modules=()):
+        super().__init__()
+        self._items: list[Module] = []
+        for module in modules:
+            self.append(module)
+
+    def append(self, module: Module) -> None:
+        """Register and store a child module."""
+        index = len(self._items)
+        self._items.append(module)
+        self._modules[str(index)] = module
+
+    def __getitem__(self, index: int) -> Module:
+        return self._items[index]
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self):
+        return iter(self._items)

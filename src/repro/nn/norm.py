@@ -1,0 +1,44 @@
+"""Normalisation and regularisation layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor, ops
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last axis (TADDY / GraphMixer blocks)."""
+
+    def __init__(self, dim: int, eps: float = 1e-5):
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.gamma = Parameter(np.ones(dim), name="gamma")
+        self.beta = Parameter(np.zeros(dim), name="beta")
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Normalise the last axis to zero mean / unit variance."""
+        mean = x.mean(axis=-1, keepdims=True)
+        centred = x - mean
+        variance = (centred * centred).mean(axis=-1, keepdims=True)
+        normalised = centred / ops.power(variance + self.eps, 0.5)
+        return normalised * self.gamma + self.beta
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode."""
+
+    def __init__(self, rate: float, rng: np.random.Generator | None = None):
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Apply dropout when training; pass through when evaluating."""
+        if not self.training or self.rate == 0.0:
+            return x
+        return ops.dropout(x, self.rate, self.rng)

@@ -1,0 +1,159 @@
+"""Recurrent cells and sequence wrappers (GRU, LSTM).
+
+The GRU is central to TP-GNN: the GRU-updater of temporal propagation
+(paper Eq. 6) and the global temporal embedding extractor (Eqs. 7-10)
+both step a GRU cell along the chronological edge sequence.  The LSTM is
+needed by the DyGNN and GC-LSTM baselines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor, ops
+
+
+class GRUCell(Module):
+    """A single gated recurrent unit step.
+
+    Implements the standard formulation used by the paper (Eqs. 7-10):
+
+        z = sigmoid(x W_z + h U_z + b_z)
+        r = sigmoid(x W_r + h U_r + b_r)
+        n = tanh(x W_n + (r * h) U_n + b_n)
+        h' = z * h + (1 - z) * n
+
+    Gate weights are fused into single matrices for speed; the cell
+    operates on 2-d ``(batch, dim)`` tensors.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.weight_ih = Parameter(init.xavier_uniform((input_size, 3 * hidden_size), rng), name="W")
+        self.weight_hh = Parameter(init.xavier_uniform((hidden_size, 3 * hidden_size), rng), name="U")
+        self.bias = Parameter(init.zeros((3 * hidden_size,)), name="b")
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        """Advance the hidden state one step.
+
+        Parameters
+        ----------
+        x:
+            Input of shape ``(batch, input_size)``.
+        h:
+            Previous hidden state of shape ``(batch, hidden_size)``.
+        """
+        H = self.hidden_size
+        gates_x = x @ self.weight_ih + self.bias
+        gates_h = h @ self.weight_hh
+        z = ops.sigmoid(gates_x[:, 0:H] + gates_h[:, 0:H])
+        r = ops.sigmoid(gates_x[:, H : 2 * H] + gates_h[:, H : 2 * H])
+        n = ops.tanh(gates_x[:, 2 * H : 3 * H] + r * gates_h[:, 2 * H : 3 * H])
+        return z * h + (1.0 - z) * n
+
+
+class LSTMCell(Module):
+    """A single long short-term memory step (for DyGNN / GC-LSTM)."""
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.weight_ih = Parameter(init.xavier_uniform((input_size, 4 * hidden_size), rng), name="W")
+        self.weight_hh = Parameter(init.xavier_uniform((hidden_size, 4 * hidden_size), rng), name="U")
+        self.bias = Parameter(init.zeros((4 * hidden_size,)), name="b")
+
+    def forward(self, x: Tensor, state: tuple[Tensor, Tensor]) -> tuple[Tensor, Tensor]:
+        """Advance ``(h, c)`` one step; returns the new ``(h, c)``."""
+        h, c = state
+        H = self.hidden_size
+        gates = x @ self.weight_ih + h @ self.weight_hh + self.bias
+        i = ops.sigmoid(gates[:, 0:H])
+        f = ops.sigmoid(gates[:, H : 2 * H])
+        g = ops.tanh(gates[:, 2 * H : 3 * H])
+        o = ops.sigmoid(gates[:, 3 * H : 4 * H])
+        c_new = f * c + i * g
+        h_new = o * ops.tanh(c_new)
+        return h_new, c_new
+
+
+class GRU(Module):
+    """Run a :class:`GRUCell` over a sequence.
+
+    The global temporal embedding extractor feeds the chronological edge
+    embedding sequence through this wrapper and keeps the final hidden
+    state as the graph embedding.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator | None = None):
+        super().__init__()
+        self.cell = GRUCell(input_size, hidden_size, rng=rng)
+        self.hidden_size = hidden_size
+
+    def forward(self, sequence: Tensor, h0: Tensor | None = None) -> tuple[Tensor, Tensor]:
+        """Process a sequence.
+
+        Parameters
+        ----------
+        sequence:
+            Tensor of shape ``(steps, batch, input_size)`` or
+            ``(steps, input_size)`` (treated as batch 1).
+        h0:
+            Optional initial hidden state ``(batch, hidden_size)``.
+
+        Returns
+        -------
+        (outputs, final_hidden):
+            ``outputs`` stacks the per-step hidden states along axis 0;
+            ``final_hidden`` is the last hidden state.
+        """
+        squeeze = sequence.ndim == 2
+        if squeeze:
+            sequence = sequence.reshape(sequence.shape[0], 1, sequence.shape[1])
+        steps, batch, _ = sequence.shape
+        h = h0 if h0 is not None else Tensor(np.zeros((batch, self.hidden_size)))
+        outputs = []
+        for step in range(steps):
+            h = self.cell(sequence[step], h)
+            outputs.append(h)
+        stacked = ops.stack(outputs, axis=0)
+        if squeeze:
+            stacked = stacked.reshape(steps, self.hidden_size)
+        return stacked, h
+
+
+class LSTM(Module):
+    """Run an :class:`LSTMCell` over a sequence (GC-LSTM baseline)."""
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator | None = None):
+        super().__init__()
+        self.cell = LSTMCell(input_size, hidden_size, rng=rng)
+        self.hidden_size = hidden_size
+
+    def forward(
+        self, sequence: Tensor, state: tuple[Tensor, Tensor] | None = None
+    ) -> tuple[Tensor, tuple[Tensor, Tensor]]:
+        """Process a sequence; see :meth:`GRU.forward` for shapes."""
+        squeeze = sequence.ndim == 2
+        if squeeze:
+            sequence = sequence.reshape(sequence.shape[0], 1, sequence.shape[1])
+        steps, batch, _ = sequence.shape
+        if state is None:
+            h = Tensor(np.zeros((batch, self.hidden_size)))
+            c = Tensor(np.zeros((batch, self.hidden_size)))
+        else:
+            h, c = state
+        outputs = []
+        for step in range(steps):
+            h, c = self.cell(sequence[step], (h, c))
+            outputs.append(h)
+        stacked = ops.stack(outputs, axis=0)
+        if squeeze:
+            stacked = stacked.reshape(steps, self.hidden_size)
+        return stacked, (h, c)

@@ -1,0 +1,82 @@
+"""Checkpointing: save/load module parameters as ``.npz`` archives.
+
+The experiment harness trains many models; these helpers persist any
+:class:`~repro.nn.module.Module` (TP-GNN or baseline) so long runs can
+be resumed and trained models shipped with results.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.module import Module
+
+_META_KEY = "__repro_meta__"
+_FORMAT_VERSION = 1
+
+
+def save_checkpoint(model: Module, path: str | Path, metadata: dict | None = None) -> Path:
+    """Write the model's parameters (and optional metadata) to ``path``.
+
+    Parameters are stored by dotted name in a compressed ``.npz``;
+    ``metadata`` must be JSON-serialisable (experiment config, metrics).
+    Returns the resolved path (``.npz`` suffix enforced).
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    payload = dict(model.state_dict())
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "model_class": type(model).__name__,
+        "num_parameters": model.num_parameters(),
+        "user": metadata or {},
+    }
+    payload[_META_KEY] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_checkpoint(model: Module, path: str | Path, strict_class: bool = True) -> dict:
+    """Load parameters saved by :func:`save_checkpoint` into ``model``.
+
+    Parameters
+    ----------
+    model:
+        A freshly constructed module with the same architecture.
+    path:
+        Checkpoint file.
+    strict_class:
+        When True (default), refuse to load a checkpoint written by a
+        different model class.
+
+    Returns
+    -------
+    The checkpoint's metadata dict.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    with np.load(path) as archive:
+        if _META_KEY not in archive:
+            raise ValueError(f"{path} is not a repro checkpoint (missing metadata)")
+        meta = json.loads(bytes(archive[_META_KEY].tobytes()).decode("utf-8"))
+        if meta.get("format_version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported checkpoint format {meta.get('format_version')!r}"
+            )
+        if strict_class and meta["model_class"] != type(model).__name__:
+            raise TypeError(
+                f"checkpoint was written by {meta['model_class']}, "
+                f"refusing to load into {type(model).__name__} "
+                "(pass strict_class=False to override)"
+            )
+        state = {key: archive[key] for key in archive.files if key != _META_KEY}
+    model.load_state_dict(state)
+    return meta

@@ -1,0 +1,63 @@
+"""Time2Vec functional time encoding (Kazemi et al., 2019).
+
+The paper's time encoding layer (Eq. 2):
+
+    f(t) := (w0 * t + phi0) ⊕ sin(w * t + phi)
+
+producing a ``d_t``-dimensional vector whose first component is a
+learnable linear trend and whose remaining ``d_t - 1`` components are
+learnable-frequency sinusoids.  Both the TP-GNN core and several
+continuous-DGNN baselines share this module.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor, ops
+
+
+class Time2Vec(Module):
+    """Map scalar timestamps to ``dim``-dimensional time embeddings.
+
+    Parameters
+    ----------
+    dim:
+        Output dimensionality ``d_t`` (>= 2: one linear + >=1 periodic).
+    rng:
+        Generator used to initialise frequencies.  Frequencies are drawn
+        log-uniformly so several timescales are covered from the start.
+    """
+
+    def __init__(self, dim: int, rng: np.random.Generator | None = None):
+        super().__init__()
+        if dim < 2:
+            raise ValueError(f"Time2Vec dim must be >= 2 (one linear + one periodic), got {dim}")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.dim = dim
+        self.linear_weight = Parameter(rng.normal(0.0, 1.0, size=(1,)), name="w0")
+        self.linear_bias = Parameter(np.zeros(1), name="phi0")
+        # Log-uniform frequencies over roughly 3 decades.
+        freqs = 10.0 ** rng.uniform(-2.0, 1.0, size=(dim - 1,))
+        self.periodic_weight = Parameter(freqs, name="w")
+        self.periodic_bias = Parameter(rng.uniform(0.0, 2.0 * np.pi, size=(dim - 1,)), name="phi")
+
+    def forward(self, timestamps) -> Tensor:
+        """Encode timestamps.
+
+        Parameters
+        ----------
+        timestamps:
+            A scalar, 0-d/1-d array, or Tensor of shape ``(m,)``.
+
+        Returns
+        -------
+        Tensor of shape ``(m, dim)`` (``(1, dim)`` for a scalar input).
+        """
+        if not isinstance(timestamps, Tensor):
+            timestamps = Tensor(np.atleast_1d(np.asarray(timestamps, dtype=np.float64)))
+        t = timestamps.reshape(len(timestamps), 1)
+        trend = t * self.linear_weight + self.linear_bias
+        periodic = ops.sin(t * self.periodic_weight + self.periodic_bias)
+        return ops.concat([trend, periodic], axis=1)

@@ -1,0 +1,7 @@
+"""Gradient-based optimisers for :mod:`repro.nn` modules."""
+
+from repro.optim.optimizer import Optimizer, clip_grad_norm
+from repro.optim.sgd import SGD
+from repro.optim.adam import Adam, AdamW
+
+__all__ = ["Optimizer", "clip_grad_norm", "SGD", "Adam", "AdamW"]

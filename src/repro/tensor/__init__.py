@@ -1,0 +1,31 @@
+"""Reverse-mode automatic differentiation over numpy arrays.
+
+This package is the deep-learning substrate of the TP-GNN reproduction.
+The original paper is implemented on PyTorch; since no deep-learning
+framework is available in this environment, ``repro.tensor`` provides a
+minimal but complete vectorised autograd engine:
+
+* :class:`~repro.tensor.tensor.Tensor` — an n-d array with a gradient
+  tape, supporting broadcasting-aware arithmetic, matrix products,
+  reductions, activations, indexing, concatenation and stacking.
+* :func:`~repro.tensor.tensor.no_grad` — context manager disabling tape
+  construction (used during evaluation).
+* :mod:`~repro.tensor.gradcheck` — central-difference gradient checking
+  used heavily by the test suite.
+
+Everything downstream (``repro.nn``, ``repro.core``, the baselines) is
+written exclusively against this API.
+"""
+
+from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled
+from repro.tensor import ops
+from repro.tensor.gradcheck import numerical_gradient, check_gradients
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "ops",
+    "numerical_gradient",
+    "check_gradients",
+]

@@ -1,0 +1,67 @@
+"""Numerical gradient checking for the autograd engine.
+
+These utilities are the correctness backbone of the substrate's test
+suite: every op and every layer is validated against central-difference
+numerical derivatives.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+
+def numerical_gradient(
+    func: Callable[[], Tensor],
+    tensor: Tensor,
+    epsilon: float = 1e-6,
+) -> np.ndarray:
+    """Estimate ``d func() / d tensor`` by central differences.
+
+    ``func`` must be a zero-argument callable returning a scalar Tensor
+    and reading ``tensor.data`` afresh on each call (i.e. the forward
+    pass must be re-run inside ``func``).
+    """
+    grad = np.zeros_like(tensor.data)
+    flat = tensor.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + epsilon
+        upper = func().item()
+        flat[i] = original - epsilon
+        lower = func().item()
+        flat[i] = original
+        grad_flat[i] = (upper - lower) / (2.0 * epsilon)
+    return grad
+
+
+def check_gradients(
+    func: Callable[[], Tensor],
+    tensors: Sequence[Tensor],
+    epsilon: float = 1e-6,
+    atol: float = 1e-4,
+    rtol: float = 1e-4,
+) -> None:
+    """Assert analytic gradients of ``func`` match numerical ones.
+
+    Raises ``AssertionError`` with a descriptive message on mismatch.
+    """
+    for tensor in tensors:
+        tensor.zero_grad()
+    output = func()
+    output.backward()
+    for i, tensor in enumerate(tensors):
+        expected = numerical_gradient(func, tensor, epsilon=epsilon)
+        actual = tensor.grad
+        if actual is None:
+            raise AssertionError(f"tensor {i} ({tensor.name or 'unnamed'}) received no gradient")
+        if not np.allclose(actual, expected, atol=atol, rtol=rtol):
+            worst = np.max(np.abs(actual - expected))
+            raise AssertionError(
+                f"gradient mismatch for tensor {i} ({tensor.name or 'unnamed'}): "
+                f"max abs error {worst:.3e}"
+            )

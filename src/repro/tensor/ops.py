@@ -1,0 +1,403 @@
+"""Differentiable operations on :class:`~repro.tensor.tensor.Tensor`.
+
+Each function computes a forward value with numpy and registers a
+backward closure via :meth:`Tensor.from_op`.  All binary operations are
+broadcasting-aware; gradients are reduced back to each operand's shape
+with :func:`~repro.tensor.tensor._unbroadcast`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor, _ensure_tensor, _unbroadcast
+
+# ----------------------------------------------------------------------
+# Elementwise arithmetic
+# ----------------------------------------------------------------------
+
+
+def add(a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise addition with broadcasting."""
+    data = a.data + b.data
+
+    def backward(grad):
+        return (_unbroadcast(grad, a.shape), _unbroadcast(grad, b.shape))
+
+    return Tensor.from_op(data, (a, b), backward)
+
+
+def sub(a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise subtraction with broadcasting."""
+    data = a.data - b.data
+
+    def backward(grad):
+        return (_unbroadcast(grad, a.shape), _unbroadcast(-grad, b.shape))
+
+    return Tensor.from_op(data, (a, b), backward)
+
+
+def mul(a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise (Hadamard) product with broadcasting."""
+    data = a.data * b.data
+
+    def backward(grad):
+        return (
+            _unbroadcast(grad * b.data, a.shape),
+            _unbroadcast(grad * a.data, b.shape),
+        )
+
+    return Tensor.from_op(data, (a, b), backward)
+
+
+def div(a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise division with broadcasting."""
+    data = a.data / b.data
+
+    def backward(grad):
+        return (
+            _unbroadcast(grad / b.data, a.shape),
+            _unbroadcast(-grad * a.data / (b.data**2), b.shape),
+        )
+
+    return Tensor.from_op(data, (a, b), backward)
+
+
+def neg(a: Tensor) -> Tensor:
+    """Elementwise negation."""
+    return Tensor.from_op(-a.data, (a,), lambda grad: (-grad,))
+
+
+def power(a: Tensor, exponent: float) -> Tensor:
+    """Elementwise power with a constant exponent."""
+    data = a.data**exponent
+
+    def backward(grad):
+        return (grad * exponent * a.data ** (exponent - 1.0),)
+
+    return Tensor.from_op(data, (a,), backward)
+
+
+def absolute(a: Tensor) -> Tensor:
+    """Elementwise absolute value (subgradient 0 at the origin)."""
+    data = np.abs(a.data)
+
+    def backward(grad):
+        return (grad * np.sign(a.data),)
+
+    return Tensor.from_op(data, (a,), backward)
+
+
+def clip(a: Tensor, low: float, high: float) -> Tensor:
+    """Clamp values; gradient passes through only inside the interval."""
+    data = np.clip(a.data, low, high)
+
+    def backward(grad):
+        mask = (a.data >= low) & (a.data <= high)
+        return (grad * mask,)
+
+    return Tensor.from_op(data, (a,), backward)
+
+
+# ----------------------------------------------------------------------
+# Transcendental / activation functions
+# ----------------------------------------------------------------------
+
+
+def exp(a: Tensor) -> Tensor:
+    """Elementwise exponential."""
+    data = np.exp(a.data)
+
+    def backward(grad):
+        return (grad * data,)
+
+    return Tensor.from_op(data, (a,), backward)
+
+
+def log(a: Tensor) -> Tensor:
+    """Elementwise natural logarithm."""
+    data = np.log(a.data)
+
+    def backward(grad):
+        return (grad / a.data,)
+
+    return Tensor.from_op(data, (a,), backward)
+
+
+def sin(a: Tensor) -> Tensor:
+    """Elementwise sine (Time2Vec's periodic component)."""
+    data = np.sin(a.data)
+
+    def backward(grad):
+        return (grad * np.cos(a.data),)
+
+    return Tensor.from_op(data, (a,), backward)
+
+
+def tanh(a: Tensor) -> Tensor:
+    """Elementwise hyperbolic tangent."""
+    data = np.tanh(a.data)
+
+    def backward(grad):
+        return (grad * (1.0 - data**2),)
+
+    return Tensor.from_op(data, (a,), backward)
+
+
+def sigmoid(a: Tensor) -> Tensor:
+    """Numerically stable logistic sigmoid."""
+    # Stable piecewise formulation avoids overflow for large |x|.
+    x = a.data
+    data = np.where(x >= 0, 1.0 / (1.0 + np.exp(-np.abs(x))), np.exp(-np.abs(x)) / (1.0 + np.exp(-np.abs(x))))
+
+    def backward(grad):
+        return (grad * data * (1.0 - data),)
+
+    return Tensor.from_op(data, (a,), backward)
+
+
+def relu(a: Tensor) -> Tensor:
+    """Elementwise rectified linear unit."""
+    mask = a.data > 0
+    data = a.data * mask
+
+    def backward(grad):
+        return (grad * mask,)
+
+    return Tensor.from_op(data, (a,), backward)
+
+
+def leaky_relu(a: Tensor, negative_slope: float = 0.2) -> Tensor:
+    """Leaky ReLU, used by the GAT baseline's attention scores."""
+    mask = a.data > 0
+    scale = np.where(mask, 1.0, negative_slope)
+    data = a.data * scale
+
+    def backward(grad):
+        return (grad * scale,)
+
+    return Tensor.from_op(data, (a,), backward)
+
+
+def softmax(a: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    exps = np.exp(shifted)
+    data = exps / exps.sum(axis=axis, keepdims=True)
+
+    def backward(grad):
+        # dL/dx = s * (g - sum(g * s))
+        dot = (grad * data).sum(axis=axis, keepdims=True)
+        return (data * (grad - dot),)
+
+    return Tensor.from_op(data, (a,), backward)
+
+
+def log_softmax(a: Tensor, axis: int = -1) -> Tensor:
+    """Log-softmax along ``axis`` (stable for cross-entropy losses)."""
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    data = shifted - log_norm
+    soft = np.exp(data)
+
+    def backward(grad):
+        return (grad - soft * grad.sum(axis=axis, keepdims=True),)
+
+    return Tensor.from_op(data, (a,), backward)
+
+
+# ----------------------------------------------------------------------
+# Linear algebra
+# ----------------------------------------------------------------------
+
+
+def matmul(a: Tensor, b: Tensor) -> Tensor:
+    """Matrix product supporting 1-d, 2-d and batched operands."""
+    data = a.data @ b.data
+
+    def backward(grad):
+        a_data, b_data = a.data, b.data
+        if a_data.ndim == 1 and b_data.ndim == 1:
+            # Dot product: grad is a scalar.
+            return (grad * b_data, grad * a_data)
+        if a_data.ndim == 1:
+            # (k,) @ (k, m) -> (m,)
+            return (grad @ b_data.T, np.outer(a_data, grad))
+        if b_data.ndim == 1:
+            # (n, k) @ (k,) -> (n,)
+            return (np.outer(grad, b_data), a_data.T @ grad)
+        grad_a = grad @ np.swapaxes(b_data, -1, -2)
+        grad_b = np.swapaxes(a_data, -1, -2) @ grad
+        return (_unbroadcast(grad_a, a.shape), _unbroadcast(grad_b, b.shape))
+
+    return Tensor.from_op(data, (a, b), backward)
+
+
+# ----------------------------------------------------------------------
+# Reductions
+# ----------------------------------------------------------------------
+
+
+def sum(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:  # noqa: A001
+    """Sum over ``axis`` (all elements when None)."""
+    data = a.data.sum(axis=axis, keepdims=keepdims)
+
+    def backward(grad):
+        g = grad
+        if axis is not None and not keepdims:
+            g = np.expand_dims(g, axis=axis)
+        return (np.broadcast_to(g, a.shape).copy(),)
+
+    return Tensor.from_op(data, (a,), backward)
+
+
+def mean(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
+    """Arithmetic mean over ``axis``."""
+    data = a.data.mean(axis=axis, keepdims=keepdims)
+    if axis is None:
+        count = a.data.size
+    elif isinstance(axis, tuple):
+        count = int(np.prod([a.shape[ax] for ax in axis]))
+    else:
+        count = a.shape[axis]
+
+    def backward(grad):
+        g = grad
+        if axis is not None and not keepdims:
+            g = np.expand_dims(g, axis=axis)
+        return (np.broadcast_to(g, a.shape).copy() / count,)
+
+    return Tensor.from_op(data, (a,), backward)
+
+
+def max(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:  # noqa: A001
+    """Maximum over ``axis``; ties split the gradient equally."""
+    data = a.data.max(axis=axis, keepdims=keepdims)
+
+    def backward(grad):
+        expanded = data if keepdims or axis is None else np.expand_dims(data, axis=axis)
+        mask = (a.data == expanded).astype(np.float64)
+        mask /= mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+        g = grad
+        if axis is not None and not keepdims:
+            g = np.expand_dims(g, axis=axis)
+        return (mask * g,)
+
+    return Tensor.from_op(data, (a,), backward)
+
+
+# ----------------------------------------------------------------------
+# Shape manipulation
+# ----------------------------------------------------------------------
+
+
+def reshape(a: Tensor, shape: tuple[int, ...]) -> Tensor:
+    """Reshape without changing element order."""
+    data = a.data.reshape(shape)
+
+    def backward(grad):
+        return (grad.reshape(a.shape),)
+
+    return Tensor.from_op(data, (a,), backward)
+
+
+def transpose(a: Tensor, axes: Sequence[int] | None = None) -> Tensor:
+    """Permute axes (reverse them when ``axes`` is None)."""
+    data = a.data.transpose(axes)
+
+    def backward(grad):
+        if axes is None:
+            return (grad.transpose(),)
+        inverse = np.argsort(axes)
+        return (grad.transpose(inverse),)
+
+    return Tensor.from_op(data, (a,), backward)
+
+
+def getitem(a: Tensor, index) -> Tensor:
+    """Basic and fancy indexing with scatter-add backward."""
+    data = a.data[index]
+
+    def backward(grad):
+        out = np.zeros_like(a.data)
+        np.add.at(out, index, grad)
+        return (out,)
+
+    return Tensor.from_op(data, (a,), backward)
+
+
+def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along an existing axis."""
+    tensors = [_ensure_tensor(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad):
+        slices = []
+        for i in range(len(tensors)):
+            selector = [slice(None)] * grad.ndim
+            selector[axis] = slice(offsets[i], offsets[i + 1])
+            slices.append(grad[tuple(selector)])
+        return tuple(slices)
+
+    return Tensor.from_op(data, tuple(tensors), backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis."""
+    tensors = [_ensure_tensor(t) for t in tensors]
+    data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad):
+        return tuple(np.take(grad, i, axis=axis) for i in range(len(tensors)))
+
+    return Tensor.from_op(data, tuple(tensors), backward)
+
+
+def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
+    """Select from ``a`` where ``condition`` else ``b`` (condition is constant)."""
+    a, b = _ensure_tensor(a), _ensure_tensor(b)
+    cond = np.asarray(condition, dtype=bool)
+    data = np.where(cond, a.data, b.data)
+
+    def backward(grad):
+        return (
+            _unbroadcast(grad * cond, a.shape),
+            _unbroadcast(grad * ~cond, b.shape),
+        )
+
+    return Tensor.from_op(data, (a, b), backward)
+
+
+def embedding_lookup(weight: Tensor, indices: np.ndarray) -> Tensor:
+    """Row lookup ``weight[indices]`` with scatter-add backward.
+
+    ``indices`` is a constant integer array; gradients accumulate into
+    the selected rows of ``weight`` (duplicate indices add up, matching
+    ``torch.nn.Embedding``).
+    """
+    idx = np.asarray(indices, dtype=np.int64)
+    data = weight.data[idx]
+
+    def backward(grad):
+        out = np.zeros_like(weight.data)
+        np.add.at(out, idx, grad)
+        return (out,)
+
+    return Tensor.from_op(data, (weight,), backward)
+
+
+def dropout(a: Tensor, rate: float, rng: np.random.Generator) -> Tensor:
+    """Inverted dropout: zero a fraction ``rate`` and rescale survivors."""
+    if rate <= 0.0:
+        return a
+    keep = 1.0 - rate
+    mask = (rng.random(a.shape) < keep) / keep
+
+    def backward(grad):
+        return (grad * mask,)
+
+    return Tensor.from_op(a.data * mask, (a,), backward)

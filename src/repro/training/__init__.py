@@ -1,0 +1,23 @@
+"""Training loops, metrics, and the paper's evaluation protocol."""
+
+from repro.training.metrics import Metrics, MetricSummary, compute_metrics
+from repro.training.trainer import (
+    TrainConfig,
+    TrainResult,
+    evaluate,
+    inference_time_per_graph,
+    run_trials,
+    train_model,
+)
+
+__all__ = [
+    "Metrics",
+    "MetricSummary",
+    "compute_metrics",
+    "TrainConfig",
+    "TrainResult",
+    "train_model",
+    "evaluate",
+    "inference_time_per_graph",
+    "run_trials",
+]

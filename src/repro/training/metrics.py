@@ -1,0 +1,97 @@
+"""Classification metrics (paper Sec. V-C) and multi-run aggregation.
+
+The paper reports Precision, Recall and F1 averaged over five runs with
+standard deviations; :class:`MetricSummary` reproduces that reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Metrics:
+    """Precision / recall / F1 of one evaluation pass."""
+
+    precision: float
+    recall: float
+    f1: float
+    true_positives: int = 0
+    false_positives: int = 0
+    false_negatives: int = 0
+    true_negatives: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of correct predictions."""
+        total = (
+            self.true_positives
+            + self.false_positives
+            + self.false_negatives
+            + self.true_negatives
+        )
+        if total == 0:
+            return 0.0
+        return (self.true_positives + self.true_negatives) / total
+
+
+def compute_metrics(y_true: Sequence[int], y_pred: Sequence[int]) -> Metrics:
+    """Binary precision/recall/F1 with the paper's conventions.
+
+    Positive class is label 1.  Degenerate denominators yield 0 rather
+    than raising.
+    """
+    truth = np.asarray(y_true, dtype=np.int64)
+    pred = np.asarray(y_pred, dtype=np.int64)
+    if truth.shape != pred.shape:
+        raise ValueError(f"shape mismatch: {truth.shape} vs {pred.shape}")
+    if truth.size == 0:
+        raise ValueError("cannot compute metrics on an empty prediction set")
+    tp = int(((truth == 1) & (pred == 1)).sum())
+    fp = int(((truth == 0) & (pred == 1)).sum())
+    fn = int(((truth == 1) & (pred == 0)).sum())
+    tn = int(((truth == 0) & (pred == 0)).sum())
+    precision = tp / (tp + fp) if tp + fp else 0.0
+    recall = tp / (tp + fn) if tp + fn else 0.0
+    f1 = 2 * precision * recall / (precision + recall) if precision + recall else 0.0
+    return Metrics(precision, recall, f1, tp, fp, fn, tn)
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Mean ± std over repeated runs, reported in percent like Table II."""
+
+    f1_mean: float
+    f1_std: float
+    precision_mean: float
+    precision_std: float
+    recall_mean: float
+    recall_std: float
+    runs: int
+
+    @staticmethod
+    def from_runs(results: Sequence[Metrics]) -> "MetricSummary":
+        """Aggregate per-run metrics into a mean ± std summary."""
+        if not results:
+            raise ValueError("need at least one run to summarise")
+        f1 = np.array([m.f1 for m in results])
+        precision = np.array([m.precision for m in results])
+        recall = np.array([m.recall for m in results])
+        return MetricSummary(
+            f1_mean=float(f1.mean()),
+            f1_std=float(f1.std()),
+            precision_mean=float(precision.mean()),
+            precision_std=float(precision.std()),
+            recall_mean=float(recall.mean()),
+            recall_std=float(recall.std()),
+            runs=len(results),
+        )
+
+    def format_cell(self, metric: str) -> str:
+        """Render one Table II cell, e.g. ``99.21±0.15``."""
+        mean = getattr(self, f"{metric}_mean") * 100.0
+        std = getattr(self, f"{metric}_std") * 100.0
+        return f"{mean:.2f}±{std:.2f}"

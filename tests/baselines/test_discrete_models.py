@@ -1,0 +1,82 @@
+"""Tests for the discrete-DGNN baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import TADDY, AddGraph, EvolveGCN, GCLSTM
+from repro.nn import bce_with_logits
+
+FACTORIES = [
+    lambda q=4: AddGraph(q, hidden_size=8, snapshot_size=2, seed=0),
+    lambda q=4: TADDY(q, hidden_size=8, snapshot_size=2, seed=0),
+    lambda q=4: EvolveGCN(q, hidden_size=8, snapshot_size=2, seed=0),
+    lambda q=4: GCLSTM(q, hidden_size=8, snapshot_size=2, seed=0),
+]
+
+
+@pytest.mark.parametrize("factory", FACTORIES)
+class TestCommonContract:
+    def test_forward_scalar(self, factory, chain_graph):
+        assert factory()(chain_graph).shape == (1,)
+
+    def test_node_embeddings_shape(self, factory, chain_graph):
+        assert factory().node_embeddings(chain_graph).shape == (4, 8)
+
+    def test_gradients_flow(self, factory, diamond_graph):
+        model = factory(diamond_graph.feature_dim)
+        bce_with_logits(model(diamond_graph), np.array([1.0])).backward()
+        grads = [p for p in model.parameters() if p.grad is not None]
+        assert len(grads) >= 3
+
+    def test_snapshot_order_sensitivity(self, factory, fig1_graphs):
+        """Snapshots coarsen but do not erase order: with one edge per
+        snapshot, the Fig. 1 pair produces different snapshot sequences."""
+        normal, abnormal = fig1_graphs
+        model = factory(5)
+        model.snapshot_size = 1
+        a = model.embed(normal).data
+        b = model.embed(abnormal).data
+        assert not np.allclose(a, b, atol=1e-12, rtol=0.0)
+
+    def test_within_snapshot_order_blindness(self, factory):
+        """Reordering edges INSIDE one snapshot is invisible (limitation
+        of discrete DGNNs the paper highlights)."""
+        from repro.graph import CTDN
+
+        features = np.eye(4)
+        a = CTDN(4, features, [(0, 1, 1.0), (1, 2, 1.1)], label=1)
+        b = CTDN(4, features, [(0, 1, 1.1), (1, 2, 1.0)], label=0)
+        model = factory(4)
+        # snapshot_size=2 puts both edges in one snapshot for both graphs.
+        assert np.allclose(model.embed(a).data, model.embed(b).data)
+
+
+class TestEvolveGCN:
+    def test_weight_evolution_changes_with_snapshots(self, chain_graph):
+        model = EvolveGCN(4, hidden_size=8, snapshot_size=1, seed=0)
+        few = model.node_embeddings(chain_graph.with_edges(chain_graph.edges[:1])).data
+        many = model.node_embeddings(chain_graph).data
+        assert not np.allclose(few, many)
+
+
+class TestGCLSTM:
+    def test_empty_snapshot_skipped(self):
+        from repro.graph import CTDN
+
+        g = CTDN(3, np.eye(3), [(0, 1, 1.0)], label=1)
+        model = GCLSTM(3, hidden_size=4, snapshot_size=5, seed=0)
+        assert np.all(np.isfinite(model.node_embeddings(g).data))
+
+
+class TestTADDY:
+    def test_token_count_matches_snapshots(self, chain_graph):
+        model = TADDY(4, hidden_size=8, snapshot_size=1, seed=0)
+        out = model.node_embeddings(chain_graph)
+        assert out.shape == (4, 8)
+
+    def test_single_edge_graph(self):
+        from repro.graph import CTDN
+
+        g = CTDN(2, np.eye(2), [(0, 1, 1.0)], label=1)
+        model = TADDY(2, hidden_size=8, snapshot_size=5, seed=0)
+        assert np.all(np.isfinite(model.embed(g).data))

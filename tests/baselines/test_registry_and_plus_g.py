@@ -1,0 +1,93 @@
+"""Tests for the model registry and the Table III +G wrappers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ALL_MODELS,
+    CONTINUOUS_MODELS,
+    PLUS_G_MODELS,
+    PlusGlobalExtractor,
+    TGN,
+    make_model,
+    model_category,
+)
+from repro.core import TPGNN
+from repro.nn import bce_with_logits
+
+
+class TestRegistry:
+    def test_table2_has_fourteen_rows(self):
+        assert len(ALL_MODELS) == 14
+
+    @pytest.mark.parametrize("name", ALL_MODELS)
+    def test_every_model_instantiates_and_runs(self, name, chain_graph):
+        model = make_model(name, in_features=4, seed=0, hidden_size=8, time_dim=4, snapshot_size=2)
+        assert 0.0 <= model.predict_proba(chain_graph) <= 1.0
+
+    @pytest.mark.parametrize("name", PLUS_G_MODELS)
+    def test_plus_g_models_instantiate(self, name, chain_graph):
+        model = make_model(name, in_features=4, seed=0, hidden_size=8, time_dim=4)
+        assert isinstance(model, PlusGlobalExtractor)
+        assert 0.0 <= model.predict_proba(chain_graph) <= 1.0
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            make_model("GPT-9", in_features=3)
+
+    def test_categories(self):
+        assert model_category("GCN") == "static"
+        assert model_category("TADDY") == "discrete"
+        assert model_category("TGN") == "continuous"
+        assert model_category("TP-GNN-SUM") == "ours"
+        assert model_category("TGN+G") == "plus_g"
+        with pytest.raises(KeyError):
+            model_category("nope")
+
+    def test_tpgnn_factory_configures_updater(self):
+        sum_model = make_model("TP-GNN-SUM", in_features=3, hidden_size=8)
+        gru_model = make_model("TP-GNN-GRU", in_features=3, hidden_size=8)
+        assert isinstance(sum_model, TPGNN) and sum_model.updater_name == "sum"
+        assert isinstance(gru_model, TPGNN) and gru_model.updater_name == "gru"
+
+    def test_seed_propagates(self, chain_graph):
+        a = make_model("GCN", in_features=4, seed=5, hidden_size=8)
+        b = make_model("GCN", in_features=4, seed=5, hidden_size=8)
+        assert a.predict_proba(chain_graph) == pytest.approx(b.predict_proba(chain_graph))
+
+
+class TestPlusG:
+    def test_requires_node_embeddings(self):
+        class NoEmbeddings:
+            embedding_dim = 4
+
+        with pytest.raises(TypeError):
+            PlusGlobalExtractor(NoEmbeddings())
+
+    def test_name_property(self):
+        wrapped = PlusGlobalExtractor(TGN(3, hidden_size=8, seed=0), seed=0)
+        assert wrapped.name == "TGN+G"
+
+    def test_embedding_dimension_is_gru_hidden(self, chain_graph):
+        wrapped = PlusGlobalExtractor(TGN(4, hidden_size=8, seed=0), gru_hidden_size=5, seed=0)
+        assert wrapped.embed(chain_graph).shape == (5,)
+
+    def test_empty_graph_rejected(self):
+        from repro.graph import CTDN
+
+        wrapped = PlusGlobalExtractor(TGN(2, hidden_size=4, seed=0), seed=0)
+        with pytest.raises(ValueError):
+            wrapped.embed(CTDN(2, np.zeros((2, 2)), []))
+
+    def test_joint_training_reaches_encoder(self, chain_graph):
+        wrapped = PlusGlobalExtractor(TGN(4, hidden_size=8, seed=0), seed=0)
+        bce_with_logits(wrapped(chain_graph), np.array([1.0])).backward()
+        assert wrapped.encoder.memory_updater.weight_ih.grad is not None
+
+    def test_order_sensitivity_added(self, fig1_graphs):
+        """+G restores fine-grained order sensitivity to batched TGN."""
+        normal, abnormal = fig1_graphs
+        wrapped = PlusGlobalExtractor(TGN(5, hidden_size=8, batch_size=50, seed=0), seed=0)
+        a = wrapped.embed(normal).data
+        b = wrapped.embed(abnormal).data
+        assert not np.allclose(a, b)

@@ -1,0 +1,79 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import CTDN, GraphDataset, TemporalEdge
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fixed-seed generator for deterministic tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def chain_graph() -> CTDN:
+    """A 4-node temporal chain 0 -> 1 -> 2 -> 3 with increasing times."""
+    return CTDN(
+        num_nodes=4,
+        features=np.eye(4),
+        edges=[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0)],
+        label=1,
+    )
+
+
+@pytest.fixture
+def fig1_graphs() -> tuple[CTDN, CTDN]:
+    """Two graphs with identical topology but different edge order.
+
+    Mirrors Fig. 1 of the paper: a "normal" and an "abnormal" session
+    that a time-blind model cannot distinguish.
+    """
+    features = np.eye(5)
+    normal = CTDN(
+        5,
+        features,
+        [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0), (3, 4, 4.0)],
+        label=1,
+    )
+    # Same multiset of (src, dst) pairs; the last two edges swap order.
+    abnormal = CTDN(
+        5,
+        features,
+        [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 4.0), (3, 4, 3.0)],
+        label=0,
+    )
+    return normal, abnormal
+
+
+@pytest.fixture
+def diamond_graph() -> CTDN:
+    """A fan-out / fan-in graph: 0 -> {1, 2} -> 3."""
+    return CTDN(
+        num_nodes=4,
+        features=np.arange(8, dtype=float).reshape(4, 2),
+        edges=[(0, 1, 1.0), (0, 2, 1.5), (1, 3, 2.0), (2, 3, 2.5)],
+        label=1,
+    )
+
+
+@pytest.fixture
+def tiny_dataset(rng) -> GraphDataset:
+    """A 12-graph dataset of random labelled temporal graphs."""
+    graphs = []
+    for index in range(12):
+        n = int(rng.integers(4, 8))
+        m = int(rng.integers(4, 10))
+        edges = []
+        t = 0.0
+        for _ in range(m):
+            t += float(rng.exponential(1.0)) + 0.05
+            u, v = rng.choice(n, size=2, replace=False)
+            edges.append(TemporalEdge(int(u), int(v), t))
+        graphs.append(
+            CTDN(n, rng.normal(size=(n, 3)), edges, label=int(index % 2))
+        )
+    return GraphDataset(graphs, name="tiny")

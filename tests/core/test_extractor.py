@@ -1,0 +1,114 @@
+"""Tests for the global temporal embedding extractor and EdgeAgg."""
+
+import numpy as np
+import pytest
+
+from repro.core import EDGE_AGGREGATORS, GlobalTemporalExtractor, edge_dim
+from repro.core.edge_agg import (
+    activation,
+    average,
+    concatenation,
+    hadamard,
+    weighted_l1,
+    weighted_l2,
+)
+from repro.graph import CTDN
+from repro.tensor import Tensor
+
+
+class TestEdgeAgg:
+    def setup_method(self):
+        rng = np.random.default_rng(0)
+        self.u = Tensor(rng.normal(size=(4,)))
+        self.v = Tensor(rng.normal(size=(4,)))
+
+    def test_average(self):
+        assert np.allclose(average(self.u, self.v).data, (self.u.data + self.v.data) / 2)
+
+    def test_hadamard(self):
+        assert np.allclose(hadamard(self.u, self.v).data, self.u.data * self.v.data)
+
+    def test_weighted_l1(self):
+        assert np.allclose(weighted_l1(self.u, self.v).data, np.abs(self.u.data - self.v.data))
+
+    def test_weighted_l2(self):
+        assert np.allclose(weighted_l2(self.u, self.v).data, (self.u.data - self.v.data) ** 2)
+
+    def test_activation(self):
+        assert np.allclose(activation(self.u, self.v).data, np.tanh(self.u.data + self.v.data))
+
+    def test_concatenation(self):
+        out = concatenation(self.u, self.v)
+        assert out.shape == (8,)
+
+    def test_six_methods_registered(self):
+        assert set(EDGE_AGGREGATORS) == {
+            "average", "hadamard", "weighted_l1", "weighted_l2", "activation", "concatenation",
+        }
+
+    def test_edge_dim(self):
+        assert edge_dim("average", 6) == 6
+        assert edge_dim("concatenation", 6) == 12
+        with pytest.raises(KeyError):
+            edge_dim("nope", 6)
+
+    def test_symmetric_aggregators(self):
+        for name in ("average", "hadamard", "weighted_l1", "weighted_l2", "activation"):
+            fn = EDGE_AGGREGATORS[name]
+            assert np.allclose(fn(self.u, self.v).data, fn(self.v, self.u).data)
+
+
+class TestGlobalTemporalExtractor:
+    def test_unknown_aggregator(self):
+        with pytest.raises(KeyError):
+            GlobalTemporalExtractor(4, aggregator="nope")
+
+    def test_output_shape(self, chain_graph):
+        ext = GlobalTemporalExtractor(6, hidden_size=5, rng=np.random.default_rng(0))
+        h = Tensor(np.random.default_rng(1).normal(size=(4, 6)))
+        assert ext(h, chain_graph).shape == (5,)
+
+    def test_edge_embeddings_shape(self, chain_graph):
+        ext = GlobalTemporalExtractor(6, rng=np.random.default_rng(0))
+        h = Tensor(np.random.default_rng(1).normal(size=(4, 6)))
+        s = ext.edge_embeddings(h, chain_graph.edges_sorted())
+        assert s.shape == (3, 6)
+
+    def test_average_fast_path_matches_generic(self, chain_graph):
+        h = Tensor(np.random.default_rng(1).normal(size=(4, 6)))
+        ext = GlobalTemporalExtractor(6, rng=np.random.default_rng(0))
+        edges = chain_graph.edges_sorted()
+        fast = ext.edge_embeddings(h, edges).data
+        manual = np.stack(
+            [(h.data[e.src] + h.data[e.dst]) / 2 for e in edges], axis=0
+        )
+        assert np.allclose(fast, manual)
+
+    def test_empty_edges_rejected(self, chain_graph):
+        ext = GlobalTemporalExtractor(6, rng=np.random.default_rng(0))
+        h = Tensor(np.zeros((4, 6)))
+        with pytest.raises(ValueError):
+            ext.edge_embeddings(h, [])
+
+    def test_order_sensitivity(self, fig1_graphs):
+        normal, abnormal = fig1_graphs
+        ext = GlobalTemporalExtractor(5, hidden_size=6, rng=np.random.default_rng(2))
+        h = Tensor(np.random.default_rng(3).normal(size=(5, 5)))
+        g_normal = ext(h, normal).data
+        g_abnormal = ext(h, abnormal).data
+        assert not np.allclose(g_normal, g_abnormal)
+
+    def test_concatenation_aggregator_width(self, chain_graph):
+        ext = GlobalTemporalExtractor(
+            4, hidden_size=3, aggregator="concatenation", rng=np.random.default_rng(0)
+        )
+        h = Tensor(np.random.default_rng(1).normal(size=(4, 4)))
+        assert ext(h, chain_graph).shape == (3,)
+
+    def test_gradients_flow_to_gru(self, chain_graph):
+        ext = GlobalTemporalExtractor(4, hidden_size=3, rng=np.random.default_rng(0))
+        h = Tensor(np.random.default_rng(1).normal(size=(4, 4)), requires_grad=True)
+        (ext(h, chain_graph) ** 2.0).sum().backward()
+        assert h.grad is not None
+        for param in ext.parameters():
+            assert param.grad is not None

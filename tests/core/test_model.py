@@ -1,0 +1,124 @@
+"""Tests for the end-to-end TPGNN model and its ablation variants."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ABLATION_VARIANTS,
+    TPGNN,
+    make_ablation_variant,
+)
+from repro.graph import CTDN
+from repro.nn import bce_with_logits
+
+
+class TestTPGNN:
+    def test_unknown_updater(self):
+        with pytest.raises(KeyError):
+            TPGNN(3, updater="lstm")
+
+    @pytest.mark.parametrize("updater", ["sum", "gru"])
+    def test_forward_scalar_logit(self, chain_graph, updater):
+        model = TPGNN(4, updater=updater, hidden_size=8, gru_hidden_size=6, time_dim=3, seed=0)
+        logit = model(chain_graph)
+        assert logit.shape == (1,)
+
+    @pytest.mark.parametrize("updater", ["sum", "gru"])
+    def test_embed_dimension(self, chain_graph, updater):
+        model = TPGNN(4, updater=updater, hidden_size=8, gru_hidden_size=6, time_dim=3, seed=0)
+        assert model.embed(chain_graph).shape == (6,)
+
+    def test_empty_graph_rejected(self):
+        g = CTDN(3, np.zeros((3, 2)), [])
+        model = TPGNN(2, seed=0)
+        with pytest.raises(ValueError, match="edge"):
+            model.embed(g)
+
+    def test_predict_proba_in_unit_interval(self, chain_graph):
+        model = TPGNN(4, hidden_size=8, gru_hidden_size=8, time_dim=2, seed=1)
+        p = model.predict_proba(chain_graph)
+        assert 0.0 <= p <= 1.0
+        assert model.predict(chain_graph) in (0, 1)
+
+    def test_all_parameters_trainable(self, chain_graph):
+        model = TPGNN(4, hidden_size=8, gru_hidden_size=8, time_dim=3, seed=0)
+        loss = bce_with_logits(model(chain_graph), np.array([1.0]))
+        loss.backward()
+        for name, param in model.named_parameters():
+            assert param.grad is not None, f"{name} received no gradient"
+
+    def test_deterministic_given_seed(self, chain_graph):
+        a = TPGNN(4, seed=3, hidden_size=8, gru_hidden_size=8)
+        b = TPGNN(4, seed=3, hidden_size=8, gru_hidden_size=8)
+        assert a.predict_proba(chain_graph) == pytest.approx(b.predict_proba(chain_graph))
+
+    def test_distinguishes_fig1_graphs(self, fig1_graphs):
+        """The motivating claim: same topology, different order -> different g."""
+        normal, abnormal = fig1_graphs
+        for updater in ("sum", "gru"):
+            model = TPGNN(5, updater=updater, hidden_size=8, gru_hidden_size=8, time_dim=4, seed=0)
+            g_normal = model.embed(normal).data
+            g_abnormal = model.embed(abnormal).data
+            assert not np.allclose(g_normal, g_abnormal), updater
+
+    def test_tie_shuffle_uses_consistent_order(self):
+        # With an rng, ties are shuffled but propagation and extractor
+        # must see the SAME order: embedding must match a manual
+        # pre-shuffled graph for some seed.
+        g = CTDN(4, np.eye(4), [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 2.0)])
+        model = TPGNN(4, hidden_size=6, gru_hidden_size=6, time_dim=2, seed=0)
+        out = model.embed(g, rng=np.random.default_rng(5)).data
+        candidates = []
+        for seed in range(20):
+            ordered = g.edges_sorted(rng=np.random.default_rng(seed))
+            candidates.append(model.embed(g.with_edges(ordered)).data)
+        assert any(np.allclose(out, c) for c in candidates)
+
+    def test_sum_stabilizer_exposed(self, chain_graph):
+        model = TPGNN(4, updater="sum", sum_stabilizer="average", seed=0)
+        assert model.propagation.stabilizer == "average"
+
+
+class TestAblationVariants:
+    @pytest.mark.parametrize("variant", ABLATION_VARIANTS)
+    def test_all_variants_run(self, chain_graph, variant):
+        model = make_ablation_variant(variant, 4, hidden_size=8, gru_hidden_size=8, time_dim=3)
+        p = model.predict_proba(chain_graph)
+        assert 0.0 <= p <= 1.0
+
+    def test_unknown_variant(self):
+        with pytest.raises(KeyError):
+            make_ablation_variant("bogus", 4)
+
+    def test_rand_variant_is_time_blind(self, fig1_graphs):
+        normal, abnormal = fig1_graphs
+        model = make_ablation_variant("rand", 5, hidden_size=8, seed=0)
+        a = model.embed(normal, rng=np.random.default_rng(2)).data
+        b = model.embed(abnormal, rng=np.random.default_rng(2)).data
+        assert np.allclose(a, b)
+
+    def test_wo_tem_still_order_sensitive(self, fig1_graphs):
+        # The extractor alone still sees edge order.
+        normal, abnormal = fig1_graphs
+        model = make_ablation_variant("w/o tem", 5, hidden_size=8, gru_hidden_size=8, seed=0)
+        assert not np.allclose(model.embed(normal).data, model.embed(abnormal).data)
+
+    def test_temp_variant_has_no_time_encoder(self):
+        model = make_ablation_variant("temp", 4, updater="sum", hidden_size=8)
+        assert model.propagation.time_encoder is None
+
+    def test_time2vec_variant_has_time_encoder(self):
+        model = make_ablation_variant("time2Vec", 4, updater="sum", hidden_size=8, time_dim=4)
+        assert model.propagation.time_encoder is not None
+
+    def test_full_variant_is_tpgnn(self):
+        model = make_ablation_variant("full", 4, updater="gru")
+        assert isinstance(model, TPGNN)
+
+    @pytest.mark.parametrize("variant", ABLATION_VARIANTS)
+    def test_variants_trainable(self, chain_graph, variant):
+        model = make_ablation_variant(variant, 4, hidden_size=6, gru_hidden_size=6, time_dim=2)
+        loss = bce_with_logits(model(chain_graph), np.array([1.0]))
+        loss.backward()
+        grads = [p for p in model.parameters() if p.grad is not None]
+        assert grads

@@ -1,0 +1,136 @@
+"""Tests for temporal propagation (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    RandomAggregation,
+    TemporalPropagationGRU,
+    TemporalPropagationSum,
+)
+from repro.graph import CTDN
+
+
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestSumUpdater:
+    def test_output_shape_includes_time(self, chain_graph):
+        prop = TemporalPropagationSum(4, 8, time_dim=3, rng=rng())
+        out = prop(chain_graph)
+        assert out.shape == (4, 11)
+        assert prop.output_dim == 11
+
+    def test_output_bounded_by_tanh(self, chain_graph):
+        prop = TemporalPropagationSum(4, 8, time_dim=3, rng=rng())
+        assert np.all(np.abs(prop(chain_graph).data) <= 1.0)
+
+    def test_each_edge_processed_once(self, diamond_graph):
+        prop = TemporalPropagationSum(2, 4, time_dim=2, rng=rng())
+        prop(diamond_graph)
+        assert prop.last_update_count == diamond_graph.num_edges
+
+    def test_zero_time_dim_drops_memory(self, chain_graph):
+        prop = TemporalPropagationSum(4, 8, time_dim=0, rng=rng())
+        assert prop(chain_graph).shape == (4, 8)
+
+    def test_invalid_stabilizer(self):
+        with pytest.raises(KeyError):
+            TemporalPropagationSum(2, 4, stabilizer="banana")
+
+    @pytest.mark.parametrize("stabilizer", ["bounded", "average", "none"])
+    def test_all_stabilizers_run(self, chain_graph, stabilizer):
+        prop = TemporalPropagationSum(4, 8, time_dim=2, stabilizer=stabilizer, rng=rng())
+        out = prop(chain_graph)
+        assert np.all(np.isfinite(out.data))
+
+    def test_unstabilized_matches_eq3_exactly(self):
+        # Verbatim Eq. 3 on a chain: X(v) = X(u) + X(v) before tanh.
+        g = CTDN(3, np.eye(3), [(0, 1, 1.0), (1, 2, 2.0)])
+        prop = TemporalPropagationSum(3, 3, time_dim=0, stabilizer="none", rng=rng())
+        encoded = prop.encoder.projection.weight.data.T @ np.eye(3)
+        encoded = np.eye(3) @ prop.encoder.projection.weight.data + prop.encoder.projection.bias.data
+        expected_1 = encoded[0] + encoded[1]
+        expected_2 = expected_1 + encoded[2]
+        out = prop(g).data
+        assert np.allclose(out[1], np.tanh(expected_1))
+        assert np.allclose(out[2], np.tanh(expected_2))
+
+    def test_bounded_never_explodes_on_revisits(self):
+        # A two-node ping-pong with 60 edges would overflow without bounding.
+        edges = [(i % 2, (i + 1) % 2, float(i + 1)) for i in range(60)]
+        g = CTDN(2, np.ones((2, 3)), edges)
+        prop = TemporalPropagationSum(3, 8, time_dim=2, stabilizer="bounded", rng=rng())
+        out = prop(g)
+        assert np.all(np.isfinite(out.data))
+
+    def test_order_sensitivity(self, fig1_graphs):
+        normal, abnormal = fig1_graphs
+        prop = TemporalPropagationSum(5, 8, time_dim=4, rng=rng())
+        assert not np.allclose(prop(normal).data, prop(abnormal).data)
+
+    def test_gradients_reach_encoder(self, chain_graph):
+        prop = TemporalPropagationSum(4, 6, time_dim=2, rng=rng())
+        (prop(chain_graph) ** 2.0).sum().backward()
+        assert prop.encoder.projection.weight.grad is not None
+        assert np.abs(prop.encoder.projection.weight.grad).max() > 0
+
+    def test_gradients_reach_time_encoder(self, chain_graph):
+        prop = TemporalPropagationSum(4, 6, time_dim=3, rng=rng())
+        (prop(chain_graph) ** 2.0).sum().backward()
+        assert prop.time_encoder.periodic_weight.grad is not None
+
+
+class TestGRUUpdater:
+    def test_output_shape(self, chain_graph):
+        prop = TemporalPropagationGRU(4, 8, time_dim=3, rng=rng())
+        assert prop(chain_graph).shape == (4, 8)
+        assert prop.output_dim == 8
+
+    def test_each_edge_processed_once(self, diamond_graph):
+        prop = TemporalPropagationGRU(2, 4, time_dim=2, rng=rng())
+        prop(diamond_graph)
+        assert prop.last_update_count == diamond_graph.num_edges
+
+    def test_zero_time_dim(self, chain_graph):
+        prop = TemporalPropagationGRU(4, 8, time_dim=0, rng=rng())
+        assert prop(chain_graph).shape == (4, 8)
+
+    def test_untouched_node_keeps_encoded_features(self):
+        g = CTDN(3, np.eye(3), [(0, 1, 1.0)])
+        prop = TemporalPropagationGRU(3, 4, time_dim=2, rng=rng())
+        out = prop(g).data
+        encoded = (np.eye(3) @ prop.encoder.projection.weight.data + prop.encoder.projection.bias.data)
+        # Node 2 receives no edges: its row is tanh(encoded features).
+        assert np.allclose(out[2], np.tanh(encoded[2]))
+
+    def test_order_sensitivity(self, fig1_graphs):
+        normal, abnormal = fig1_graphs
+        prop = TemporalPropagationGRU(5, 8, time_dim=4, rng=rng())
+        assert not np.allclose(prop(normal).data, prop(abnormal).data)
+
+    def test_gradients_flow(self, chain_graph):
+        prop = TemporalPropagationGRU(4, 6, time_dim=2, rng=rng())
+        (prop(chain_graph) ** 2.0).sum().backward()
+        for param in prop.parameters():
+            assert param.grad is not None
+
+
+class TestRandomAggregation:
+    def test_ignores_time(self, fig1_graphs):
+        normal, abnormal = fig1_graphs
+        agg = RandomAggregation(5, 8, rng=rng())
+        out_a = agg(normal, rng=np.random.default_rng(1)).data
+        out_b = agg(abnormal, rng=np.random.default_rng(1)).data
+        # Same topology + same sampling seed: identical embeddings.
+        assert np.allclose(out_a, out_b)
+
+    def test_output_shape(self, chain_graph):
+        agg = RandomAggregation(4, 8, rng=rng())
+        assert agg(chain_graph).shape == (4, 8)
+
+    def test_num_samples_bounds_updates(self, diamond_graph):
+        agg = RandomAggregation(2, 4, num_samples=1, rng=rng())
+        agg(diamond_graph, rng=np.random.default_rng(0))
+        assert agg.last_update_count <= diamond_graph.num_nodes

@@ -1,0 +1,77 @@
+"""Tests for the Transformer-based global extractor (paper's suggested swap)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GlobalTemporalTransformer,
+    TPGNN,
+    make_tpgnn_with_extractor,
+)
+from repro.nn import bce_with_logits
+from repro.tensor import Tensor
+
+
+class TestTransformerExtractor:
+    def test_unknown_aggregator(self):
+        with pytest.raises(KeyError):
+            GlobalTemporalTransformer(4, aggregator="nope")
+
+    def test_output_shape(self, chain_graph):
+        ext = GlobalTemporalTransformer(6, hidden_size=8, rng=np.random.default_rng(0))
+        h = Tensor(np.random.default_rng(1).normal(size=(4, 6)))
+        assert ext(h, chain_graph).shape == (8,)
+
+    def test_empty_graph_rejected(self, chain_graph):
+        ext = GlobalTemporalTransformer(6, hidden_size=8, rng=np.random.default_rng(0))
+        h = Tensor(np.zeros((4, 6)))
+        with pytest.raises(ValueError):
+            ext(h, chain_graph.with_edges([]))
+
+    def test_order_sensitivity_via_positions(self, fig1_graphs):
+        normal, abnormal = fig1_graphs
+        ext = GlobalTemporalTransformer(5, hidden_size=8, rng=np.random.default_rng(2))
+        h = Tensor(np.random.default_rng(3).normal(size=(5, 5)))
+        assert not np.allclose(ext(h, normal).data, ext(h, abnormal).data)
+
+    def test_long_sequence_clamps_positions(self):
+        from repro.graph import CTDN
+
+        edges = [(i % 3, (i + 1) % 3, float(i + 1)) for i in range(12)]
+        g = CTDN(3, np.eye(3), edges)
+        ext = GlobalTemporalTransformer(3, hidden_size=8, max_edges=4, rng=np.random.default_rng(0))
+        h = Tensor(np.random.default_rng(1).normal(size=(3, 3)))
+        assert np.all(np.isfinite(ext(h, g).data))
+
+    def test_gradients_flow(self, chain_graph):
+        ext = GlobalTemporalTransformer(4, hidden_size=8, rng=np.random.default_rng(0))
+        h = Tensor(np.random.default_rng(1).normal(size=(4, 4)), requires_grad=True)
+        (ext(h, chain_graph) ** 2.0).sum().backward()
+        assert h.grad is not None
+        assert ext.positions.grad is not None
+
+
+class TestFactory:
+    def test_gru_returns_stock_model(self):
+        model = make_tpgnn_with_extractor(3, extractor="gru", hidden_size=8, gru_hidden_size=8)
+        assert isinstance(model, TPGNN)
+        assert type(model.extractor).__name__ == "GlobalTemporalExtractor"
+
+    def test_transformer_swapped_in(self, chain_graph):
+        model = make_tpgnn_with_extractor(
+            4, extractor="transformer", hidden_size=8, gru_hidden_size=8, time_dim=3
+        )
+        assert isinstance(model.extractor, GlobalTemporalTransformer)
+        assert 0.0 <= model.predict_proba(chain_graph) <= 1.0
+
+    def test_unknown_extractor(self):
+        with pytest.raises(KeyError):
+            make_tpgnn_with_extractor(3, extractor="rnn")
+
+    def test_transformer_model_trainable(self, chain_graph):
+        model = make_tpgnn_with_extractor(
+            4, extractor="transformer", hidden_size=6, gru_hidden_size=6, time_dim=2
+        )
+        bce_with_logits(model(chain_graph), np.array([1.0])).backward()
+        assert model.extractor.positions.grad is not None
+        assert model.propagation.encoder.projection.weight.grad is not None

@@ -1,0 +1,83 @@
+"""Tests for the unsupervised TP-GNN extension."""
+
+import numpy as np
+import pytest
+
+from repro.core import UnsupervisedTPGNN
+from repro.data import make_dataset
+from repro.graph import CTDN
+
+
+class TestConstruction:
+    def test_invalid_quantile(self):
+        for bad in (0.5, 0.0, 1.5):
+            with pytest.raises(ValueError):
+                UnsupervisedTPGNN(3, quantile=bad)
+
+    def test_invalid_updater(self):
+        with pytest.raises(KeyError):
+            UnsupervisedTPGNN(3, updater="mlp")
+
+    @pytest.mark.parametrize("updater", ["sum", "gru"])
+    def test_both_updaters_construct(self, updater, chain_graph):
+        model = UnsupervisedTPGNN(4, updater=updater, hidden_size=6, time_dim=2)
+        assert model.prediction_loss(chain_graph).item() >= 0.0
+
+
+class TestPretextLoss:
+    def test_empty_graph_rejected(self):
+        model = UnsupervisedTPGNN(2, hidden_size=4, time_dim=2)
+        with pytest.raises(ValueError):
+            model.prediction_loss(CTDN(2, np.zeros((2, 2)), []))
+
+    def test_single_edge_scores_zero(self):
+        model = UnsupervisedTPGNN(2, hidden_size=4, time_dim=2)
+        g = CTDN(2, np.zeros((2, 2)), [(0, 1, 1.0)])
+        assert model.prediction_loss(g).item() == 0.0
+
+    def test_loss_differentiable(self, chain_graph):
+        model = UnsupervisedTPGNN(4, hidden_size=6, time_dim=2)
+        loss = model.prediction_loss(chain_graph)
+        loss.backward()
+        assert model.predictor.weight.grad is not None
+
+
+class TestFitScorePredict:
+    def test_predict_before_fit_raises(self, chain_graph):
+        model = UnsupervisedTPGNN(4, hidden_size=6, time_dim=2)
+        with pytest.raises(RuntimeError, match="fit"):
+            model.predict(chain_graph)
+
+    def test_fit_needs_usable_graphs(self):
+        model = UnsupervisedTPGNN(2, hidden_size=4, time_dim=2)
+        single = CTDN(2, np.zeros((2, 2)), [(0, 1, 1.0)])
+        with pytest.raises(ValueError):
+            model.fit([single])
+
+    def test_fit_reduces_loss_and_sets_threshold(self):
+        data = make_dataset("HDFS", 20, seed=1, scale=0.12)
+        normals = [g for g in data if g.label == 1]
+        model = UnsupervisedTPGNN(3, hidden_size=6, time_dim=2, seed=0)
+        losses = model.fit(normals, epochs=4, seed=0)
+        assert losses[-1] <= losses[0]
+        assert model.threshold is not None and model.threshold > 0.0
+
+    def test_detects_label_free_anomalies(self):
+        """The headline property: trained on positives only, anomaly
+        scores are higher for injected faults."""
+        data = make_dataset("Forum-java", 40, seed=4, scale=0.15)
+        normals = [g for g in data if g.label == 1][:18]
+        anomalies = [g for g in data if g.label == 0][:8]
+        model = UnsupervisedTPGNN(3, hidden_size=8, time_dim=3, quantile=0.9, seed=0)
+        model.fit(normals, epochs=4, seed=0)
+        normal_scores = np.mean([model.score(g) for g in normals])
+        anomaly_scores = np.mean([model.score(g) for g in anomalies])
+        assert anomaly_scores > normal_scores
+
+    def test_predictions_binary(self):
+        data = make_dataset("HDFS", 16, seed=2, scale=0.12)
+        normals = [g for g in data if g.label == 1]
+        model = UnsupervisedTPGNN(3, hidden_size=6, time_dim=2, seed=0)
+        model.fit(normals, epochs=2, seed=0)
+        for g in data:
+            assert model.predict(g) in (0, 1)

@@ -1,0 +1,150 @@
+"""Tests for the Forum-java / HDFS / trajectory dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    BRIGHTKITE,
+    GOWALLA,
+    SessionBuilder,
+    TrajectoryProfile,
+    generate_forum_java,
+    generate_hdfs,
+    generate_trajectories,
+)
+from repro.data.forum_java import ForumJavaConfig
+from repro.data.hdfs import HDFSConfig
+
+
+class TestSessionBuilder:
+    def test_event_creation(self):
+        b = SessionBuilder(feature_dim=2)
+        node = b.add_event([1.0, 2.0])
+        assert node == 0
+        assert b.num_nodes == 1
+
+    def test_feature_dim_enforced(self):
+        b = SessionBuilder(feature_dim=2)
+        with pytest.raises(ValueError):
+            b.add_event([1.0, 2.0, 3.0])
+
+    def test_clock_monotone(self):
+        b = SessionBuilder(feature_dim=1)
+        b.advance(1.0)
+        with pytest.raises(ValueError):
+            b.advance(-0.5)
+        assert b.clock == 1.0
+
+    def test_follow_links_and_advances(self):
+        b = SessionBuilder(feature_dim=1)
+        a = b.add_event([0.0])
+        c = b.follow(a, [1.0], gap=2.0)
+        assert b.num_edges == 1
+        assert b.clock == 2.0
+        assert b._edges[0].src == a and b._edges[0].dst == c
+
+    def test_build_requires_events(self):
+        with pytest.raises(ValueError):
+            SessionBuilder(feature_dim=1).build(label=1)
+
+    def test_build_labels(self):
+        b = SessionBuilder(feature_dim=1)
+        b.add_event([0.0])
+        assert b.build(label=0).label == 0
+
+
+class TestForumJava:
+    def test_deterministic(self):
+        a = generate_forum_java(10, seed=42)
+        b = generate_forum_java(10, seed=42)
+        assert [g.label for g in a] == [g.label for g in b]
+        assert [g.num_edges for g in a] == [g.num_edges for g in b]
+
+    def test_different_seeds_differ(self):
+        a = generate_forum_java(20, seed=1)
+        b = generate_forum_java(20, seed=2)
+        assert [g.num_edges for g in a] != [g.num_edges for g in b]
+
+    def test_feature_dim_three(self):
+        ds = generate_forum_java(5, seed=0)
+        assert ds.feature_dim == 3
+
+    def test_labels_present_both_classes(self):
+        ds = generate_forum_java(60, seed=0)
+        labels = set(ds.labels)
+        assert labels == {0, 1}
+
+    def test_negative_ratio_close_to_config(self):
+        ds = generate_forum_java(300, seed=0, config=ForumJavaConfig(negative_ratio=0.3))
+        ratio = float((ds.labels == 0).mean())
+        assert 0.2 < ratio < 0.4
+
+    def test_timestamps_non_negative_sorted_sessions(self):
+        ds = generate_forum_java(20, seed=3)
+        for g in ds:
+            assert all(e.time >= 0 for e in g.edges)
+
+    def test_repeat_stages_grows_sessions(self):
+        small = generate_forum_java(40, seed=0, config=ForumJavaConfig(repeat_stages=1))
+        large = generate_forum_java(40, seed=0, config=ForumJavaConfig(repeat_stages=20))
+        assert large.statistics().avg_nodes > small.statistics().avg_nodes
+
+
+class TestHDFS:
+    def test_deterministic(self):
+        a = generate_hdfs(10, seed=7)
+        b = generate_hdfs(10, seed=7)
+        assert [g.num_edges for g in a] == [g.num_edges for g in b]
+
+    def test_feature_range(self):
+        ds = generate_hdfs(10, seed=0)
+        for g in ds:
+            assert g.features.min() >= 0.0
+            assert g.features.max() <= 1.0
+
+    def test_both_classes(self):
+        ds = generate_hdfs(80, seed=0)
+        assert set(ds.labels) == {0, 1}
+
+    def test_report_edges_add_density(self):
+        sparse = generate_hdfs(30, seed=0, config=HDFSConfig(report_edges=0))
+        dense = generate_hdfs(30, seed=0, config=HDFSConfig(report_edges=20))
+        assert dense.statistics().avg_edges > sparse.statistics().avg_edges
+
+
+class TestTrajectories:
+    def test_profile_scaling(self):
+        scaled = GOWALLA.scaled(0.5)
+        assert scaled.poi_pool == round(GOWALLA.poi_pool * 0.5)
+        assert scaled.checkins == round(GOWALLA.checkins * 0.5)
+        assert scaled.name == GOWALLA.name
+
+    def test_profile_scaling_floors(self):
+        tiny = BRIGHTKITE.scaled(0.001)
+        assert tiny.poi_pool >= 5
+        assert tiny.checkins >= 6
+
+    def test_deterministic(self):
+        a = generate_trajectories(GOWALLA.scaled(0.1), 8, seed=5)
+        b = generate_trajectories(GOWALLA.scaled(0.1), 8, seed=5)
+        assert [g.num_edges for g in a] == [g.num_edges for g in b]
+
+    def test_compaction_no_isolated_nodes(self):
+        ds = generate_trajectories(BRIGHTKITE.scaled(0.2), 10, seed=1)
+        for g in ds:
+            touched = {e.src for e in g.edges} | {e.dst for e in g.edges}
+            assert touched == set(range(g.num_nodes))
+
+    def test_min_checkins_filter(self):
+        ds = generate_trajectories(GOWALLA.scaled(0.1), 15, seed=2, min_checkins=3)
+        assert all(g.num_edges >= 3 for g in ds)
+
+    def test_edge_count_matches_checkins(self):
+        profile = TrajectoryProfile("T", poi_pool=20, checkins=15, negative_ratio=0.0)
+        ds = generate_trajectories(profile, 5, seed=0)
+        assert all(g.num_edges == 15 for g in ds)
+
+    def test_negative_ratio_zero_gives_all_positive(self):
+        profile = TrajectoryProfile("T", poi_pool=20, checkins=12, negative_ratio=0.0)
+        ds = generate_trajectories(profile, 10, seed=0)
+        assert all(g.label == 1 for g in ds)

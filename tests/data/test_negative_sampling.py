@@ -1,0 +1,106 @@
+"""Tests for the paper's two negative samplers."""
+
+import numpy as np
+import pytest
+
+from repro.data import structural_negative, temporal_negative
+from repro.graph import CTDN
+
+
+@pytest.fixture
+def positive_graph():
+    rng = np.random.default_rng(3)
+    edges = []
+    t = 0.0
+    for _ in range(12):
+        t += float(rng.exponential(1.0)) + 0.1
+        u, v = rng.choice(6, size=2, replace=False)
+        edges.append((int(u), int(v), t))
+    return CTDN(6, rng.normal(size=(6, 3)), edges, label=1)
+
+
+class TestStructuralNegative:
+    def test_label_zero(self, positive_graph, rng):
+        assert structural_negative(positive_graph, rng).label == 0
+
+    def test_preserves_counts_and_features(self, positive_graph, rng):
+        neg = structural_negative(positive_graph, rng)
+        assert neg.num_edges == positive_graph.num_edges
+        assert neg.num_nodes == positive_graph.num_nodes
+        assert np.allclose(neg.features, positive_graph.features)
+
+    def test_preserves_timestamps(self, positive_graph, rng):
+        neg = structural_negative(positive_graph, rng)
+        assert sorted(e.time for e in neg.edges) == sorted(
+            e.time for e in positive_graph.edges
+        )
+
+    def test_introduces_novel_edge(self, positive_graph, rng):
+        neg = structural_negative(positive_graph, rng)
+        normal_pairs = {(e.src, e.dst) for e in positive_graph.edges}
+        novel = [(e.src, e.dst) for e in neg.edges if (e.src, e.dst) not in normal_pairs]
+        assert novel
+
+    def test_no_self_loops_created(self, positive_graph, rng):
+        neg = structural_negative(positive_graph, rng, fraction=1.0)
+        normal_pairs = {(e.src, e.dst) for e in positive_graph.edges}
+        for e in neg.edges:
+            if (e.src, e.dst) not in normal_pairs:
+                assert e.src != e.dst
+
+    def test_fraction_controls_rewiring(self, positive_graph):
+        rng = np.random.default_rng(0)
+        neg = structural_negative(positive_graph, rng, fraction=0.01, min_edges=1)
+        normal_pairs = {(e.src, e.dst) for e in positive_graph.edges}
+        novel = [e for e in neg.edges if (e.src, e.dst) not in normal_pairs]
+        assert len(novel) == 1
+
+    def test_empty_graph_rejected(self, rng):
+        g = CTDN(3, np.zeros((3, 1)), [])
+        with pytest.raises(ValueError):
+            structural_negative(g, rng)
+
+    def test_too_few_nodes_rejected(self, rng):
+        g = CTDN(2, np.zeros((2, 1)), [(0, 1, 1.0)])
+        with pytest.raises(ValueError):
+            structural_negative(g, rng)
+
+
+class TestTemporalNegative:
+    def test_label_zero(self, positive_graph, rng):
+        assert temporal_negative(positive_graph, rng).label == 0
+
+    def test_topology_preserved(self, positive_graph, rng):
+        neg = temporal_negative(positive_graph, rng)
+        assert sorted((e.src, e.dst) for e in neg.edges) == sorted(
+            (e.src, e.dst) for e in positive_graph.edges
+        )
+
+    def test_timestamp_multiset_preserved(self, positive_graph, rng):
+        neg = temporal_negative(positive_graph, rng)
+        assert sorted(e.time for e in neg.edges) == sorted(
+            e.time for e in positive_graph.edges
+        )
+
+    def test_order_actually_changed(self, positive_graph, rng):
+        neg = temporal_negative(positive_graph, rng)
+        original = [(e.src, e.dst) for e in positive_graph.edges_sorted()]
+        shuffled = [(e.src, e.dst) for e in neg.edges_sorted()]
+        assert original != shuffled
+
+    def test_single_edge_rejected(self, rng):
+        g = CTDN(3, np.zeros((3, 1)), [(0, 1, 1.0)])
+        with pytest.raises(ValueError):
+            temporal_negative(g, rng)
+
+    def test_constant_time_rejected(self, rng):
+        g = CTDN(3, np.zeros((3, 1)), [(0, 1, 1.0), (1, 2, 1.0)])
+        with pytest.raises(ValueError, match="one timestamp"):
+            temporal_negative(g, rng)
+
+    def test_deterministic_given_seed(self, positive_graph):
+        a = temporal_negative(positive_graph, np.random.default_rng(9))
+        b = temporal_negative(positive_graph, np.random.default_rng(9))
+        assert [(e.src, e.dst, e.time) for e in a.edges] == [
+            (e.src, e.dst, e.time) for e in b.edges
+        ]

@@ -1,0 +1,58 @@
+"""Tests for the dataset registry."""
+
+import pytest
+
+from repro.data import (
+    DATASET_NAMES,
+    PAPER_GRAPH_COUNTS,
+    PAPER_SIZES,
+    make_all_datasets,
+    make_dataset,
+)
+
+
+class TestMakeDataset:
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_every_dataset_builds(self, name):
+        ds = make_dataset(name, 10, seed=0, scale=0.15)
+        assert len(ds) == 10
+        assert ds.name == name
+        assert ds.feature_dim == 3
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_dataset("MySpace", 5)
+
+    def test_invalid_counts(self):
+        with pytest.raises(ValueError):
+            make_dataset("HDFS", 0)
+        with pytest.raises(ValueError):
+            make_dataset("HDFS", 5, scale=0.0)
+
+    def test_deterministic(self):
+        a = make_dataset("Gowalla", 6, seed=3, scale=0.1)
+        b = make_dataset("Gowalla", 6, seed=3, scale=0.1)
+        assert [g.num_edges for g in a] == [g.num_edges for g in b]
+
+    def test_scale_changes_graph_size(self):
+        small = make_dataset("Brightkite", 6, seed=0, scale=0.1)
+        large = make_dataset("Brightkite", 6, seed=0, scale=0.4)
+        assert large.statistics().avg_edges > small.statistics().avg_edges
+
+    def test_full_scale_tracks_paper_sizes(self):
+        # At scale 1.0 the generators should land near Table I statistics.
+        for name in ("Gowalla", "Brightkite"):
+            stats = make_dataset(name, 30, seed=1, scale=1.0).statistics()
+            paper_nodes, paper_edges = PAPER_SIZES[name]
+            assert abs(stats.avg_edges - paper_edges) / paper_edges < 0.15
+            assert abs(stats.avg_nodes - paper_nodes) / paper_nodes < 0.35
+
+
+class TestMakeAll:
+    def test_builds_all_five(self):
+        datasets = make_all_datasets(5, seed=0, scale=0.1)
+        assert set(datasets) == set(DATASET_NAMES)
+
+    def test_paper_metadata_complete(self):
+        assert set(PAPER_GRAPH_COUNTS) == set(DATASET_NAMES)
+        assert set(PAPER_SIZES) == set(DATASET_NAMES)

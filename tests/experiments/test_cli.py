@@ -1,0 +1,57 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_commands_parse(self):
+        parser = build_parser()
+        for name in ("table1", "table2", "table3", "fig3", "fig4", "fig5", "fig6", "fig7"):
+            args = parser.parse_args([name, "--preset", "smoke"])
+            assert args.command == name
+
+    def test_preset_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--preset", "huge"])
+
+    def test_dataset_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table2", "--datasets", "MySpace"])
+
+    def test_train_requires_model_and_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--dataset", "HDFS"])
+
+    def test_overrides_parsed(self):
+        args = build_parser().parse_args(
+            ["table2", "--num-graphs", "10", "--epochs", "2", "--scale", "0.1"]
+        )
+        assert args.num_graphs == 10
+        assert args.epochs == 2
+        assert args.scale == 0.1
+
+
+class TestExecution:
+    def test_table1_runs(self, capsys):
+        code = main(["table1", "--preset", "smoke", "--num-graphs", "6", "--scale", "0.1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Forum-java" in out and "Brightkite" in out
+
+    def test_train_runs_and_checkpoints(self, capsys, tmp_path):
+        checkpoint = tmp_path / "model.npz"
+        code = main([
+            "train", "--dataset", "HDFS", "--model", "GCN",
+            "--preset", "smoke", "--num-graphs", "12", "--scale", "0.1",
+            "--epochs", "1", "--hidden-size", "6", "--checkpoint", str(checkpoint),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "F1=" in out
+        assert checkpoint.exists()

@@ -1,0 +1,79 @@
+"""Tests for experiment configuration and the shared runner."""
+
+import pytest
+
+from repro.experiments import (
+    PRESETS,
+    SMALL,
+    SMOKE,
+    ExperimentConfig,
+    build_dataset,
+    evaluate_model,
+    snapshot_size_for,
+    table1_rows,
+)
+from repro.experiments.table2 import PAPER_F1
+from repro.experiments.table3 import PAPER_TABLE3_F1, TABLE3_MODELS
+from repro.baselines import ALL_MODELS
+from repro.data import DATASET_NAMES
+
+
+class TestConfig:
+    def test_presets_exist(self):
+        assert set(PRESETS) == {"smoke", "small", "paper"}
+        assert SMOKE.num_graphs < SMALL.num_graphs
+
+    def test_train_config_materialisation(self):
+        cfg = ExperimentConfig(epochs=7, learning_rate=0.5, batch_size=3, seed=11)
+        train = cfg.train_config(seed_offset=2)
+        assert train.epochs == 7
+        assert train.learning_rate == 0.5
+        assert train.batch_size == 3
+        assert train.seed == 13
+
+    def test_with_overrides(self):
+        cfg = SMOKE.with_overrides(epochs=99)
+        assert cfg.epochs == 99
+        assert cfg.num_graphs == SMOKE.num_graphs
+
+    def test_snapshot_sizes_match_paper(self):
+        assert snapshot_size_for("Forum-java") == 5
+        assert snapshot_size_for("HDFS") == 5
+        assert snapshot_size_for("Gowalla") == 20
+        assert snapshot_size_for("Brightkite") == 20
+
+
+class TestRunner:
+    def test_build_dataset_cached(self):
+        cfg = ExperimentConfig(num_graphs=8, graph_scale=0.1)
+        a = build_dataset("HDFS", cfg)
+        b = build_dataset("HDFS", cfg)
+        assert a is b  # cache hit
+
+    def test_build_dataset_distinct_configs(self):
+        a = build_dataset("HDFS", ExperimentConfig(num_graphs=8, graph_scale=0.1))
+        b = build_dataset("HDFS", ExperimentConfig(num_graphs=9, graph_scale=0.1))
+        assert len(a) == 8 and len(b) == 9
+
+    def test_evaluate_model_end_to_end(self):
+        cfg = ExperimentConfig(
+            num_graphs=16, graph_scale=0.1, epochs=1, runs=1, hidden_size=6, time_dim=2
+        )
+        summary = evaluate_model("GCN", "HDFS", cfg)
+        assert 0.0 <= summary.f1_mean <= 1.0
+
+
+class TestPaperReference:
+    def test_paper_f1_covers_all_cells(self):
+        for dataset in DATASET_NAMES:
+            assert set(PAPER_F1[dataset]) == set(ALL_MODELS)
+
+    def test_paper_table3_covers_models(self):
+        for dataset, cells in PAPER_TABLE3_F1.items():
+            assert set(cells) == set(TABLE3_MODELS)
+
+    def test_table1_rows_shape(self):
+        cfg = ExperimentConfig(num_graphs=6, graph_scale=0.1)
+        rows = table1_rows(cfg)
+        assert len(rows) == 5
+        assert {row["Datasets"] for row in rows} == set(DATASET_NAMES)

@@ -1,0 +1,89 @@
+"""Tests for the per-experiment formatting functions (no training)."""
+
+from repro.experiments.ablation import format_ablation
+from repro.experiments.case_study import CaseStudyResult, format_case_study
+from repro.experiments.runtime import RuntimePoint, format_runtime
+from repro.experiments.sensitivity import format_sensitivity
+from repro.experiments.table2 import category_means, format_table2
+from repro.experiments.table3 import format_table3
+from repro.training import Metrics, MetricSummary
+
+
+def summary(f1: float) -> MetricSummary:
+    return MetricSummary.from_runs([Metrics(precision=f1, recall=f1, f1=f1)])
+
+
+class TestTable2Formatting:
+    def make_results(self):
+        return {
+            "Forum-java": {"GCN": summary(0.8), "TP-GNN-SUM": summary(0.95)},
+            "HDFS": {"GCN": summary(0.7), "TP-GNN-SUM": summary(0.9)},
+        }
+
+    def test_format_includes_paper_column(self):
+        out = format_table2(self.make_results())
+        assert "paper F1" in out
+        assert "Table II — Forum-java" in out
+        assert "95.00±0.00" in out
+
+    def test_category_means(self):
+        means = category_means(self.make_results())
+        assert means["static"] == 0.75
+        assert means["ours"] == 0.925
+        assert "discrete" not in means  # no discrete rows supplied
+
+
+class TestTable3Formatting:
+    def test_paper_values_inlined(self):
+        results = {"Forum-java": {"TGN+G": summary(0.9), "TP-GNN-GRU": summary(0.93)}}
+        out = format_table3(results)
+        assert "90.00±0.00 (paper 97.65)" in out
+        assert "TP-GNN-GRU" in out
+
+
+class TestAblationFormatting:
+    def test_bar_charts_per_dataset(self):
+        results = {
+            "HDFS": {"rand": summary(0.7), "full": summary(0.9)},
+        }
+        out = format_ablation(results, updater="sum")
+        assert "Fig. 3" in out
+        out_gru = format_ablation(results, updater="gru")
+        assert "Fig. 4" in out_gru
+
+
+class TestSensitivityFormatting:
+    def test_heatmap_layout(self):
+        results = {"HDFS": {(8, 2): 0.8, (8, 4): 0.85, (16, 2): 0.9, (16, 4): 0.95}}
+        out = format_sensitivity(results)
+        assert "d=8" in out and "d=16" in out
+        assert "dt=2" in out and "dt=4" in out
+        assert "95.0" in out
+
+
+class TestRuntimeFormatting:
+    def test_sorted_by_time_within_dataset(self):
+        points = [
+            RuntimePoint("HDFS", "Slow", 9000.0, 0.8),
+            RuntimePoint("HDFS", "Fast", 1000.0, 0.9),
+        ]
+        out = format_runtime(points)
+        assert out.index("Fast") < out.index("Slow")
+
+
+class TestCaseStudyFormatting:
+    def test_flags_rendered(self):
+        result = CaseStudyResult(
+            original_probability=0.9,
+            swapped_probability=0.5,
+            flipped_probability=0.95,
+            influence_size_original=10,
+            influence_size_swapped=6,
+            affected_node=3,
+            num_probes=4,
+        )
+        assert result.swap_flags_negative
+        assert not result.flip_flags_negative
+        out = format_case_study(result)
+        assert "10 nodes -> 6" in out
+        assert "4 positive" in out

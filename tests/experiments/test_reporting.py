@@ -1,0 +1,56 @@
+"""Tests for the text rendering helpers."""
+
+from repro.experiments import render_bar_chart, render_heatmap, render_table
+
+
+class TestRenderTable:
+    def test_empty(self):
+        assert render_table([]) == "(empty table)"
+
+    def test_columns_aligned(self):
+        rows = [{"a": 1, "bb": "xy"}, {"a": 22, "bb": "z"}]
+        out = render_table(rows)
+        lines = out.splitlines()
+        assert lines[0].startswith("a ")
+        assert all(len(line) == len(lines[0]) for line in lines[1:2])
+
+    def test_title(self):
+        out = render_table([{"a": 1}], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_missing_key_blank(self):
+        out = render_table([{"a": 1, "b": 2}, {"a": 3}])
+        assert "3" in out
+
+
+class TestRenderHeatmap:
+    def test_grid_layout(self):
+        out = render_heatmap(
+            [[1.0, 2.0], [3.0, 4.0]],
+            row_labels=["r1", "r2"],
+            col_labels=["c1", "c2"],
+        )
+        lines = out.splitlines()
+        assert "c1" in lines[0] and "c2" in lines[0]
+        assert lines[1].startswith("r1")
+        assert "4.0" in lines[2]
+
+    def test_title_and_format(self):
+        out = render_heatmap([[0.123]], ["r"], ["c"], title="T", fmt="{:.2f}")
+        assert out.splitlines()[0] == "T"
+        assert "0.12" in out
+
+
+class TestRenderBarChart:
+    def test_empty(self):
+        assert render_bar_chart({}) == "(empty chart)"
+
+    def test_bars_proportional(self):
+        out = render_bar_chart({"a": 1.0, "b": 0.5}, width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_zero_values_ok(self):
+        out = render_bar_chart({"a": 0.0})
+        assert "0.000" in out

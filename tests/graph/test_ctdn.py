@@ -1,0 +1,117 @@
+"""Tests for the CTDN data structure and TemporalEdge."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CTDN, TemporalEdge
+
+
+class TestTemporalEdge:
+    def test_fields(self):
+        e = TemporalEdge(1, 2, 3.5)
+        assert (e.src, e.dst, e.time) == (1, 2, 3.5)
+
+    def test_reversed(self):
+        e = TemporalEdge(1, 2, 3.5).reversed()
+        assert (e.src, e.dst, e.time) == (2, 1, 3.5)
+
+    def test_at(self):
+        e = TemporalEdge(1, 2, 3.5).at(9.0)
+        assert (e.src, e.dst, e.time) == (1, 2, 9.0)
+
+
+class TestValidation:
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            CTDN(0, np.zeros((0, 1)), [])
+
+    def test_feature_shape_mismatch(self):
+        with pytest.raises(ValueError, match="features"):
+            CTDN(3, np.zeros((2, 1)), [])
+
+    def test_feature_ndim_check(self):
+        with pytest.raises(ValueError):
+            CTDN(3, np.zeros(3), [])
+
+    def test_edge_out_of_range(self):
+        with pytest.raises(ValueError, match="outside"):
+            CTDN(2, np.zeros((2, 1)), [(0, 2, 1.0)])
+
+    def test_negative_timestamp_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            CTDN(2, np.zeros((2, 1)), [(0, 1, -1.0)])
+
+    def test_tuple_edges_coerced(self):
+        g = CTDN(2, np.zeros((2, 1)), [(0, 1, 1.0)])
+        assert isinstance(g.edges[0], TemporalEdge)
+
+
+class TestViews:
+    def test_counts(self, chain_graph):
+        assert chain_graph.num_nodes == 4
+        assert chain_graph.num_edges == 3
+        assert chain_graph.feature_dim == 4
+
+    def test_duration(self, chain_graph):
+        assert chain_graph.duration == pytest.approx(2.0)
+
+    def test_duration_empty(self):
+        g = CTDN(2, np.zeros((2, 1)), [])
+        assert g.duration == 0.0
+
+    def test_edges_sorted(self):
+        g = CTDN(3, np.zeros((3, 1)), [(0, 1, 5.0), (1, 2, 1.0)])
+        times = [e.time for e in g.edges_sorted()]
+        assert times == [1.0, 5.0]
+        # Storage order untouched.
+        assert g.edges[0].time == 5.0
+
+    def test_edges_sorted_tie_shuffle_stable_sort(self):
+        # Ties get permuted, but chronology is always preserved.
+        edges = [(0, 1, 1.0), (1, 2, 1.0), (2, 0, 2.0)]
+        g = CTDN(3, np.zeros((3, 1)), edges)
+        seen_orders = set()
+        for seed in range(20):
+            ordered = g.edges_sorted(rng=np.random.default_rng(seed))
+            assert [e.time for e in ordered] == [1.0, 1.0, 2.0]
+            seen_orders.add(tuple((e.src, e.dst) for e in ordered[:2]))
+        assert len(seen_orders) == 2  # both tie orders appear
+
+    def test_timestamps(self, chain_graph):
+        assert np.allclose(chain_graph.timestamps(), [1.0, 2.0, 3.0])
+
+    def test_in_neighbors(self, diamond_graph):
+        table = diamond_graph.in_neighbors()
+        assert table[0] == []
+        assert table[3] == [(1, 2.0), (2, 2.5)]
+
+    def test_degrees(self, diamond_graph):
+        assert list(diamond_graph.out_degree()) == [2, 1, 1, 0]
+        assert list(diamond_graph.in_degree()) == [0, 1, 1, 2]
+
+    def test_multi_edges_counted(self):
+        g = CTDN(2, np.zeros((2, 1)), [(0, 1, 1.0), (0, 1, 2.0)])
+        assert g.out_degree()[0] == 2
+
+
+class TestDerived:
+    def test_with_edges_preserves_features(self, chain_graph):
+        g2 = chain_graph.with_edges([TemporalEdge(0, 3, 1.0)])
+        assert g2.num_edges == 1
+        assert np.allclose(g2.features, chain_graph.features)
+        assert g2.label == chain_graph.label
+
+    def test_with_edges_relabel(self, chain_graph):
+        assert chain_graph.with_edges(chain_graph.edges, label=0).label == 0
+
+    def test_copy_independent(self, chain_graph):
+        clone = chain_graph.copy()
+        clone.features[0, 0] = 99.0
+        assert chain_graph.features[0, 0] != 99.0
+
+    def test_to_networkx(self, diamond_graph):
+        g = diamond_graph.to_networkx()
+        assert g.number_of_nodes() == 4
+        assert g.number_of_edges() == 4
+        __, __, data = list(g.edges(data=True))[0]
+        assert "time" in data

@@ -1,0 +1,98 @@
+"""Tests for GraphDataset (splits, statistics, manipulation)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CTDN, GraphDataset
+
+
+def make_graphs(count, label_fn=lambda i: i % 2):
+    return [
+        CTDN(3, np.zeros((3, 2)), [(0, 1, 1.0), (1, 2, 2.0)], label=label_fn(i))
+        for i in range(count)
+    ]
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            GraphDataset([])
+
+    def test_unlabelled_rejected(self):
+        g = CTDN(2, np.zeros((2, 1)), [(0, 1, 1.0)])
+        with pytest.raises(ValueError, match="label"):
+            GraphDataset([g])
+
+    def test_iteration_and_indexing(self):
+        ds = GraphDataset(make_graphs(5))
+        assert len(ds) == 5
+        assert ds[0] is list(ds)[0]
+
+    def test_labels_vector(self):
+        ds = GraphDataset(make_graphs(4))
+        assert list(ds.labels) == [0, 1, 0, 1]
+
+    def test_feature_dim(self):
+        assert GraphDataset(make_graphs(2)).feature_dim == 2
+
+
+class TestSplit:
+    def test_thirty_seventy(self):
+        ds = GraphDataset(make_graphs(10))
+        train, test = ds.split(0.3)
+        assert len(train) == 3
+        assert len(test) == 7
+
+    def test_split_is_positional(self):
+        ds = GraphDataset(make_graphs(10))
+        train, test = ds.split(0.3)
+        assert train.graphs == ds.graphs[:3]
+        assert test.graphs == ds.graphs[3:]
+
+    def test_invalid_fraction(self):
+        ds = GraphDataset(make_graphs(4))
+        for bad in (0.0, 1.0, -0.5):
+            with pytest.raises(ValueError):
+                ds.split(bad)
+
+    def test_tiny_dataset_never_empty_side(self):
+        ds = GraphDataset(make_graphs(2))
+        train, test = ds.split(0.3)
+        assert len(train) >= 1
+        assert len(test) >= 1
+
+
+class TestManipulation:
+    def test_shuffled_deterministic(self):
+        ds = GraphDataset(make_graphs(8))
+        a = ds.shuffled(np.random.default_rng(5))
+        b = ds.shuffled(np.random.default_rng(5))
+        assert [g.label for g in a] == [g.label for g in b]
+
+    def test_shuffled_is_permutation(self):
+        ds = GraphDataset(make_graphs(8))
+        shuffled = ds.shuffled(np.random.default_rng(1))
+        assert sorted(id(g) for g in shuffled) == sorted(id(g) for g in ds)
+
+    def test_subset(self):
+        ds = GraphDataset(make_graphs(5))
+        sub = ds.subset([4, 0])
+        assert len(sub) == 2
+        assert sub[0] is ds[4]
+
+
+class TestStatistics:
+    def test_fields(self):
+        ds = GraphDataset(make_graphs(10), name="demo")
+        stats = ds.statistics()
+        assert stats.name == "demo"
+        assert stats.graph_count == 10
+        assert stats.negative_ratio == pytest.approx(0.5)
+        assert stats.avg_nodes == pytest.approx(3.0)
+        assert stats.avg_edges == pytest.approx(2.0)
+        assert stats.feature_dim == 2
+
+    def test_as_row_formatting(self):
+        row = GraphDataset(make_graphs(4), name="d").statistics().as_row()
+        assert row["Negative ratio"] == "~50.0%"
+        assert row["Graph Number"] == 4

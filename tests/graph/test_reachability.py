@@ -1,0 +1,114 @@
+"""Tests for temporal reachability (influential nodes, Definition 4)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    CTDN,
+    influence_sets,
+    is_influential,
+    temporal_neighbors,
+    valid_path,
+)
+
+
+class TestInfluenceSets:
+    def test_chain(self, chain_graph):
+        sets = influence_sets(chain_graph)
+        assert sets[0] == set()
+        assert sets[1] == {0}
+        assert sets[2] == {0, 1}
+        assert sets[3] == {0, 1, 2}
+
+    def test_time_respecting_only(self):
+        # 1->2 happens BEFORE 0->1, so 0 never reaches 2.
+        g = CTDN(3, np.zeros((3, 1)), [(1, 2, 1.0), (0, 1, 2.0)])
+        sets = influence_sets(g)
+        assert sets[2] == {1}
+        assert 0 not in sets[2]
+
+    def test_equal_timestamps_follow_processing_order(self):
+        g = CTDN(3, np.zeros((3, 1)), [(0, 1, 1.0), (1, 2, 1.0)])
+        sets = influence_sets(g, edge_order=g.edges_sorted())
+        # Stable sort keeps (0,1) first, so 0 flows through to 2.
+        assert sets[2] == {0, 1}
+
+    def test_diamond(self, diamond_graph):
+        sets = influence_sets(diamond_graph)
+        assert sets[3] == {0, 1, 2}
+
+    def test_cycle_returns_to_origin(self):
+        g = CTDN(3, np.zeros((3, 1)), [(0, 1, 1.0), (1, 2, 2.0), (2, 0, 3.0)])
+        sets = influence_sets(g)
+        assert 0 in sets[0]  # the cycle brings 0's information back
+
+    def test_unsorted_order_rejected(self, chain_graph):
+        backwards = list(reversed(chain_graph.edges_sorted()))
+        with pytest.raises(ValueError, match="non-decreasing"):
+            influence_sets(chain_graph, edge_order=backwards)
+
+    def test_is_influential_wrapper(self, chain_graph):
+        assert is_influential(chain_graph, 0, 3)
+        assert not is_influential(chain_graph, 3, 0)
+
+
+class TestValidPath:
+    def test_finds_chain_path(self, chain_graph):
+        path = valid_path(chain_graph, 0, 3)
+        assert path is not None
+        assert [(e.src, e.dst) for e in path] == [(0, 1), (1, 2), (2, 3)]
+
+    def test_no_path_returns_none(self, chain_graph):
+        assert valid_path(chain_graph, 3, 0) is None
+
+    def test_path_times_non_decreasing(self, diamond_graph):
+        path = valid_path(diamond_graph, 0, 3)
+        times = [e.time for e in path]
+        assert times == sorted(times)
+
+    def test_source_equals_target(self, chain_graph):
+        assert valid_path(chain_graph, 1, 1) == []
+
+    def test_blocked_by_time(self):
+        g = CTDN(3, np.zeros((3, 1)), [(1, 2, 1.0), (0, 1, 2.0)])
+        assert valid_path(g, 0, 2) is None
+
+
+class TestTemporalNeighbors:
+    def test_most_recent_first(self, diamond_graph):
+        result = temporal_neighbors(diamond_graph, 3, before=10.0)
+        assert result == [(2, 2.5), (1, 2.0)]
+
+    def test_before_cutoff_strict(self, diamond_graph):
+        result = temporal_neighbors(diamond_graph, 3, before=2.5)
+        assert result == [(1, 2.0)]
+
+    def test_limit(self, diamond_graph):
+        result = temporal_neighbors(diamond_graph, 3, before=10.0, limit=1)
+        assert result == [(2, 2.5)]
+
+    def test_no_incoming(self, diamond_graph):
+        assert temporal_neighbors(diamond_graph, 0, before=10.0) == []
+
+
+class TestInfluencePropertyRandomGraphs:
+    def test_matches_bruteforce_on_random_graphs(self):
+        """influence_sets agrees with explicit path enumeration."""
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            n = int(rng.integers(3, 7))
+            m = int(rng.integers(2, 10))
+            edges = []
+            t = 0.0
+            for _ in range(m):
+                t += float(rng.exponential(1.0)) + 0.01
+                u, v = rng.choice(n, size=2, replace=False)
+                edges.append((int(u), int(v), t))
+            g = CTDN(n, np.zeros((n, 1)), edges)
+            sets = influence_sets(g)
+            for target in range(n):
+                for source in range(n):
+                    if source == target:
+                        continue
+                    has_path = valid_path(g, source, target) is not None
+                    assert (source in sets[target]) == has_path

@@ -1,0 +1,93 @@
+"""Tests for snapshot discretisation."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    CTDN,
+    cumulative_snapshots,
+    snapshots_by_count,
+    snapshots_by_edge_count,
+    snapshots_by_time_window,
+)
+
+
+@pytest.fixture
+def ten_edge_graph():
+    edges = [(i % 4, (i + 1) % 4, float(i + 1)) for i in range(10)]
+    return CTDN(4, np.zeros((4, 2)), edges, label=1)
+
+
+class TestByEdgeCount:
+    def test_partition_sizes(self, ten_edge_graph):
+        snaps = snapshots_by_edge_count(ten_edge_graph, 3)
+        assert [s.num_edges for s in snaps] == [3, 3, 3, 1]
+
+    def test_all_edges_covered_in_order(self, ten_edge_graph):
+        snaps = snapshots_by_edge_count(ten_edge_graph, 4)
+        times = [e.time for s in snaps for e in s.edges]
+        assert times == sorted(times)
+        assert len(times) == 10
+
+    def test_node_set_preserved(self, ten_edge_graph):
+        snaps = snapshots_by_edge_count(ten_edge_graph, 3)
+        assert all(s.num_nodes == 4 for s in snaps)
+
+    def test_invalid_size(self, ten_edge_graph):
+        with pytest.raises(ValueError):
+            snapshots_by_edge_count(ten_edge_graph, 0)
+
+    def test_empty_graph_single_snapshot(self):
+        g = CTDN(2, np.zeros((2, 1)), [])
+        snaps = snapshots_by_edge_count(g, 5)
+        assert len(snaps) == 1
+        assert snaps[0].num_edges == 0
+
+
+class TestByCount:
+    def test_exact_count(self, ten_edge_graph):
+        snaps = snapshots_by_count(ten_edge_graph, 4)
+        assert len(snaps) == 4
+        assert sum(s.num_edges for s in snaps) == 10
+
+    def test_more_snapshots_than_edges(self):
+        g = CTDN(2, np.zeros((2, 1)), [(0, 1, 1.0)])
+        snaps = snapshots_by_count(g, 3)
+        assert len(snaps) == 3
+        assert snaps[0].num_edges == 1
+        assert snaps[2].num_edges == 0
+
+    def test_invalid(self, ten_edge_graph):
+        with pytest.raises(ValueError):
+            snapshots_by_count(ten_edge_graph, -1)
+
+
+class TestByTimeWindow:
+    def test_windows_partition_time(self, ten_edge_graph):
+        snaps = snapshots_by_time_window(ten_edge_graph, 3.0)
+        assert sum(s.num_edges for s in snaps) == 10
+        # Edge times 1..10 span 9.0 -> 4 windows of width 3.
+        assert len(snaps) == 4
+
+    def test_single_window_when_wide(self, ten_edge_graph):
+        snaps = snapshots_by_time_window(ten_edge_graph, 100.0)
+        assert len(snaps) == 1
+
+    def test_invalid_window(self, ten_edge_graph):
+        with pytest.raises(ValueError):
+            snapshots_by_time_window(ten_edge_graph, 0.0)
+
+    def test_empty_graph(self):
+        g = CTDN(2, np.zeros((2, 1)), [])
+        assert len(snapshots_by_time_window(g, 1.0)) == 1
+
+
+class TestCumulative:
+    def test_monotone_edge_counts(self, ten_edge_graph):
+        snaps = cumulative_snapshots(snapshots_by_edge_count(ten_edge_graph, 3))
+        counts = [s.num_edges for s in snaps]
+        assert counts == [3, 6, 9, 10]
+
+    def test_last_contains_everything(self, ten_edge_graph):
+        snaps = cumulative_snapshots(snapshots_by_edge_count(ten_edge_graph, 4))
+        assert snaps[-1].num_edges == ten_edge_graph.num_edges

@@ -1,0 +1,97 @@
+"""Tests for static-graph views (adjacency, normalisations, Laplacian)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    CTDN,
+    adjacency_matrix,
+    gcn_normalized_adjacency,
+    laplacian,
+    mean_aggregation_matrix,
+)
+
+
+class TestAdjacency:
+    def test_directed_binary(self, chain_graph):
+        adj = adjacency_matrix(chain_graph)
+        assert adj[0, 1] == 1.0
+        assert adj[1, 0] == 0.0
+
+    def test_undirected_symmetrised(self, chain_graph):
+        adj = adjacency_matrix(chain_graph, directed=False)
+        assert np.allclose(adj, adj.T)
+
+    def test_weighted_counts_multi_edges(self):
+        g = CTDN(2, np.zeros((2, 1)), [(0, 1, 1.0), (0, 1, 2.0)])
+        assert adjacency_matrix(g, weighted=True)[0, 1] == 2.0
+
+    def test_binary_ignores_multi_edges(self):
+        g = CTDN(2, np.zeros((2, 1)), [(0, 1, 1.0), (0, 1, 2.0)])
+        assert adjacency_matrix(g)[0, 1] == 1.0
+
+
+class TestGCNNormalisation:
+    def test_includes_self_loops(self, chain_graph):
+        norm = gcn_normalized_adjacency(chain_graph)
+        assert np.all(np.diag(norm) > 0.0)
+
+    def test_symmetric(self, chain_graph):
+        norm = gcn_normalized_adjacency(chain_graph)
+        assert np.allclose(norm, norm.T)
+
+    def test_spectral_radius_at_most_one(self, diamond_graph):
+        norm = gcn_normalized_adjacency(diamond_graph)
+        eigenvalues = np.linalg.eigvalsh(norm)
+        assert eigenvalues.max() <= 1.0 + 1e-9
+
+    def test_isolated_node_gets_identity_row(self):
+        g = CTDN(3, np.zeros((3, 1)), [(0, 1, 1.0)])
+        norm = gcn_normalized_adjacency(g)
+        assert norm[2, 2] == pytest.approx(1.0)
+
+
+class TestMeanAggregation:
+    def test_rows_stochastic_for_connected(self, diamond_graph):
+        mean = mean_aggregation_matrix(diamond_graph)
+        assert np.allclose(mean.sum(axis=1), 1.0)
+
+    def test_isolated_node_zero_row(self):
+        g = CTDN(3, np.zeros((3, 1)), [(0, 1, 1.0)])
+        mean = mean_aggregation_matrix(g)
+        assert np.allclose(mean[2], 0.0)
+
+    def test_include_self(self):
+        g = CTDN(3, np.zeros((3, 1)), [(0, 1, 1.0)])
+        mean = mean_aggregation_matrix(g, include_self=True)
+        assert mean[2, 2] == pytest.approx(1.0)
+
+    def test_neighbour_mean_semantics(self):
+        g = CTDN(3, np.zeros((3, 1)), [(0, 1, 1.0), (2, 1, 2.0)])
+        mean = mean_aggregation_matrix(g)
+        x = np.array([[2.0], [0.0], [4.0]])
+        # Node 1 has neighbours 0 and 2 -> mean 3.
+        assert (mean @ x)[1, 0] == pytest.approx(3.0)
+
+
+class TestLaplacian:
+    def test_unnormalised_rows_sum_zero(self, diamond_graph):
+        lap = laplacian(diamond_graph, normalized=False)
+        assert np.allclose(lap.sum(axis=1), 0.0)
+
+    def test_normalised_psd(self, diamond_graph):
+        lap = laplacian(diamond_graph)
+        eigenvalues = np.linalg.eigvalsh(lap)
+        assert eigenvalues.min() >= -1e-9
+
+    def test_connected_graph_one_zero_eigenvalue(self, chain_graph):
+        lap = laplacian(chain_graph)
+        eigenvalues = np.sort(np.linalg.eigvalsh(lap))
+        assert eigenvalues[0] == pytest.approx(0.0, abs=1e-9)
+        assert eigenvalues[1] > 1e-6
+
+    def test_component_count_in_kernel(self):
+        # Two disconnected pairs -> two zero eigenvalues.
+        g = CTDN(4, np.zeros((4, 1)), [(0, 1, 1.0), (2, 3, 2.0)])
+        eigenvalues = np.sort(np.linalg.eigvalsh(laplacian(g)))
+        assert np.sum(np.abs(eigenvalues) < 1e-9) == 2

@@ -1,0 +1,76 @@
+"""Tests for attention primitives."""
+
+import numpy as np
+import pytest
+
+from repro.nn import MultiHeadAttention, scaled_dot_product_attention
+from repro.tensor import Tensor, check_gradients
+
+
+def rand(shape, seed=0):
+    return Tensor(np.random.default_rng(seed).normal(size=shape))
+
+
+class TestScaledDotProduct:
+    def test_output_shape(self):
+        out = scaled_dot_product_attention(rand((2, 4)), rand((5, 4), 1), rand((5, 3), 2))
+        assert out.shape == (2, 3)
+
+    def test_uniform_keys_give_mean_of_values(self):
+        query = rand((1, 4))
+        keys = Tensor(np.zeros((3, 4)))
+        values = Tensor(np.arange(6.0).reshape(3, 2))
+        out = scaled_dot_product_attention(query, keys, values)
+        assert np.allclose(out.data, values.data.mean(axis=0))
+
+    def test_mask_excludes_positions(self):
+        query = rand((1, 4), 3)
+        keys = rand((3, 4), 4)
+        values = Tensor(np.array([[1.0], [2.0], [3.0]]))
+        mask = np.array([[True, False, False]])
+        out = scaled_dot_product_attention(query, keys, values, mask=mask)
+        assert out.data[0, 0] == pytest.approx(1.0)
+
+    def test_gradcheck(self):
+        q = Tensor(np.random.default_rng(0).normal(size=(2, 3)), requires_grad=True)
+        k = Tensor(np.random.default_rng(1).normal(size=(4, 3)), requires_grad=True)
+        v = Tensor(np.random.default_rng(2).normal(size=(4, 2)), requires_grad=True)
+        check_gradients(lambda: (scaled_dot_product_attention(q, k, v) ** 2.0).sum(), [q, k, v])
+
+
+class TestMultiHeadAttention:
+    def test_divisibility_check(self):
+        with pytest.raises(ValueError):
+            MultiHeadAttention(7, 2)
+
+    def test_self_attention_shape(self):
+        mha = MultiHeadAttention(8, 2, rng=np.random.default_rng(0))
+        x = rand((5, 8))
+        assert mha(x, x, x).shape == (5, 8)
+
+    def test_cross_attention_kdim(self):
+        mha = MultiHeadAttention(8, 2, kdim=12, vdim=12, rng=np.random.default_rng(0))
+        out = mha(rand((3, 8)), rand((6, 12), 1), rand((6, 12), 2))
+        assert out.shape == (3, 8)
+
+    def test_permutation_of_keys_is_invariant(self):
+        # Attention is a set operation over key/value rows.
+        mha = MultiHeadAttention(4, 2, rng=np.random.default_rng(1))
+        q = rand((2, 4), 2)
+        kv = np.random.default_rng(3).normal(size=(5, 4))
+        out_a = mha(q, Tensor(kv), Tensor(kv)).data
+        perm = np.random.default_rng(4).permutation(5)
+        out_b = mha(q, Tensor(kv[perm]), Tensor(kv[perm])).data
+        assert np.allclose(out_a, out_b)
+
+    def test_gradcheck_full(self):
+        mha = MultiHeadAttention(4, 2, rng=np.random.default_rng(5))
+        x = Tensor(np.random.default_rng(6).normal(size=(3, 4)), requires_grad=True)
+        check_gradients(
+            lambda: (mha(x, x, x) ** 2.0).sum(), [x] + list(mha.parameters())
+        )
+
+    def test_parameter_count(self):
+        mha = MultiHeadAttention(8, 2, rng=np.random.default_rng(0))
+        # 4 projections, each weight (8x8) + bias (8).
+        assert mha.num_parameters() == 4 * (64 + 8)

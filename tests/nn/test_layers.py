@@ -1,0 +1,130 @@
+"""Tests for Linear, Embedding, FeatureEncoder, MLP, LayerNorm, Dropout."""
+
+import numpy as np
+import pytest
+
+from repro.nn import MLP, Dropout, Embedding, FeatureEncoder, LayerNorm, Linear
+from repro.tensor import Tensor, check_gradients
+
+
+class TestLinear:
+    def test_output_shape(self):
+        layer = Linear(4, 3, rng=np.random.default_rng(0))
+        assert layer(Tensor(np.zeros((5, 4)))).shape == (5, 3)
+
+    def test_no_bias(self):
+        layer = Linear(4, 3, bias=False, rng=np.random.default_rng(0))
+        assert layer.bias is None
+        assert np.allclose(layer(Tensor(np.zeros((2, 4)))).data, 0.0)
+
+    def test_matches_manual_affine(self):
+        rng = np.random.default_rng(1)
+        layer = Linear(3, 2, rng=rng)
+        x = rng.normal(size=(4, 3))
+        expected = x @ layer.weight.data + layer.bias.data
+        assert np.allclose(layer(Tensor(x)).data, expected)
+
+    def test_gradcheck(self):
+        layer = Linear(3, 2, rng=np.random.default_rng(2))
+        x = Tensor(np.random.default_rng(3).normal(size=(4, 3)), requires_grad=True)
+        check_gradients(lambda: (layer(x) ** 2.0).sum(), [x, layer.weight, layer.bias])
+
+    def test_seeded_init_deterministic(self):
+        a = Linear(5, 5, rng=np.random.default_rng(7))
+        b = Linear(5, 5, rng=np.random.default_rng(7))
+        assert np.allclose(a.weight.data, b.weight.data)
+
+
+class TestEmbedding:
+    def test_lookup_shape(self):
+        emb = Embedding(10, 4, rng=np.random.default_rng(0))
+        assert emb(np.array([1, 2, 3])).shape == (3, 4)
+
+    def test_out_of_range_raises(self):
+        emb = Embedding(5, 2)
+        with pytest.raises(IndexError):
+            emb(np.array([5]))
+        with pytest.raises(IndexError):
+            emb(np.array([-1]))
+
+    def test_gradient_scatter(self):
+        emb = Embedding(4, 2, rng=np.random.default_rng(0))
+        emb(np.array([1, 1])).sum().backward()
+        assert np.allclose(emb.weight.grad[0], 0.0)
+        assert np.allclose(emb.weight.grad[1], 2.0)
+
+
+class TestFeatureEncoder:
+    def test_is_affine(self):
+        enc = FeatureEncoder(3, 8, rng=np.random.default_rng(0))
+        x = np.random.default_rng(1).normal(size=(5, 3))
+        # Affine: f(2x) - f(x) == f(x) - f(0).
+        f0 = enc(Tensor(np.zeros((5, 3)))).data
+        f1 = enc(Tensor(x)).data
+        f2 = enc(Tensor(2 * x)).data
+        assert np.allclose(f2 - f1, f1 - f0, atol=1e-10)
+
+    def test_output_shape(self):
+        enc = FeatureEncoder(3, 8)
+        assert enc(Tensor(np.zeros((7, 3)))).shape == (7, 8)
+
+
+class TestMLP:
+    def test_shapes(self):
+        mlp = MLP([3, 8, 2], rng=np.random.default_rng(0))
+        assert mlp(Tensor(np.zeros((4, 3)))).shape == (4, 2)
+
+    def test_needs_two_sizes(self):
+        with pytest.raises(ValueError):
+            MLP([3])
+
+    def test_single_layer_is_linear(self):
+        mlp = MLP([3, 2], rng=np.random.default_rng(0))
+        x = np.random.default_rng(1).normal(size=(4, 3))
+        expected = x @ mlp.layers[0].weight.data + mlp.layers[0].bias.data
+        assert np.allclose(mlp(Tensor(x)).data, expected)
+
+    def test_gradcheck(self):
+        mlp = MLP([2, 4, 1], rng=np.random.default_rng(5))
+        x = Tensor(np.random.default_rng(6).normal(size=(3, 2)), requires_grad=True)
+        check_gradients(lambda: (mlp(x) ** 2.0).sum(), [x] + list(mlp.parameters()))
+
+
+class TestLayerNorm:
+    def test_normalises_last_axis(self):
+        norm = LayerNorm(6)
+        out = norm(Tensor(np.random.default_rng(0).normal(2.0, 5.0, (4, 6)))).data
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-6)
+        assert np.allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_gradcheck(self):
+        norm = LayerNorm(4)
+        x = Tensor(np.random.default_rng(1).normal(size=(2, 4)), requires_grad=True)
+        check_gradients(lambda: (norm(x) ** 2.0).sum(), [x, norm.gamma, norm.beta])
+
+    def test_learned_affine(self):
+        norm = LayerNorm(3)
+        norm.gamma.data[:] = 2.0
+        norm.beta.data[:] = 1.0
+        out = norm(Tensor(np.random.default_rng(0).normal(size=(5, 3)))).data
+        assert np.allclose(out.mean(axis=-1), 1.0, atol=1e-6)
+
+
+class TestDropout:
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+        with pytest.raises(ValueError):
+            Dropout(-0.1)
+
+    def test_eval_mode_identity(self):
+        drop = Dropout(0.5, rng=np.random.default_rng(0))
+        drop.eval()
+        x = Tensor(np.ones(100))
+        assert drop(x) is x
+
+    def test_training_mode_zeroes_some(self):
+        drop = Dropout(0.5, rng=np.random.default_rng(0))
+        out = drop(Tensor(np.ones(1000)))
+        zero_fraction = (out.data == 0.0).mean()
+        assert 0.4 < zero_fraction < 0.6

@@ -1,0 +1,70 @@
+"""Tests for loss functions."""
+
+import numpy as np
+import pytest
+
+from repro.nn import bce_with_logits, binary_cross_entropy, cross_entropy
+from repro.tensor import Tensor, check_gradients, ops
+
+
+class TestBCEWithLogits:
+    def test_perfect_prediction_low_loss(self):
+        loss = bce_with_logits(Tensor([10.0, -10.0]), np.array([1.0, 0.0]))
+        assert loss.item() < 1e-3
+
+    def test_wrong_prediction_high_loss(self):
+        loss = bce_with_logits(Tensor([10.0]), np.array([0.0]))
+        assert loss.item() > 5.0
+
+    def test_zero_logit_is_log2(self):
+        loss = bce_with_logits(Tensor([0.0]), np.array([1.0]))
+        assert loss.item() == pytest.approx(np.log(2.0))
+
+    def test_matches_naive_formulation(self):
+        logits = Tensor(np.random.default_rng(0).normal(size=(8,)))
+        targets = np.random.default_rng(1).integers(0, 2, size=8).astype(float)
+        stable = bce_with_logits(logits, targets).item()
+        naive = binary_cross_entropy(ops.sigmoid(logits), targets).item()
+        assert stable == pytest.approx(naive, abs=1e-10)
+
+    def test_stable_for_extreme_logits(self):
+        loss = bce_with_logits(Tensor([1000.0, -1000.0]), np.array([0.0, 1.0]))
+        assert np.isfinite(loss.item())
+
+    def test_gradcheck(self):
+        logits = Tensor(np.random.default_rng(2).normal(size=(5,)), requires_grad=True)
+        targets = np.array([1.0, 0.0, 1.0, 1.0, 0.0])
+        check_gradients(lambda: bce_with_logits(logits, targets), [logits])
+
+    def test_accepts_tensor_targets(self):
+        loss = bce_with_logits(Tensor([0.5]), Tensor([1.0]))
+        assert np.isfinite(loss.item())
+
+
+class TestBinaryCrossEntropy:
+    def test_clipping_avoids_log_zero(self):
+        loss = binary_cross_entropy(Tensor([0.0, 1.0]), np.array([1.0, 0.0]))
+        assert np.isfinite(loss.item())
+
+    def test_gradient_direction(self):
+        p = ops.sigmoid(Tensor([0.0], requires_grad=True))
+        loss = binary_cross_entropy(p, np.array([1.0]))
+        loss.backward()
+        # Increasing p reduces the loss for a positive target.
+        assert p._parents[0].grad[0] < 0
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction(self):
+        logits = Tensor([[10.0, -10.0], [-10.0, 10.0]])
+        assert cross_entropy(logits, np.array([0, 1])).item() < 1e-3
+
+    def test_uniform_prediction_log_k(self):
+        logits = Tensor(np.zeros((4, 3)))
+        loss = cross_entropy(logits, np.array([0, 1, 2, 0]))
+        assert loss.item() == pytest.approx(np.log(3.0))
+
+    def test_gradcheck(self):
+        logits = Tensor(np.random.default_rng(3).normal(size=(4, 3)), requires_grad=True)
+        labels = np.array([0, 2, 1, 1])
+        check_gradients(lambda: cross_entropy(logits, labels), [logits])

@@ -1,0 +1,116 @@
+"""Tests for Module/Parameter registration and checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.nn import GRUCell, Linear, Module, ModuleList, Parameter
+from repro.tensor import Tensor
+
+
+class Composite(Module):
+    def __init__(self):
+        super().__init__()
+        self.inner = Linear(3, 2, rng=np.random.default_rng(0))
+        self.scale = Parameter(np.ones(2), name="scale")
+
+    def forward(self, x):
+        return self.inner(x) * self.scale
+
+
+class TestRegistration:
+    def test_parameter_always_requires_grad(self):
+        assert Parameter(np.zeros(3)).requires_grad
+
+    def test_parameters_recursive(self):
+        model = Composite()
+        params = list(model.parameters())
+        assert len(params) == 3  # weight, bias, scale
+
+    def test_named_parameters_dotted(self):
+        names = dict(Composite().named_parameters())
+        assert set(names) == {"inner.weight", "inner.bias", "scale"}
+
+    def test_modules_traversal(self):
+        model = Composite()
+        kinds = [type(m).__name__ for m in model.modules()]
+        assert kinds == ["Composite", "Linear"]
+
+    def test_num_parameters(self):
+        model = Composite()
+        assert model.num_parameters() == 3 * 2 + 2 + 2
+
+    def test_module_list_registers_children(self):
+        holder = Module()
+        holder.items = ModuleList([Linear(2, 2), Linear(2, 2)])
+        assert len(list(holder.parameters())) == 4
+        assert len(holder.items) == 2
+        assert holder.items[0] is list(iter(holder.items))[0]
+
+    def test_module_list_append(self):
+        items = ModuleList()
+        items.append(Linear(2, 2))
+        assert len(list(items.parameters())) == 2
+
+
+class TestTrainingState:
+    def test_zero_grad_clears(self):
+        model = Composite()
+        out = model(Tensor(np.ones((1, 3))))
+        out.sum().backward()
+        assert any(p.grad is not None for p in model.parameters())
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+    def test_train_eval_propagates(self):
+        model = Composite()
+        model.eval()
+        assert not model.inner.training
+        model.train()
+        assert model.inner.training
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        a = Composite()
+        b = Composite()
+        b.scale.data[:] = 7.0
+        a.load_state_dict(b.state_dict())
+        assert np.allclose(a.scale.data, 7.0)
+
+    def test_state_dict_is_copy(self):
+        model = Composite()
+        state = model.state_dict()
+        state["scale"][:] = 99.0
+        assert not np.allclose(model.scale.data, 99.0)
+
+    def test_missing_key_raises(self):
+        model = Composite()
+        state = model.state_dict()
+        del state["scale"]
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_unexpected_key_raises(self):
+        model = Composite()
+        state = model.state_dict()
+        state["ghost"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        model = Composite()
+        state = model.state_dict()
+        state["scale"] = np.zeros(5)
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_gru_cell_state_dict(self):
+        cell = GRUCell(3, 4, rng=np.random.default_rng(1))
+        clone = GRUCell(3, 4, rng=np.random.default_rng(2))
+        clone.load_state_dict(cell.state_dict())
+        x, h = Tensor(np.ones((1, 3))), Tensor(np.zeros((1, 4)))
+        assert np.allclose(cell(x, h).data, clone(x, h).data)

@@ -1,0 +1,130 @@
+"""Tests for GRU/LSTM cells and sequence wrappers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import GRU, GRUCell, LSTM, LSTMCell
+from repro.tensor import Tensor, check_gradients
+
+
+def rand(shape, seed=0):
+    return Tensor(np.random.default_rng(seed).normal(size=shape))
+
+
+class TestGRUCell:
+    def test_output_shape(self):
+        cell = GRUCell(3, 5, rng=np.random.default_rng(0))
+        out = cell(rand((2, 3)), rand((2, 5), 1))
+        assert out.shape == (2, 5)
+
+    def test_gradcheck_parameters(self):
+        cell = GRUCell(3, 4, rng=np.random.default_rng(1))
+        x, h = rand((2, 3), 2), rand((2, 4), 3)
+        check_gradients(lambda: (cell(x, h) ** 2.0).sum(), list(cell.parameters()))
+
+    def test_gradcheck_inputs(self):
+        cell = GRUCell(3, 4, rng=np.random.default_rng(1))
+        x = Tensor(np.random.default_rng(2).normal(size=(2, 3)), requires_grad=True)
+        h = Tensor(np.random.default_rng(3).normal(size=(2, 4)), requires_grad=True)
+        check_gradients(lambda: (cell(x, h) ** 2.0).sum(), [x, h])
+
+    def test_state_interpolation_bounds(self):
+        # h' = z*h + (1-z)*n with n in (-1,1): |h'| <= max(|h|, 1).
+        cell = GRUCell(2, 3, rng=np.random.default_rng(0))
+        h = Tensor(np.full((1, 3), 0.5))
+        out = cell(rand((1, 2), 5), h)
+        assert np.all(np.abs(out.data) <= 1.0)
+
+    def test_zero_input_zero_state_not_nan(self):
+        cell = GRUCell(2, 3)
+        out = cell(Tensor(np.zeros((1, 2))), Tensor(np.zeros((1, 3))))
+        assert np.all(np.isfinite(out.data))
+
+    def test_deterministic_given_seed(self):
+        a = GRUCell(2, 3, rng=np.random.default_rng(4))
+        b = GRUCell(2, 3, rng=np.random.default_rng(4))
+        x, h = rand((1, 2)), rand((1, 3), 1)
+        assert np.allclose(a(x, h).data, b(x, h).data)
+
+
+class TestLSTMCell:
+    def test_output_shapes(self):
+        cell = LSTMCell(3, 5, rng=np.random.default_rng(0))
+        h, c = cell(rand((2, 3)), (rand((2, 5), 1), rand((2, 5), 2)))
+        assert h.shape == (2, 5)
+        assert c.shape == (2, 5)
+
+    def test_gradcheck(self):
+        cell = LSTMCell(2, 3, rng=np.random.default_rng(1))
+        x = rand((1, 2), 2)
+        state = (rand((1, 3), 3), rand((1, 3), 4))
+        check_gradients(lambda: (cell(x, state)[0] ** 2.0).sum(), list(cell.parameters()))
+
+    def test_hidden_bounded_by_tanh(self):
+        cell = LSTMCell(2, 3, rng=np.random.default_rng(0))
+        h, _ = cell(rand((1, 2), 9), (Tensor(np.zeros((1, 3))), Tensor(np.zeros((1, 3)))))
+        assert np.all(np.abs(h.data) <= 1.0)
+
+
+class TestGRUSequence:
+    def test_batched_shapes(self):
+        gru = GRU(3, 4, rng=np.random.default_rng(0))
+        outputs, final = gru(rand((5, 2, 3)))
+        assert outputs.shape == (5, 2, 4)
+        assert final.shape == (2, 4)
+
+    def test_unbatched_shapes(self):
+        gru = GRU(3, 4, rng=np.random.default_rng(0))
+        outputs, final = gru(rand((5, 3)))
+        assert outputs.shape == (5, 4)
+        assert final.shape == (1, 4)
+
+    def test_final_equals_last_output(self):
+        gru = GRU(3, 4, rng=np.random.default_rng(1))
+        outputs, final = gru(rand((6, 1, 3)))
+        assert np.allclose(outputs.data[-1], final.data)
+
+    def test_initial_state_respected(self):
+        gru = GRU(2, 3, rng=np.random.default_rng(2))
+        seq = rand((4, 1, 2))
+        _, from_zero = gru(seq)
+        _, from_custom = gru(seq, h0=Tensor(np.ones((1, 3))))
+        assert not np.allclose(from_zero.data, from_custom.data)
+
+    def test_order_sensitivity(self):
+        # The global extractor relies on the GRU distinguishing orders.
+        gru = GRU(2, 4, rng=np.random.default_rng(3))
+        seq = np.random.default_rng(4).normal(size=(5, 1, 2))
+        _, forward_h = gru(Tensor(seq))
+        _, reversed_h = gru(Tensor(seq[::-1].copy()))
+        assert not np.allclose(forward_h.data, reversed_h.data)
+
+    def test_bptt_reaches_first_step(self):
+        gru = GRU(2, 3, rng=np.random.default_rng(5))
+        seq = Tensor(np.random.default_rng(6).normal(size=(8, 1, 2)), requires_grad=True)
+        _, final = gru(seq)
+        (final ** 2.0).sum().backward()
+        assert seq.grad is not None
+        assert np.abs(seq.grad[0]).max() > 0.0
+
+
+class TestLSTMSequence:
+    def test_shapes_and_state(self):
+        lstm = LSTM(3, 4, rng=np.random.default_rng(0))
+        outputs, (h, c) = lstm(rand((5, 2, 3)))
+        assert outputs.shape == (5, 2, 4)
+        assert h.shape == (2, 4)
+        assert c.shape == (2, 4)
+
+    def test_unbatched(self):
+        lstm = LSTM(3, 4, rng=np.random.default_rng(0))
+        outputs, _ = lstm(rand((5, 3)))
+        assert outputs.shape == (5, 4)
+
+    def test_custom_initial_state(self):
+        lstm = LSTM(2, 3, rng=np.random.default_rng(1))
+        seq = rand((4, 1, 2))
+        _, (h_zero, _) = lstm(seq)
+        state = (Tensor(np.ones((1, 3))), Tensor(np.ones((1, 3))))
+        _, (h_custom, _) = lstm(seq, state=state)
+        assert not np.allclose(h_zero.data, h_custom.data)

@@ -1,0 +1,65 @@
+"""Tests for checkpoint save/load."""
+
+import numpy as np
+import pytest
+
+from repro.core import TPGNN
+from repro.nn import GRUCell, Linear, load_checkpoint, save_checkpoint
+
+
+class TestRoundtrip:
+    def test_suffix_enforced(self, tmp_path):
+        layer = Linear(2, 2, rng=np.random.default_rng(0))
+        path = save_checkpoint(layer, tmp_path / "model")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_parameters_restored(self, tmp_path):
+        a = GRUCell(3, 4, rng=np.random.default_rng(1))
+        b = GRUCell(3, 4, rng=np.random.default_rng(2))
+        path = save_checkpoint(a, tmp_path / "cell.npz")
+        load_checkpoint(b, path)
+        for key, value in a.state_dict().items():
+            assert np.allclose(value, b.state_dict()[key])
+
+    def test_metadata_roundtrip(self, tmp_path):
+        layer = Linear(2, 2, rng=np.random.default_rng(0))
+        path = save_checkpoint(layer, tmp_path / "m.npz", metadata={"f1": 0.93, "epochs": 5})
+        meta = load_checkpoint(Linear(2, 2), path)
+        assert meta["user"] == {"f1": 0.93, "epochs": 5}
+        assert meta["model_class"] == "Linear"
+        assert meta["num_parameters"] == 6
+
+    def test_full_model_predictions_preserved(self, tmp_path, chain_graph):
+        model = TPGNN(4, hidden_size=6, gru_hidden_size=6, time_dim=2, seed=0)
+        path = save_checkpoint(model, tmp_path / "tpgnn.npz")
+        clone = TPGNN(4, hidden_size=6, gru_hidden_size=6, time_dim=2, seed=42)
+        load_checkpoint(clone, path)
+        assert model.predict_proba(chain_graph) == pytest.approx(
+            clone.predict_proba(chain_graph)
+        )
+
+
+class TestValidation:
+    def test_wrong_class_rejected(self, tmp_path):
+        path = save_checkpoint(Linear(2, 2), tmp_path / "lin.npz")
+        with pytest.raises(TypeError, match="written by Linear"):
+            load_checkpoint(GRUCell(2, 2), path)
+
+    def test_wrong_class_override(self, tmp_path):
+        path = save_checkpoint(Linear(2, 2), tmp_path / "lin.npz")
+        target = Linear(2, 2)
+        # Same architecture, different class check disabled.
+        meta = load_checkpoint(target, path, strict_class=False)
+        assert meta["model_class"] == "Linear"
+
+    def test_not_a_checkpoint(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, foo=np.zeros(3))
+        with pytest.raises(ValueError, match="not a repro checkpoint"):
+            load_checkpoint(Linear(2, 2), path)
+
+    def test_architecture_mismatch_surfaces(self, tmp_path):
+        path = save_checkpoint(Linear(2, 2), tmp_path / "lin.npz")
+        with pytest.raises((KeyError, ValueError)):
+            load_checkpoint(Linear(3, 3), path, strict_class=False)

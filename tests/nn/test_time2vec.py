@@ -1,0 +1,66 @@
+"""Tests for the Time2Vec time encoding (paper Eq. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Time2Vec
+from repro.tensor import Tensor, check_gradients
+
+
+class TestShapeAndStructure:
+    def test_minimum_dim(self):
+        with pytest.raises(ValueError):
+            Time2Vec(1)
+
+    def test_output_shape(self):
+        t2v = Time2Vec(6, rng=np.random.default_rng(0))
+        assert t2v(np.array([1.0, 2.0, 3.0])).shape == (3, 6)
+
+    def test_scalar_input(self):
+        t2v = Time2Vec(4, rng=np.random.default_rng(0))
+        assert t2v(5.0).shape == (1, 4)
+
+    def test_tensor_input(self):
+        t2v = Time2Vec(4, rng=np.random.default_rng(0))
+        assert t2v(Tensor([1.0, 2.0])).shape == (2, 4)
+
+    def test_first_component_linear(self):
+        t2v = Time2Vec(5, rng=np.random.default_rng(1))
+        times = np.array([0.0, 1.0, 2.0, 3.0])
+        trend = t2v(times).data[:, 0]
+        diffs = np.diff(trend)
+        assert np.allclose(diffs, diffs[0])
+
+    def test_periodic_components_bounded(self):
+        t2v = Time2Vec(6, rng=np.random.default_rng(2))
+        out = t2v(np.linspace(0, 100, 50)).data
+        assert np.all(np.abs(out[:, 1:]) <= 1.0)
+
+    def test_periodicity(self):
+        t2v = Time2Vec(3, rng=np.random.default_rng(3))
+        omega = t2v.periodic_weight.data
+        period = 2.0 * np.pi / omega
+        # Evaluate one component at t and t + its period.
+        for j in range(2):
+            a = t2v(np.array([1.0])).data[0, 1 + j]
+            b = t2v(np.array([1.0 + period[j]])).data[0, 1 + j]
+            assert a == pytest.approx(b, abs=1e-8)
+
+
+class TestLearning:
+    def test_all_parameters_receive_gradients(self):
+        t2v = Time2Vec(4, rng=np.random.default_rng(0))
+        (t2v(np.array([1.0, 2.0])) ** 2.0).sum().backward()
+        for param in t2v.parameters():
+            assert param.grad is not None
+
+    def test_gradcheck(self):
+        t2v = Time2Vec(4, rng=np.random.default_rng(1))
+        check_gradients(
+            lambda: (t2v(np.array([0.5, 1.5])) ** 2.0).sum(), list(t2v.parameters())
+        )
+
+    def test_distinct_times_distinct_embeddings(self):
+        t2v = Time2Vec(6, rng=np.random.default_rng(4))
+        out = t2v(np.array([1.0, 7.4])).data
+        assert not np.allclose(out[0], out[1])

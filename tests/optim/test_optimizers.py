@@ -1,0 +1,138 @@
+"""Tests for SGD, Adam, AdamW and gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, bce_with_logits
+from repro.nn.module import Parameter
+from repro.optim import SGD, Adam, AdamW, Optimizer, clip_grad_norm
+from repro.tensor import Tensor
+
+
+def quadratic_param(value=5.0):
+    return Parameter(np.array([value]), name="x")
+
+
+def minimise(optimizer, param, steps=200):
+    for _ in range(steps):
+        optimizer.zero_grad()
+        loss = (param * param).sum()
+        loss.backward()
+        optimizer.step()
+    return float(param.data[0])
+
+
+class TestOptimizerBase:
+    def test_empty_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_zero_grad(self):
+        p = quadratic_param()
+        opt = SGD([p], lr=0.1)
+        (p * p).sum().backward()
+        opt.zero_grad()
+        assert p.grad is None
+
+    def test_step_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Optimizer([quadratic_param()]).step()
+
+
+class TestSGD:
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            SGD([quadratic_param()], lr=0.0)
+
+    def test_converges_on_quadratic(self):
+        p = quadratic_param()
+        assert abs(minimise(SGD([p], lr=0.1), p)) < 1e-3
+
+    def test_momentum_converges(self):
+        p = quadratic_param()
+        assert abs(minimise(SGD([p], lr=0.05, momentum=0.9), p)) < 1e-3
+
+    def test_weight_decay_shrinks_parameter(self):
+        p = quadratic_param(1.0)
+        opt = SGD([p], lr=0.1, weight_decay=1.0)
+        opt.zero_grad()
+        p.grad = np.zeros_like(p.data)
+        opt.step()
+        assert p.data[0] < 1.0
+
+    def test_skips_parameters_without_grad(self):
+        p, q = quadratic_param(1.0), quadratic_param(1.0)
+        opt = SGD([p, q], lr=0.1)
+        (p * p).sum().backward()
+        opt.step()
+        assert q.data[0] == 1.0
+
+    def test_single_step_matches_formula(self):
+        p = quadratic_param(2.0)
+        opt = SGD([p], lr=0.1)
+        (p * p).sum().backward()
+        opt.step()
+        assert p.data[0] == pytest.approx(2.0 - 0.1 * 4.0)
+
+
+class TestAdam:
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            Adam([quadratic_param()], lr=-1.0)
+
+    def test_converges_on_quadratic(self):
+        p = quadratic_param()
+        assert abs(minimise(Adam([p], lr=0.1), p)) < 1e-2
+
+    def test_first_step_size_is_lr(self):
+        # With bias correction, the first Adam step is ~lr in magnitude.
+        p = quadratic_param(1.0)
+        opt = Adam([p], lr=0.01)
+        (p * p).sum().backward()
+        opt.step()
+        assert p.data[0] == pytest.approx(1.0 - 0.01, abs=1e-6)
+
+    def test_trains_logistic_regression(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(64, 2))
+        y = (x[:, 0] + x[:, 1] > 0).astype(float).reshape(-1, 1)
+        layer = Linear(2, 1, rng=rng)
+        opt = Adam(layer.parameters(), lr=0.05)
+        for _ in range(150):
+            opt.zero_grad()
+            loss = bce_with_logits(layer(Tensor(x)), y)
+            loss.backward()
+            opt.step()
+        assert loss.item() < 0.15
+
+    def test_adamw_decay_is_decoupled(self):
+        p = quadratic_param(1.0)
+        opt = AdamW([p], lr=0.1, weight_decay=0.5)
+        opt.zero_grad()
+        p.grad = np.zeros_like(p.data)
+        opt.step()
+        # Pure decay: p -= lr * wd * p (Adam part has zero grad -> no move).
+        assert p.data[0] == pytest.approx(1.0 - 0.1 * 0.5 * 1.0)
+        assert opt.weight_decay == 0.5  # restored after step
+
+
+class TestClipGradNorm:
+    def test_norm_reported(self):
+        p = quadratic_param(3.0)
+        (p * p).sum().backward()  # grad = 6
+        norm = clip_grad_norm([p], max_norm=100.0)
+        assert norm == pytest.approx(6.0)
+        assert p.grad[0] == pytest.approx(6.0)  # untouched
+
+    def test_scaling_applied(self):
+        p = quadratic_param(3.0)
+        (p * p).sum().backward()
+        clip_grad_norm([p], max_norm=1.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_ignores_gradless_parameters(self):
+        p, q = quadratic_param(), quadratic_param()
+        (p * p).sum().backward()
+        norm = clip_grad_norm([p, q], max_norm=1.0)
+        assert norm > 0.0
+        assert q.grad is None

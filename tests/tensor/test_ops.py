@@ -1,0 +1,296 @@
+"""Per-op forward and analytic-gradient tests."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, check_gradients, ops
+
+
+def make(shape, seed=0, scale=1.0):
+    rng = np.random.default_rng(seed)
+    return Tensor(rng.normal(size=shape) * scale, requires_grad=True)
+
+
+class TestArithmetic:
+    def test_add_forward(self):
+        assert np.allclose((Tensor([1.0, 2.0]) + Tensor([3.0, 4.0])).data, [4.0, 6.0])
+
+    def test_add_scalar_overload(self):
+        assert np.allclose((Tensor([1.0]) + 2.0).data, [3.0])
+        assert np.allclose((2.0 + Tensor([1.0])).data, [3.0])
+
+    def test_sub_rsub(self):
+        assert np.allclose((Tensor([5.0]) - 2.0).data, [3.0])
+        assert np.allclose((2.0 - Tensor([5.0])).data, [-3.0])
+
+    def test_mul_div(self):
+        assert np.allclose((Tensor([6.0]) * Tensor([2.0])).data, [12.0])
+        assert np.allclose((Tensor([6.0]) / Tensor([2.0])).data, [3.0])
+        assert np.allclose((12.0 / Tensor([4.0])).data, [3.0])
+
+    def test_neg_pow(self):
+        assert np.allclose((-Tensor([2.0])).data, [-2.0])
+        assert np.allclose((Tensor([3.0]) ** 2).data, [9.0])
+
+    def test_add_gradcheck(self):
+        a, b = make((3, 2), 1), make((3, 2), 2)
+        check_gradients(lambda: (a + b).sum(), [a, b])
+
+    def test_mul_gradcheck(self):
+        a, b = make((3, 2), 1), make((3, 2), 2)
+        check_gradients(lambda: (a * b).sum(), [a, b])
+
+    def test_div_gradcheck(self):
+        a = make((3, 2), 1)
+        b = Tensor(np.random.default_rng(2).uniform(0.5, 2.0, (3, 2)), requires_grad=True)
+        check_gradients(lambda: (a / b).sum(), [a, b])
+
+    def test_pow_gradcheck(self):
+        a = Tensor(np.random.default_rng(0).uniform(0.5, 2.0, (4,)), requires_grad=True)
+        check_gradients(lambda: (a**3.0).sum(), [a])
+
+    def test_abs_gradcheck(self):
+        a = Tensor([1.5, -2.5, 3.0], requires_grad=True)
+        check_gradients(lambda: a.abs().sum(), [a])
+
+    def test_clip_forward_and_mask(self):
+        a = Tensor([-2.0, 0.5, 2.0], requires_grad=True)
+        out = a.clip(-1.0, 1.0)
+        assert np.allclose(out.data, [-1.0, 0.5, 1.0])
+        out.sum().backward()
+        assert np.allclose(a.grad, [0.0, 1.0, 0.0])
+
+
+class TestBroadcasting:
+    def test_row_broadcast_forward(self):
+        a = Tensor(np.ones((3, 2)))
+        b = Tensor(np.array([10.0, 20.0]))
+        assert np.allclose((a + b).data, [[11, 21]] * 3)
+
+    def test_row_broadcast_gradient_sums(self):
+        a = make((3, 2), 1)
+        b = make((2,), 2)
+        check_gradients(lambda: (a * b).sum(), [a, b])
+
+    def test_column_broadcast_gradient(self):
+        a = make((3, 2), 1)
+        b = make((3, 1), 2)
+        check_gradients(lambda: (a + b).sum(), [a, b])
+
+    def test_scalar_broadcast_gradient(self):
+        a = make((2, 3), 1)
+        b = Tensor(np.array(2.0), requires_grad=True)
+        check_gradients(lambda: (a * b).sum(), [a, b])
+
+
+class TestActivations:
+    @pytest.mark.parametrize(
+        "op", [ops.exp, ops.tanh, ops.sigmoid, ops.relu, ops.sin]
+    )
+    def test_unary_gradcheck(self, op):
+        a = make((4, 3), 7, scale=0.8)
+        check_gradients(lambda: op(a).sum(), [a])
+
+    def test_log_gradcheck(self):
+        a = Tensor(np.random.default_rng(0).uniform(0.5, 3.0, (5,)), requires_grad=True)
+        check_gradients(lambda: a.log().sum(), [a])
+
+    def test_sigmoid_stable_for_large_inputs(self):
+        out = ops.sigmoid(Tensor([800.0, -800.0]))
+        assert np.allclose(out.data, [1.0, 0.0])
+        assert np.all(np.isfinite(out.data))
+
+    def test_relu_zeroes_negatives(self):
+        assert np.allclose(ops.relu(Tensor([-1.0, 2.0])).data, [0.0, 2.0])
+
+    def test_leaky_relu_slope(self):
+        out = ops.leaky_relu(Tensor([-10.0, 10.0]), negative_slope=0.1)
+        assert np.allclose(out.data, [-1.0, 10.0])
+
+    def test_leaky_relu_gradcheck(self):
+        a = make((5,), 3)
+        check_gradients(lambda: ops.leaky_relu(a, 0.2).sum(), [a])
+
+    def test_tanh_range(self):
+        out = ops.tanh(make((100,), 0, scale=10.0))
+        assert np.all(np.abs(out.data) <= 1.0)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        out = ops.softmax(make((4, 5), 0), axis=1)
+        assert np.allclose(out.data.sum(axis=1), 1.0)
+
+    def test_shift_invariance(self):
+        a = make((3, 4), 1)
+        shifted = Tensor(a.data + 1000.0)
+        assert np.allclose(ops.softmax(a).data, ops.softmax(shifted).data)
+
+    def test_softmax_gradcheck(self):
+        a = make((3, 4), 2)
+        w = make((4,), 3)
+        check_gradients(lambda: (ops.softmax(a, axis=1) * w).sum(), [a, w])
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        a = make((3, 4), 2)
+        assert np.allclose(
+            ops.log_softmax(a).data, np.log(ops.softmax(a).data), atol=1e-10
+        )
+
+    def test_log_softmax_gradcheck(self):
+        a = make((2, 5), 4)
+        check_gradients(lambda: (ops.log_softmax(a, axis=1)[0, 2] * 3.0).sum(), [a])
+
+
+class TestMatmul:
+    def test_forward_2d(self):
+        a = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        b = Tensor([[1.0, 0.0], [0.0, 1.0]])
+        assert np.allclose((a @ b).data, a.data)
+
+    def test_gradcheck_2d(self):
+        a, b = make((3, 4), 1), make((4, 2), 2)
+        check_gradients(lambda: (a @ b).sum(), [a, b])
+
+    def test_gradcheck_vec_mat(self):
+        a, b = make((4,), 1), make((4, 3), 2)
+        check_gradients(lambda: (a @ b).sum(), [a, b])
+
+    def test_gradcheck_mat_vec(self):
+        a, b = make((3, 4), 1), make((4,), 2)
+        check_gradients(lambda: (a @ b).sum(), [a, b])
+
+    def test_gradcheck_dot(self):
+        a, b = make((5,), 1), make((5,), 2)
+        check_gradients(lambda: (a @ b) * 1.0, [a, b])
+
+    def test_gradcheck_batched(self):
+        a, b = make((2, 3, 4), 1), make((2, 4, 2), 2)
+        check_gradients(lambda: (a @ b).sum(), [a, b])
+
+
+class TestReductions:
+    def test_sum_axis_keepdims(self):
+        a = Tensor(np.arange(6.0).reshape(2, 3))
+        assert a.sum(axis=0).shape == (3,)
+        assert a.sum(axis=1, keepdims=True).shape == (2, 1)
+        assert a.sum().item() == pytest.approx(15.0)
+
+    def test_sum_gradcheck(self):
+        a = make((3, 4), 1)
+        check_gradients(lambda: (a.sum(axis=0) ** 2.0).sum(), [a])
+
+    def test_mean_gradcheck(self):
+        a = make((3, 4), 2)
+        check_gradients(lambda: (a.mean(axis=1) ** 2.0).sum(), [a])
+
+    def test_mean_tuple_axis(self):
+        a = make((2, 3, 4), 3)
+        out = a.mean(axis=(0, 2))
+        assert out.shape == (3,)
+        check_gradients(lambda: (a.mean(axis=(0, 2)) ** 2.0).sum(), [a])
+
+    def test_max_forward(self):
+        a = Tensor([[1.0, 5.0], [7.0, 2.0]])
+        assert np.allclose(a.max(axis=1).data, [5.0, 7.0])
+
+    def test_max_gradient_goes_to_argmax(self):
+        a = Tensor([[1.0, 5.0], [7.0, 2.0]], requires_grad=True)
+        a.max(axis=1).sum().backward()
+        assert np.allclose(a.grad, [[0.0, 1.0], [1.0, 0.0]])
+
+    def test_max_ties_split_gradient(self):
+        a = Tensor([[3.0, 3.0]], requires_grad=True)
+        a.max(axis=1).sum().backward()
+        assert np.allclose(a.grad, [[0.5, 0.5]])
+
+
+class TestShapeOps:
+    def test_reshape_roundtrip_gradcheck(self):
+        a = make((2, 6), 1)
+        check_gradients(lambda: (a.reshape(3, 4) ** 2.0).sum(), [a])
+
+    def test_reshape_tuple_arg(self):
+        a = Tensor(np.zeros((2, 6)))
+        assert a.reshape((4, 3)).shape == (4, 3)
+
+    def test_transpose_default(self):
+        a = make((2, 5), 1)
+        assert a.T.shape == (5, 2)
+        check_gradients(lambda: (a.T ** 2.0).sum(), [a])
+
+    def test_transpose_axes(self):
+        a = make((2, 3, 4), 1)
+        out = a.transpose((2, 0, 1))
+        assert out.shape == (4, 2, 3)
+        check_gradients(lambda: (a.transpose((2, 0, 1)) ** 2.0).sum(), [a])
+
+    def test_getitem_slice_gradcheck(self):
+        a = make((4, 5), 1)
+        check_gradients(lambda: (a[1:3, 2:] ** 2.0).sum(), [a])
+
+    def test_getitem_fancy_index_accumulates(self):
+        a = Tensor(np.ones((3, 2)), requires_grad=True)
+        out = a[np.array([0, 0, 2])]
+        out.sum().backward()
+        # Row 0 picked twice: its gradient doubles.
+        assert np.allclose(a.grad, [[2.0, 2.0], [0.0, 0.0], [1.0, 1.0]])
+
+    def test_concat_forward_and_grad(self):
+        a, b = make((2, 3), 1), make((2, 2), 2)
+        out = ops.concat([a, b], axis=1)
+        assert out.shape == (2, 5)
+        check_gradients(lambda: (ops.concat([a, b], axis=1) ** 2.0).sum(), [a, b])
+
+    def test_concat_axis0(self):
+        a, b = make((2, 3), 1), make((4, 3), 2)
+        assert ops.concat([a, b], axis=0).shape == (6, 3)
+
+    def test_stack_forward_and_grad(self):
+        parts = [make((3,), i) for i in range(4)]
+        out = ops.stack(parts, axis=0)
+        assert out.shape == (4, 3)
+        check_gradients(lambda: (ops.stack(parts, axis=0) ** 2.0).sum(), parts)
+
+    def test_stack_axis1(self):
+        parts = [make((3,), i) for i in range(2)]
+        assert ops.stack(parts, axis=1).shape == (3, 2)
+
+    def test_where_selects_and_grads(self):
+        cond = np.array([True, False, True])
+        a, b = make((3,), 1), make((3,), 2)
+        out = ops.where(cond, a, b)
+        assert np.allclose(out.data, np.where(cond, a.data, b.data))
+        check_gradients(lambda: (ops.where(cond, a, b) ** 2.0).sum(), [a, b])
+
+
+class TestEmbeddingLookup:
+    def test_lookup_values(self):
+        w = Tensor(np.arange(12.0).reshape(4, 3), requires_grad=True)
+        out = ops.embedding_lookup(w, [2, 0])
+        assert np.allclose(out.data, [[6, 7, 8], [0, 1, 2]])
+
+    def test_duplicate_indices_accumulate(self):
+        w = Tensor(np.zeros((3, 2)), requires_grad=True)
+        ops.embedding_lookup(w, [1, 1, 1]).sum().backward()
+        assert np.allclose(w.grad, [[0, 0], [3, 3], [0, 0]])
+
+
+class TestDropout:
+    def test_rate_zero_is_identity(self):
+        a = make((5,), 0)
+        assert ops.dropout(a, 0.0, np.random.default_rng(0)) is a
+
+    def test_scaling_preserves_expectation(self):
+        rng = np.random.default_rng(0)
+        a = Tensor(np.ones(20000))
+        out = ops.dropout(a, 0.5, rng)
+        assert out.data.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_mask_reused_in_backward(self):
+        rng = np.random.default_rng(0)
+        a = Tensor(np.ones(100), requires_grad=True)
+        out = ops.dropout(a, 0.5, rng)
+        out.sum().backward()
+        # Gradient is exactly the forward mask.
+        assert np.allclose(a.grad, out.data)

@@ -1,0 +1,101 @@
+"""Property-based tests for the autograd engine (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.tensor import Tensor, check_gradients, ops
+
+finite_floats = st.floats(
+    min_value=-3.0, max_value=3.0, allow_nan=False, allow_infinity=False
+)
+
+
+def small_arrays(max_dims=2, max_side=4):
+    return arrays(
+        dtype=np.float64,
+        shape=array_shapes(min_dims=1, max_dims=max_dims, min_side=1, max_side=max_side),
+        elements=finite_floats,
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays())
+def test_add_commutative(values):
+    a, b = Tensor(values), Tensor(values[::-1].copy().reshape(values.shape))
+    assert np.allclose((a + b).data, (b + a).data)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays())
+def test_double_negation_identity(values):
+    a = Tensor(values)
+    assert np.allclose((-(-a)).data, values)
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_arrays())
+def test_sum_then_backward_gives_ones(values):
+    a = Tensor(values, requires_grad=True)
+    a.sum().backward()
+    assert np.allclose(a.grad, np.ones_like(values))
+
+
+@settings(max_examples=20, deadline=None)
+@given(small_arrays(max_dims=2, max_side=3))
+def test_elementwise_chain_gradcheck(values):
+    a = Tensor(values, requires_grad=True)
+    check_gradients(lambda: (ops.tanh(a) * ops.sigmoid(a)).sum(), [a], atol=1e-3, rtol=1e-3)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    arrays(np.float64, (3, 4), elements=finite_floats),
+    arrays(np.float64, (4, 2), elements=finite_floats),
+)
+def test_matmul_gradcheck_property(a_values, b_values):
+    a = Tensor(a_values, requires_grad=True)
+    b = Tensor(b_values, requires_grad=True)
+    check_gradients(lambda: (a @ b).sum(), [a, b], atol=1e-3, rtol=1e-3)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays())
+def test_softmax_is_distribution(values):
+    out = ops.softmax(Tensor(values), axis=-1).data
+    assert np.all(out >= 0.0)
+    assert np.allclose(out.sum(axis=-1), 1.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays())
+def test_tanh_bounded(values):
+    out = ops.tanh(Tensor(values * 100.0)).data
+    assert np.all(np.abs(out) <= 1.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays(max_dims=2))
+def test_reshape_preserves_sum_gradient(values):
+    a = Tensor(values, requires_grad=True)
+    a.reshape(values.size).sum().backward()
+    assert np.allclose(a.grad, np.ones_like(values))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(finite_floats, min_size=2, max_size=6))
+def test_concat_inverts_split(values):
+    a = Tensor(np.asarray(values))
+    parts = [a[i : i + 1] for i in range(len(values))]
+    joined = ops.concat(parts, axis=0)
+    assert np.allclose(joined.data, values)
+
+
+@settings(max_examples=20, deadline=None)
+@given(small_arrays(max_dims=1, max_side=6))
+def test_stack_then_index_roundtrip(values):
+    tensors = [Tensor(values) for _ in range(3)]
+    stacked = ops.stack(tensors, axis=0)
+    for i in range(3):
+        assert np.allclose(stacked.data[i], values)

@@ -1,0 +1,76 @@
+"""Tests for classification metrics and multi-run summaries."""
+
+import numpy as np
+import pytest
+
+from repro.training import Metrics, MetricSummary, compute_metrics
+
+
+class TestComputeMetrics:
+    def test_perfect(self):
+        m = compute_metrics([1, 0, 1, 0], [1, 0, 1, 0])
+        assert m.precision == 1.0
+        assert m.recall == 1.0
+        assert m.f1 == 1.0
+        assert m.accuracy == 1.0
+
+    def test_all_wrong(self):
+        m = compute_metrics([1, 0], [0, 1])
+        assert m.f1 == 0.0
+        assert m.accuracy == 0.0
+
+    def test_known_values(self):
+        # tp=2, fp=1, fn=1 -> precision 2/3, recall 2/3, f1 2/3.
+        m = compute_metrics([1, 1, 1, 0, 0], [1, 1, 0, 1, 0])
+        assert m.precision == pytest.approx(2 / 3)
+        assert m.recall == pytest.approx(2 / 3)
+        assert m.f1 == pytest.approx(2 / 3)
+
+    def test_f1_is_harmonic_mean(self):
+        m = compute_metrics([1, 1, 0, 0], [1, 0, 1, 0])
+        expected = 2 * m.precision * m.recall / (m.precision + m.recall)
+        assert m.f1 == pytest.approx(expected)
+
+    def test_degenerate_no_positive_predictions(self):
+        m = compute_metrics([1, 1], [0, 0])
+        assert m.precision == 0.0
+        assert m.recall == 0.0
+        assert m.f1 == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            compute_metrics([], [])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            compute_metrics([1, 0], [1])
+
+    def test_confusion_counts(self):
+        m = compute_metrics([1, 1, 0, 0], [1, 0, 1, 0])
+        assert (m.true_positives, m.false_negatives, m.false_positives, m.true_negatives) == (1, 1, 1, 1)
+
+
+class TestMetricSummary:
+    def test_from_runs(self):
+        runs = [
+            Metrics(precision=0.8, recall=1.0, f1=0.9),
+            Metrics(precision=0.6, recall=0.8, f1=0.7),
+        ]
+        summary = MetricSummary.from_runs(runs)
+        assert summary.f1_mean == pytest.approx(0.8)
+        assert summary.f1_std == pytest.approx(0.1)
+        assert summary.runs == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MetricSummary.from_runs([])
+
+    def test_format_cell(self):
+        summary = MetricSummary.from_runs([Metrics(0.75, 0.5, 0.6)])
+        assert summary.format_cell("f1") == "60.00±0.00"
+        assert summary.format_cell("precision") == "75.00±0.00"
+        assert summary.format_cell("recall") == "50.00±0.00"
+
+    def test_single_run_zero_std(self):
+        summary = MetricSummary.from_runs([Metrics(0.5, 0.5, 0.5)])
+        assert summary.f1_std == 0.0

@@ -1,0 +1,107 @@
+"""Tests for the training loop and the evaluation protocol."""
+
+import numpy as np
+import pytest
+
+from repro.core import TPGNN
+from repro.training import (
+    TrainConfig,
+    evaluate,
+    inference_time_per_graph,
+    run_trials,
+    train_model,
+)
+
+
+def make_model(seed=0):
+    return TPGNN(3, updater="sum", hidden_size=6, gru_hidden_size=6, time_dim=2, seed=seed)
+
+
+class TestTrainModel:
+    def test_losses_recorded_per_epoch(self, tiny_dataset):
+        result = train_model(make_model(), tiny_dataset, TrainConfig(epochs=3, seed=0))
+        assert len(result.losses) == 3
+        assert result.epochs_run == 3
+        assert result.train_seconds > 0.0
+
+    def test_parameters_change(self, tiny_dataset):
+        model = make_model()
+        before = {k: v.copy() for k, v in model.state_dict().items()}
+        train_model(model, tiny_dataset, TrainConfig(epochs=2, learning_rate=0.05, seed=0))
+        after = model.state_dict()
+        assert any(not np.allclose(before[k], after[k]) for k in before)
+
+    def test_loss_decreases_with_training(self, tiny_dataset):
+        model = make_model()
+        result = train_model(
+            model, tiny_dataset, TrainConfig(epochs=15, learning_rate=0.02, seed=0)
+        )
+        assert result.losses[-1] < result.losses[0]
+
+    def test_deterministic_given_seed(self, tiny_dataset):
+        a, b = make_model(3), make_model(3)
+        config = TrainConfig(epochs=2, seed=9)
+        ra = train_model(a, tiny_dataset, config)
+        rb = train_model(b, tiny_dataset, config)
+        assert np.allclose(ra.losses, rb.losses)
+        for key, value in a.state_dict().items():
+            assert np.allclose(value, b.state_dict()[key])
+
+    def test_no_graph_shuffle_option(self, tiny_dataset):
+        config = TrainConfig(epochs=1, shuffle_graphs=False, shuffle_ties=False, seed=0)
+        result = train_model(make_model(), tiny_dataset, config)
+        assert len(result.losses) == 1
+
+    def test_batch_size_one(self, tiny_dataset):
+        result = train_model(make_model(), tiny_dataset, TrainConfig(epochs=1, batch_size=1, seed=0))
+        assert result.epochs_run == 1
+
+
+class TestEvaluate:
+    def test_metrics_returned(self, tiny_dataset):
+        metrics = evaluate(make_model(), tiny_dataset)
+        assert 0.0 <= metrics.f1 <= 1.0
+        assert 0.0 <= metrics.precision <= 1.0
+        assert 0.0 <= metrics.recall <= 1.0
+
+    def test_model_left_in_train_mode(self, tiny_dataset):
+        model = make_model()
+        evaluate(model, tiny_dataset)
+        assert model.training
+
+    def test_threshold_extremes(self, tiny_dataset):
+        model = make_model()
+        low = evaluate(model, tiny_dataset, threshold=0.0)
+        # Threshold 0 -> everything predicted positive -> recall 1.
+        assert low.recall == 1.0
+        high = evaluate(model, tiny_dataset, threshold=1.1)
+        assert high.recall == 0.0
+
+
+class TestInferenceTiming:
+    def test_positive_time(self, tiny_dataset):
+        seconds = inference_time_per_graph(make_model(), tiny_dataset)
+        assert seconds > 0.0
+
+
+class TestRunTrials:
+    def test_summary_over_runs(self, tiny_dataset):
+        summary = run_trials(
+            lambda seed: make_model(seed),
+            tiny_dataset,
+            TrainConfig(epochs=1, seed=0),
+            runs=2,
+        )
+        assert summary.runs == 2
+        assert 0.0 <= summary.f1_mean <= 1.0
+
+    def test_uses_chronological_split(self, tiny_dataset):
+        # Must not raise and must evaluate only on the last 70%.
+        summary = run_trials(
+            lambda seed: make_model(seed),
+            tiny_dataset,
+            TrainConfig(epochs=1, seed=0),
+            runs=1,
+            train_fraction=0.5,
+        )
+        assert summary.runs == 1
