@@ -15,6 +15,12 @@ from repro.experiments import render_bar_chart
 from repro.experiments.runner import build_dataset
 from repro.training import run_trials
 
+import pytest
+
+# The benchmark suite regenerates full tables/figures (minutes at
+# smoke scale); `pytest -m "not slow"` skips it for the fast loop.
+pytestmark = pytest.mark.slow
+
 
 def test_edge_agg_choice(config, benchmark):
     dataset = build_dataset("Forum-java", config)

@@ -8,6 +8,12 @@ global extractor both contribute.
 from benchmarks.conftest import print_block
 from repro.experiments import format_ablation, run_ablation
 
+import pytest
+
+# The benchmark suite regenerates full tables/figures (minutes at
+# smoke scale); `pytest -m "not slow"` skips it for the fast loop.
+pytestmark = pytest.mark.slow
+
 
 def test_fig3_ablation_sum(config, benchmark):
     datasets = ("Forum-java", "Gowalla") if config.num_graphs <= 150 else (

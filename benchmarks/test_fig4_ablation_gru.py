@@ -3,6 +3,12 @@
 from benchmarks.conftest import print_block
 from repro.experiments import format_ablation, run_ablation
 
+import pytest
+
+# The benchmark suite regenerates full tables/figures (minutes at
+# smoke scale); `pytest -m "not slow"` skips it for the fast loop.
+pytestmark = pytest.mark.slow
+
 
 def test_fig4_ablation_gru(config, benchmark):
     datasets = ("Forum-java", "Gowalla") if config.num_graphs <= 150 else (

@@ -11,6 +11,12 @@ import numpy as np
 from benchmarks.conftest import print_block
 from repro.experiments import format_sensitivity, run_sensitivity
 
+import pytest
+
+# The benchmark suite regenerates full tables/figures (minutes at
+# smoke scale); `pytest -m "not slow"` skips it for the fast loop.
+pytestmark = pytest.mark.slow
+
 
 def test_fig5_sensitivity(config, benchmark):
     if config.num_graphs <= 150:

@@ -8,6 +8,12 @@ grows with the number of edges but stays competitive.
 from benchmarks.conftest import print_block
 from repro.experiments import format_runtime, run_runtime
 
+import pytest
+
+# The benchmark suite regenerates full tables/figures (minutes at
+# smoke scale); `pytest -m "not slow"` skips it for the fast loop.
+pytestmark = pytest.mark.slow
+
 
 def test_fig6_runtime(config, benchmark):
     datasets = ("Forum-java", "Gowalla") if config.num_graphs <= 150 else (

@@ -10,6 +10,12 @@ explanation of WHY the prediction changes.
 from benchmarks.conftest import print_block
 from repro.experiments import format_case_study, run_case_study
 
+import pytest
+
+# The benchmark suite regenerates full tables/figures (minutes at
+# smoke scale); `pytest -m "not slow"` skips it for the fast loop.
+pytestmark = pytest.mark.slow
+
 
 def test_fig7_case_study(config, benchmark):
     result = benchmark.pedantic(

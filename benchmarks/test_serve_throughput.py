@@ -1,0 +1,82 @@
+"""Serving benchmark: incremental O(1) predict vs full batch replay.
+
+The point of :mod:`repro.serve`: scoring a long-running session after
+each new event costs O(1) with live state, O(m) with batch replay.  On
+sessions of >= 200 edges the incremental path must be at least 10x
+faster per event; the gap widens linearly with session length.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_block
+from repro.core import TPGNN
+from repro.graph import CTDN
+from repro.serve import IncrementalClassifier
+
+# The benchmark suite regenerates full tables/figures (minutes at
+# smoke scale); `pytest -m "not slow"` skips it for the fast loop.
+pytestmark = pytest.mark.slow
+
+SESSION_EDGES = 240
+WARMUP_EDGES = 40
+REQUIRED_SPEEDUP = 10.0
+
+
+def long_session(num_edges: int, seed: int = 0) -> CTDN:
+    rng = np.random.default_rng(seed)
+    n = 30
+    edges, t = [], 0.0
+    for _ in range(num_edges):
+        t += float(rng.exponential(1.0)) + 0.01
+        u, v = rng.choice(n, size=2, replace=False)
+        edges.append((int(u), int(v), t))
+    return CTDN(n, rng.normal(size=(n, 4)), edges, label=1)
+
+
+def measure(updater: str) -> tuple[float, float, float]:
+    """Per-event seconds for (incremental, replay) plus the speedup."""
+    model = TPGNN(in_features=4, updater=updater, hidden_size=16,
+                  gru_hidden_size=16, time_dim=4, seed=0)
+    model.eval()
+    graph = long_session(SESSION_EDGES)
+    edges = graph.edges_sorted()
+
+    classifier = IncrementalClassifier(model)
+    state = classifier.new_session("bench", features=graph.features)
+    for edge in edges[:WARMUP_EDGES]:
+        classifier.observe(state, edge)
+
+    incremental = replay = 0.0
+    for count, edge in enumerate(edges[WARMUP_EDGES:], start=WARMUP_EDGES + 1):
+        # Incremental: fold the one new event, read the live state.
+        start = time.perf_counter()
+        classifier.observe(state, edge)
+        classifier.predict_proba(state, mode="online")
+        incremental += time.perf_counter() - start
+        # Replay: rebuild the whole session to score the same moment.
+        prefix = graph.prefix(count)
+        start = time.perf_counter()
+        model.predict_proba(prefix)
+        replay += time.perf_counter() - start
+
+    events = SESSION_EDGES - WARMUP_EDGES
+    return incremental / events, replay / events, replay / incremental
+
+
+class TestServeThroughput:
+    @pytest.mark.parametrize("updater", ["sum", "gru"])
+    def test_incremental_predict_beats_replay(self, updater):
+        inc, rep, speedup = measure(updater)
+        print_block(
+            f"online serving, {updater.upper()} updater, "
+            f"{SESSION_EDGES}-edge session\n"
+            f"  batch replay      {rep * 1e3:8.3f} ms/event\n"
+            f"  incremental       {inc * 1e3:8.3f} ms/event\n"
+            f"  speedup           {speedup:8.1f}x (required >= {REQUIRED_SPEEDUP}x)"
+        )
+        assert speedup >= REQUIRED_SPEEDUP

@@ -12,6 +12,10 @@ from benchmarks.conftest import print_block
 from repro.data import DATASET_NAMES, make_dataset
 from repro.experiments import format_table1, table1_rows
 
+# The benchmark suite regenerates full tables/figures (minutes at
+# smoke scale); `pytest -m "not slow"` skips it for the fast loop.
+pytestmark = pytest.mark.slow
+
 
 def test_table1_statistics(config, benchmark):
     rows = benchmark.pedantic(

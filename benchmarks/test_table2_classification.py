@@ -14,6 +14,12 @@ from benchmarks.conftest import print_block
 from repro.baselines import STATIC_MODELS, TPGNN_MODELS
 from repro.experiments import category_means, format_table2, run_table2
 
+import pytest
+
+# The benchmark suite regenerates full tables/figures (minutes at
+# smoke scale); `pytest -m "not slow"` skips it for the fast loop.
+pytestmark = pytest.mark.slow
+
 
 def test_table2_full_matrix(config, benchmark):
     results = benchmark.pedantic(

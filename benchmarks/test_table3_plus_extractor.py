@@ -9,6 +9,12 @@ from benchmarks.conftest import print_block
 from repro.baselines import PLUS_G_MODELS, TPGNN_MODELS
 from repro.experiments import format_table3, run_table3
 
+import pytest
+
+# The benchmark suite regenerates full tables/figures (minutes at
+# smoke scale); `pytest -m "not slow"` skips it for the fast loop.
+pytestmark = pytest.mark.slow
+
 
 def test_table3_plus_g(config, benchmark):
     # Two datasets at smoke scale keep the benchmark tractable; set

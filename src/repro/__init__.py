@@ -16,6 +16,8 @@ autograd substrate:
   Table III ``+G`` wrappers.
 * :mod:`repro.training` — trainer, metrics, evaluation protocol.
 * :mod:`repro.experiments` — one harness module per table/figure.
+* :mod:`repro.serve` — streaming online inference: incremental
+  per-session temporal state, O(1) predictions per event.
 
 Quickstart
 ----------
@@ -31,7 +33,18 @@ Quickstart
 
 __version__ = "1.0.0"
 
-from repro import baselines, core, data, experiments, graph, nn, optim, tensor, training
+from repro import (
+    baselines,
+    core,
+    data,
+    experiments,
+    graph,
+    nn,
+    optim,
+    serve,
+    tensor,
+    training,
+)
 
 __all__ = [
     "__version__",
@@ -44,4 +57,5 @@ __all__ = [
     "baselines",
     "training",
     "experiments",
+    "serve",
 ]

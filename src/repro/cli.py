@@ -11,14 +11,20 @@ Usage::
     python -m repro.cli fig6    --preset smoke          # runtime vs F1
     python -m repro.cli fig7    --preset smoke          # case study
     python -m repro.cli train   --dataset HDFS --model TP-GNN-SUM
+    python -m repro.cli serve   --dataset Forum-java --num-graphs 40
 
-Every command prints the same text tables/figures the benchmarks emit,
-at the chosen preset (override individual knobs with the flags below).
+Every experiment command prints the same text tables/figures the
+benchmarks emit, at the chosen preset (override individual knobs with
+the flags below).  ``serve`` replays a dataset as a live timestamped
+event feed through the streaming inference engine and emits one JSON
+line per session prediction.
 """
 
 from __future__ import annotations
 
 import argparse
+import importlib.metadata
+import json
 import sys
 
 from repro.baselines.registry import ALL_MODELS, PLUS_G_MODELS, make_model
@@ -43,6 +49,22 @@ from repro.experiments import (
 from repro.training import TrainConfig, evaluate, train_model
 
 
+class _HelpFormatter(
+    argparse.ArgumentDefaultsHelpFormatter, argparse.RawDescriptionHelpFormatter
+):
+    """Show argument defaults while keeping the docstring layout."""
+
+
+def _package_version() -> str:
+    """Installed distribution version, falling back to the source tree."""
+    try:
+        return importlib.metadata.version("repro")
+    except importlib.metadata.PackageNotFoundError:
+        from repro import __version__
+
+        return __version__
+
+
 def _config_from_args(args) -> "ExperimentConfig":
     config = PRESETS[args.preset]
     overrides = {}
@@ -56,14 +78,22 @@ def _config_from_args(args) -> "ExperimentConfig":
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--preset", choices=sorted(PRESETS), default="smoke")
-    parser.add_argument("--num-graphs", dest="num_graphs", type=int)
-    parser.add_argument("--scale", type=float)
-    parser.add_argument("--epochs", type=int)
-    parser.add_argument("--runs", type=int)
-    parser.add_argument("--hidden-size", dest="hidden_size", type=int)
-    parser.add_argument("--time-dim", dest="time_dim", type=int)
-    parser.add_argument("--seed", type=int)
+    parser.add_argument("--preset", choices=sorted(PRESETS), default="smoke",
+                        help="experiment scale")
+    parser.add_argument("--num-graphs", dest="num_graphs", type=int,
+                        help="override the preset's graphs per dataset")
+    parser.add_argument("--scale", type=float,
+                        help="override the preset's graph-size multiplier")
+    parser.add_argument("--epochs", type=int,
+                        help="override the preset's training epochs")
+    parser.add_argument("--runs", type=int,
+                        help="override the preset's repeated runs")
+    parser.add_argument("--hidden-size", dest="hidden_size", type=int,
+                        help="override the preset's hidden size d")
+    parser.add_argument("--time-dim", dest="time_dim", type=int,
+                        help="override the preset's time encoding size d_t")
+    parser.add_argument("--seed", type=int,
+                        help="override the preset's base random seed")
 
 
 def _progress(*parts) -> None:
@@ -71,20 +101,62 @@ def _progress(*parts) -> None:
 
 
 def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__, formatter_class=_HelpFormatter
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {_package_version()}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_command(name: str, help_text: str) -> argparse.ArgumentParser:
+        return sub.add_parser(name, help=help_text, formatter_class=_HelpFormatter)
+
     for name in ("table1", "table2", "table3", "fig3", "fig4", "fig5", "fig6", "fig7"):
-        cmd = sub.add_parser(name, help=f"regenerate {name}")
+        cmd = add_command(name, f"regenerate {name}")
         _add_common(cmd)
         if name in ("table2", "table3", "fig3", "fig4", "fig6"):
             cmd.add_argument("--datasets", nargs="+", choices=DATASET_NAMES)
 
-    train = sub.add_parser("train", help="train one model on one dataset")
+    train = add_command("train", "train one model on one dataset")
     _add_common(train)
     train.add_argument("--dataset", choices=DATASET_NAMES, required=True)
     train.add_argument("--model", choices=ALL_MODELS + PLUS_G_MODELS, required=True)
     train.add_argument("--checkpoint", help="save the trained model to this .npz path")
+
+    serve = add_command(
+        "serve", "replay a dataset as a live event feed through the streaming engine"
+    )
+    serve.add_argument("--dataset", choices=DATASET_NAMES, default="Forum-java")
+    serve.add_argument("--num-graphs", dest="num_graphs", type=int, default=40,
+                       help="sessions to generate and replay")
+    serve.add_argument("--scale", type=float, default=1.0,
+                       help="dataset size multiplier passed to the generator")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--updater", choices=("sum", "gru"), default="sum")
+    serve.add_argument("--hidden-size", dest="hidden_size", type=int, default=32)
+    serve.add_argument("--time-dim", dest="time_dim", type=int, default=6)
+    serve.add_argument("--train-epochs", dest="train_epochs", type=int, default=0,
+                       help="warm-up training epochs on a 30%% split before serving "
+                            "(0 serves the untrained model)")
+    serve.add_argument("--checkpoint", help="load model weights from this .npz first")
+    serve.add_argument("--mode", choices=("online", "exact"), default="online",
+                       help="read path: O(1) online state or exact batch-equivalent")
+    serve.add_argument("--max-sessions", dest="max_sessions", type=int, default=1024,
+                       help="LRU capacity of the session table")
+    serve.add_argument("--out-of-order", dest="out_of_order",
+                       choices=("drop", "raise", "buffer"), default="drop",
+                       help="policy for events older than their session's last event")
+    serve.add_argument("--watermark-delay", dest="watermark_delay", type=float,
+                       default=0.0, help="buffer window for --out-of-order buffer")
+    serve.add_argument("--spread", type=float, default=0.0,
+                       help="random per-session start-time window, interleaving arrivals")
+    serve.add_argument("--rolling", type=int, default=0, metavar="N",
+                       help="also emit a prediction every N events per session (0 = final only)")
+    serve.add_argument("--output", default="-",
+                       help="JSONL destination ('-' = stdout)")
+    serve.add_argument("--save-state", dest="save_state",
+                       help="write a serving-state checkpoint here after the replay")
     return parser
 
 
@@ -117,9 +189,123 @@ def _run_train(args) -> None:
         print(f"checkpoint written to {path}")
 
 
+def _run_serve(args) -> None:
+    import numpy as np
+
+    from repro.core import TPGNN
+    from repro.data import make_dataset
+    from repro.serve import StreamingEngine, dataset_to_feed
+    from repro.training import TrainConfig, train_model
+
+    dataset = make_dataset(
+        args.dataset, num_graphs=args.num_graphs, seed=args.seed, scale=args.scale
+    )
+    model = TPGNN(
+        in_features=dataset.feature_dim,
+        updater=args.updater,
+        hidden_size=args.hidden_size,
+        time_dim=args.time_dim,
+        seed=args.seed,
+    )
+    if args.checkpoint:
+        from repro.nn import load_checkpoint
+
+        load_checkpoint(model, args.checkpoint)
+        print(f"loaded model weights from {args.checkpoint}", file=sys.stderr)
+    elif args.train_epochs > 0:
+        train_data, _ = dataset.split(0.3)
+        print(
+            f"warm-up: training {args.train_epochs} epochs on "
+            f"{len(train_data)} sessions",
+            file=sys.stderr,
+        )
+        train_model(model, train_data, TrainConfig(epochs=args.train_epochs, seed=args.seed))
+    model.eval()
+
+    sink = sys.stdout if args.output == "-" else open(args.output, "w")
+    emitted = 0
+
+    def emit(record: dict) -> None:
+        nonlocal emitted
+        print(json.dumps(record), file=sink, flush=sink is sys.stdout)
+        emitted += 1
+
+    def session_record(
+        session_id, state, engine, final: bool, evicted: bool = False,
+        probability: float | None = None,
+    ) -> dict:
+        if probability is None:
+            probability = engine.classifier.predict_proba(state, mode=args.mode)
+            engine.metrics.predictions_served += 1
+        record = {
+            "session_id": session_id,
+            "events": state.num_events,
+            "nodes": state.num_nodes,
+            "probability": round(probability, 6),
+            "prediction": int(probability >= 0.5),
+            "mode": args.mode,
+            "final": final,
+        }
+        if state.label is not None:
+            record["label"] = state.label
+        if evicted:
+            record["evicted"] = True
+        return record
+
+    engine = StreamingEngine(
+        model,
+        max_sessions=args.max_sessions,
+        out_of_order=args.out_of_order,
+        watermark_delay=args.watermark_delay,
+        on_evict=lambda sid, state: emit(
+            session_record(sid, state, engine, final=True, evicted=True)
+        ),
+    )
+
+    rng = np.random.default_rng(args.seed) if args.spread > 0 else None
+    feed = dataset_to_feed(dataset, rng=rng, spread=args.spread)
+    print(
+        f"replaying {len(feed)} events from {len(dataset)} {args.dataset} sessions",
+        file=sys.stderr,
+    )
+    last_emitted: dict[str, int] = {}
+    for event in feed:
+        applied = engine.ingest(event)
+        if args.rolling and applied:
+            # Compare against the last emission point, not num_events
+            # modulo N: under the buffer policy one ingest can apply
+            # several events and jump past the exact multiple.
+            state = engine.session(event.session_id)
+            if (state is not None
+                    and state.num_events - last_emitted.get(event.session_id, 0)
+                    >= args.rolling):
+                last_emitted[event.session_id] = state.num_events
+                emit(session_record(event.session_id, state, engine, final=False))
+    engine.flush()
+
+    if args.mode == "online":
+        # Micro-batched read path: one matmul over all live sessions.
+        probabilities = engine.predict_many()
+        for session_id, probability in probabilities.items():
+            state = engine.session(session_id)
+            emit(session_record(session_id, state, engine, final=True,
+                                probability=probability))
+    else:
+        for session_id in engine.live_sessions():
+            emit(session_record(session_id, engine.session(session_id), engine, final=True))
+
+    if args.save_state:
+        path = engine.checkpoint(args.save_state)
+        print(f"serving state written to {path}", file=sys.stderr)
+    print(engine.metrics.render(), file=sys.stderr)
+    print(f"{emitted} JSONL records emitted", file=sys.stderr)
+    if sink is not sys.stdout:
+        sink.close()
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    config = _config_from_args(args) if args.command != "train" else None
+    config = _config_from_args(args) if args.command not in ("train", "serve") else None
 
     if args.command == "table1":
         print(format_table1(config))
@@ -144,6 +330,8 @@ def main(argv: list[str] | None = None) -> int:
         print(format_case_study(run_case_study(config)))
     elif args.command == "train":
         _run_train(args)
+    elif args.command == "serve":
+        _run_serve(args)
     return 0
 
 

@@ -54,10 +54,27 @@ class GraphClassifierBase(Module):
         """Return the graph embedding ``g`` (shape ``(embedding_dim,)``)."""
         raise NotImplementedError
 
+    def logit(self, embedding: Tensor) -> Tensor:
+        """Classifier head on one graph embedding ``g`` — shape ``(1,)``.
+
+        Shared by the batch :meth:`forward` and the streaming engine,
+        so online and replay scoring apply the identical head.
+        """
+        return self.classifier(embedding.reshape(1, self.embedding_dim)).reshape(1)
+
+    def logits(self, embeddings: Tensor) -> Tensor:
+        """Micro-batched head: ``(b, d)`` embeddings → ``(b,)`` logits.
+
+        One matmul pass over many graph embeddings — the serving
+        engine's grouped read path.
+        """
+        return self.classifier(embeddings.reshape(-1, self.embedding_dim)).reshape(
+            embeddings.shape[0] if embeddings.ndim == 2 else 1
+        )
+
     def forward(self, graph: CTDN, rng: np.random.Generator | None = None) -> Tensor:
         """Return the raw classification logit for ``graph`` (scalar tensor)."""
-        embedding = self.embed(graph, rng=rng)
-        return self.classifier(embedding.reshape(1, self.embedding_dim)).reshape(1)
+        return self.logit(self.embed(graph, rng=rng))
 
     def predict_proba(self, graph: CTDN) -> float:
         """Probability that ``graph`` is positive (label 1)."""

@@ -5,9 +5,18 @@ Converts the local node embedding matrix ``H`` into edge embeddings
 the sequence; the final hidden state is the graph embedding ``g``.
 This is how TP-GNN learns the *network evolution process* from the
 global edge ordering — the paper's answer to limitation 3.
+
+The GRU is a recurrence over the edge sequence, so the extractor also
+exposes an incremental API (:meth:`GlobalTemporalExtractor.init_state`,
+:meth:`GlobalTemporalExtractor.step`) used by the online-serving engine
+in :mod:`repro.serve`; the batch :meth:`forward` is a fold of
+:meth:`step` over the chronological edge embeddings, keeping streaming
+and batch inference on one code path.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -16,6 +25,14 @@ from repro.graph.ctdn import CTDN
 from repro.graph.edge import TemporalEdge
 from repro.nn import GRU, Module
 from repro.tensor import Tensor, ops
+
+
+@dataclass
+class ExtractorState:
+    """Live GRU hidden state of one session's evolution sequence."""
+
+    hidden: Tensor  # (1, hidden_size)
+    steps: int = 0
 
 
 class GlobalTemporalExtractor(Module):
@@ -72,6 +89,47 @@ class GlobalTemporalExtractor(Module):
         ]
         return ops.stack(rows, axis=0)
 
+    # ------------------------------------------------------------------
+    # Incremental (streaming) API
+    # ------------------------------------------------------------------
+    def init_state(self) -> ExtractorState:
+        """Fresh per-session GRU state (zero hidden, no edges seen)."""
+        return ExtractorState(hidden=Tensor(np.zeros((1, self.hidden_size))))
+
+    def edge_embedding(self, src_embedding: Tensor, dst_embedding: Tensor) -> Tensor:
+        """Single-edge view of :meth:`edge_embeddings` — shape ``(1, k)``.
+
+        Aggregates the two endpoint embeddings (each ``(k,)``) with the
+        configured EdgeAgg method; same math as the batch path.
+        """
+        if self.aggregator_name == "average":
+            row = (src_embedding + dst_embedding) * 0.5
+        else:
+            row = self._aggregate(src_embedding, dst_embedding)
+        return row.reshape(1, row.shape[-1])
+
+    def step(self, state: ExtractorState, edge_embedding: Tensor) -> None:
+        """Advance the session GRU by one ``(1, k)`` edge embedding."""
+        state.hidden = self.gru.cell(edge_embedding, state.hidden)
+        state.steps += 1
+
+    def graph_embedding(self, state: ExtractorState) -> Tensor:
+        """The current graph embedding ``g`` of shape ``(hidden_size,)``."""
+        return state.hidden.reshape(self.hidden_size)
+
+    def snapshot_state(self, state: ExtractorState) -> dict[str, np.ndarray]:
+        """Checkpointable array form of ``state``."""
+        return {
+            "hidden": state.hidden.data.copy(),
+            "steps": np.array([state.steps], dtype=np.int64),
+        }
+
+    def restore_state(self, arrays: dict[str, np.ndarray]) -> ExtractorState:
+        """Rebuild a state from :meth:`snapshot_state` output."""
+        return ExtractorState(
+            hidden=Tensor(arrays["hidden"].copy()), steps=int(arrays["steps"][0])
+        )
+
     def forward(
         self,
         node_embeddings: Tensor,
@@ -82,9 +140,14 @@ class GlobalTemporalExtractor(Module):
 
         Edges are fed to the GRU in chronological order (ties shuffled
         when ``rng`` is provided, mirroring training-time tie handling);
-        the final hidden state carries the full evolution history.
+        the final hidden state carries the full evolution history.  The
+        loop is a fold of :meth:`step`, the same recurrence the
+        streaming engine advances one event at a time.
         """
         edges = graph.edges_sorted(rng=rng)
         sequence = self.edge_embeddings(node_embeddings, edges)
-        _, final_hidden = self.gru(sequence.reshape(len(edges), 1, sequence.shape[1]))
-        return final_hidden.reshape(self.hidden_size)
+        state = self.init_state()
+        width = sequence.shape[1]
+        for index in range(len(edges)):
+            self.step(state, sequence[index].reshape(1, width))
+        return self.graph_embedding(state)

@@ -11,9 +11,29 @@ Theorem 1).  Two updaters are provided, matching Algorithm 1:
 
 Both touch each edge exactly once (O(m) updates), which the test suite
 asserts via :attr:`TemporalPropagationBase.last_update_count`.
+
+Both updaters are *recurrences over the edge sequence*, so each exposes
+an incremental API used by the online-serving engine
+(:mod:`repro.serve`):
+
+* :meth:`~TemporalPropagationBase.init_state` — per-session state from
+  the raw node features;
+* :meth:`~TemporalPropagationBase.step` — advance the state by one
+  :class:`~repro.graph.edge.TemporalEdge` in O(1);
+* :meth:`~TemporalPropagationBase.finalize` — the node embedding matrix
+  ``H`` for the edges consumed so far;
+* :meth:`~TemporalPropagationBase.snapshot_state` /
+  :meth:`~TemporalPropagationBase.restore_state` — checkpointable
+  array form of the state.
+
+The batch :meth:`forward` is literally a fold of :meth:`step` over the
+chronological edge list, so streaming and batch inference share one
+code path and agree to machine precision.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -21,6 +41,38 @@ from repro.graph.ctdn import CTDN
 from repro.graph.edge import TemporalEdge
 from repro.nn import FeatureEncoder, GRUCell, Module, Time2Vec
 from repro.tensor import Tensor, ops
+
+
+@dataclass
+class PropagationState:
+    """Per-session propagation state shared by both updaters.
+
+    ``node_state`` holds one tensor per node (the updater defines its
+    shape); ``origin`` is the session's first edge time (time encoding
+    is session-relative, see :meth:`TemporalPropagationBase._encode_time`)
+    and ``updates`` counts the edges consumed.
+    """
+
+    node_state: list[Tensor]
+    origin: float | None = None
+    updates: int = 0
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes tracked by this state."""
+        return len(self.node_state)
+
+
+@dataclass
+class SumPropagationState(PropagationState):
+    """SUM-updater state: encoded features plus additive time memory."""
+
+    time_state: list[Tensor | None] = field(default_factory=list)
+
+
+@dataclass
+class GruPropagationState(PropagationState):
+    """GRU-updater state: one ``(1, hidden)`` GRU hidden row per node."""
 
 
 class TemporalPropagationBase(Module):
@@ -77,6 +129,69 @@ class TemporalPropagationBase(Module):
         assert self.time_encoder is not None
         return self.time_encoder(np.array([time - origin]))
 
+    # ------------------------------------------------------------------
+    # Incremental (streaming) API
+    # ------------------------------------------------------------------
+    def init_state(self, features: np.ndarray) -> PropagationState:
+        """Fresh per-session state from a ``(n, q_raw)`` feature matrix."""
+        raise NotImplementedError
+
+    def add_nodes(self, state: PropagationState, features: np.ndarray) -> None:
+        """Append newly-observed nodes (rows of raw features) to ``state``."""
+        raise NotImplementedError
+
+    def set_node(self, state: PropagationState, node: int, features: np.ndarray) -> None:
+        """(Re-)materialize one node's state from its raw features.
+
+        Used by the streaming engine when a node's features arrive
+        after its index was reserved by a placeholder row.
+        """
+        raise NotImplementedError
+
+    def step(self, state: PropagationState, edge: TemporalEdge) -> None:
+        """Advance ``state`` by one temporal edge — O(1) work."""
+        raise NotImplementedError
+
+    def node_embedding(self, state: PropagationState, node: int) -> Tensor:
+        """Embedding of a single node under the current state (shape ``(k,)``)."""
+        raise NotImplementedError
+
+    def finalize(self, state: PropagationState) -> Tensor:
+        """Node embedding matrix ``H`` of shape ``(n, k)`` for ``state``."""
+        raise NotImplementedError
+
+    def snapshot_state(self, state: PropagationState) -> dict[str, np.ndarray]:
+        """Checkpointable array form of ``state`` (see :meth:`restore_state`)."""
+        raise NotImplementedError
+
+    def restore_state(self, arrays: dict[str, np.ndarray]) -> PropagationState:
+        """Rebuild a state from :meth:`snapshot_state` output."""
+        raise NotImplementedError
+
+    def _encode_features(self, features: np.ndarray) -> Tensor:
+        """Encode raw features into the hidden space (paper Eq. 1)."""
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        if features.shape[1] != self.in_features:
+            raise ValueError(
+                f"expected features of width {self.in_features}, got {features.shape[1]}"
+            )
+        return self.encoder(Tensor(features))
+
+    def _common_snapshot(self, state: PropagationState) -> dict[str, np.ndarray]:
+        """Origin/update-count arrays shared by both updaters."""
+        has_origin = state.origin is not None
+        return {
+            "origin": np.array([state.origin if has_origin else 0.0, float(has_origin)]),
+            "updates": np.array([state.updates], dtype=np.int64),
+        }
+
+    @staticmethod
+    def _restore_common(arrays: dict[str, np.ndarray]) -> tuple[float | None, int]:
+        """Invert :meth:`_common_snapshot`."""
+        origin_value, has_origin = arrays["origin"]
+        origin = float(origin_value) if has_origin else None
+        return origin, int(arrays["updates"][0])
+
 
 class TemporalPropagationSum(TemporalPropagationBase):
     """The SUM updater (Algorithm 1, Eqs. 3-5).
@@ -125,8 +240,109 @@ class TemporalPropagationSum(TemporalPropagationBase):
         """Encoded features concatenated with the temporal memory."""
         return self.hidden_size + self.time_dim
 
+    # ------------------------------------------------------------------
+    # Incremental API
+    # ------------------------------------------------------------------
+    def init_state(self, features: np.ndarray) -> SumPropagationState:
+        """Fresh SUM state: encoded features, empty time memories."""
+        encoded = self._encode_features(features)
+        n = encoded.shape[0]
+        return SumPropagationState(
+            node_state=[encoded[i] for i in range(n)],
+            time_state=[None] * n,
+        )
+
+    def add_nodes(self, state: SumPropagationState, features: np.ndarray) -> None:
+        """Append newly-observed nodes to a SUM state."""
+        encoded = self._encode_features(features)
+        for i in range(encoded.shape[0]):
+            state.node_state.append(encoded[i])
+            state.time_state.append(None)
+
+    def set_node(self, state: SumPropagationState, node: int, features: np.ndarray) -> None:
+        """Overwrite one node's SUM state with freshly-encoded features."""
+        encoded = self._encode_features(features)
+        state.node_state[node] = encoded[0]
+        state.time_state[node] = None
+
+    def step(self, state: SumPropagationState, edge: TemporalEdge) -> None:
+        """One SUM update (Eqs. 3-4) along ``edge``."""
+        if state.origin is None:
+            state.origin = edge.time
+        merged = state.node_state[edge.src] + state.node_state[edge.dst]
+        if self.stabilizer == "bounded":
+            merged = ops.tanh(merged)
+        elif self.stabilizer == "average":
+            merged = merged * 0.5
+        state.node_state[edge.dst] = merged
+        if self.time_encoder is not None:
+            # Eq. 4 verbatim: the temporal memory is a plain running
+            # sum of time embeddings.  Unlike the feature update it
+            # only grows linearly with in-degree, so it needs no
+            # stabilisation — and the raw sum is the per-node
+            # arrival-time signature that separates shuffled orders.
+            f_t = self._encode_time(edge.time, state.origin).reshape(self.time_dim)
+            previous = state.time_state[edge.dst]
+            state.time_state[edge.dst] = f_t if previous is None else f_t + previous
+        state.updates += 1
+
+    def node_embedding(self, state: SumPropagationState, node: int) -> Tensor:
+        """Single-node view of :meth:`finalize` (same math, shape ``(k,)``)."""
+        features = state.node_state[node]
+        if self.time_encoder is None:
+            return ops.tanh(features)
+        memory = state.time_state[node]
+        if memory is None:
+            memory = Tensor(np.zeros(self.time_dim))
+        return ops.tanh(ops.concat([features, memory], axis=0))
+
+    def finalize(self, state: SumPropagationState) -> Tensor:
+        """Node embedding matrix ``tanh(X ⊕ M)`` of shape ``(n, k)``."""
+        feature_matrix = ops.stack(state.node_state, axis=0)
+        if self.time_encoder is None:
+            return ops.tanh(feature_matrix)
+        zero_memory = Tensor(np.zeros(self.time_dim))
+        memory_rows = [
+            row if row is not None else zero_memory for row in state.time_state
+        ]
+        memory_matrix = ops.stack(memory_rows, axis=0)
+        return ops.tanh(ops.concat([feature_matrix, memory_matrix], axis=1))
+
+    def snapshot_state(self, state: SumPropagationState) -> dict[str, np.ndarray]:
+        """Arrays capturing the full SUM state."""
+        arrays = self._common_snapshot(state)
+        arrays["node_state"] = np.stack(
+            [row.data for row in state.node_state], axis=0
+        ) if state.node_state else np.zeros((0, self.hidden_size))
+        time_dim = max(self.time_dim, 1)
+        memory = np.zeros((state.num_nodes, time_dim))
+        mask = np.zeros(state.num_nodes, dtype=np.int64)
+        for i, row in enumerate(state.time_state):
+            if row is not None:
+                memory[i] = row.data
+                mask[i] = 1
+        arrays["time_state"] = memory
+        arrays["time_mask"] = mask
+        return arrays
+
+    def restore_state(self, arrays: dict[str, np.ndarray]) -> SumPropagationState:
+        """Rebuild a SUM state from :meth:`snapshot_state` arrays."""
+        origin, updates = self._restore_common(arrays)
+        node_state = [Tensor(row.copy()) for row in arrays["node_state"]]
+        time_state: list[Tensor | None] = [
+            Tensor(row[: self.time_dim].copy()) if flag else None
+            for row, flag in zip(arrays["time_state"], arrays["time_mask"])
+        ]
+        return SumPropagationState(
+            node_state=node_state, origin=origin, updates=updates, time_state=time_state
+        )
+
     def forward(self, graph: CTDN, rng: np.random.Generator | None = None) -> Tensor:
         """Compute the local node embedding matrix ``H`` of shape (n, k).
+
+        A fold of :meth:`step` over the chronological edge list — the
+        same recurrence the streaming engine advances one event at a
+        time.
 
         Parameters
         ----------
@@ -136,38 +352,11 @@ class TemporalPropagationSum(TemporalPropagationBase):
             When given, edges sharing a timestamp are shuffled (the
             paper applies this during training).
         """
-        encoded = self.encoder(Tensor(graph.features))
-        node_state: list[Tensor] = [encoded[i] for i in range(graph.num_nodes)]
-        time_state: list[Tensor | None] = [None] * graph.num_nodes
-
-        edges = self._ordered_edges(graph, rng)
-        origin = edges[0].time if edges else 0.0
-        self.last_update_count = 0
-        for edge in edges:
-            merged = node_state[edge.src] + node_state[edge.dst]
-            if self.stabilizer == "bounded":
-                merged = ops.tanh(merged)
-            elif self.stabilizer == "average":
-                merged = merged * 0.5
-            node_state[edge.dst] = merged
-            if self.time_encoder is not None:
-                # Eq. 4 verbatim: the temporal memory is a plain running
-                # sum of time embeddings.  Unlike the feature update it
-                # only grows linearly with in-degree, so it needs no
-                # stabilisation — and the raw sum is the per-node
-                # arrival-time signature that separates shuffled orders.
-                f_t = self._encode_time(edge.time, origin).reshape(self.time_dim)
-                previous = time_state[edge.dst]
-                time_state[edge.dst] = f_t if previous is None else f_t + previous
-            self.last_update_count += 1
-
-        feature_matrix = ops.stack(node_state, axis=0)
-        if self.time_encoder is None:
-            return ops.tanh(feature_matrix)
-        zero_memory = Tensor(np.zeros(self.time_dim))
-        memory_rows = [row if row is not None else zero_memory for row in time_state]
-        memory_matrix = ops.stack(memory_rows, axis=0)
-        return ops.tanh(ops.concat([feature_matrix, memory_matrix], axis=1))
+        state = self.init_state(graph.features)
+        for edge in self._ordered_edges(graph, rng):
+            self.step(state, edge)
+        self.last_update_count = state.updates
+        return self.finalize(state)
 
 
 class TemporalPropagationGRU(TemporalPropagationBase):
@@ -195,28 +384,79 @@ class TemporalPropagationGRU(TemporalPropagationBase):
         """The GRU hidden width ``q``."""
         return self.hidden_size
 
-    def forward(self, graph: CTDN, rng: np.random.Generator | None = None) -> Tensor:
-        """Compute the local node embedding matrix ``H`` of shape (n, q)."""
-        encoded = self.encoder(Tensor(graph.features))
-        node_state: list[Tensor] = [
-            encoded[i].reshape(1, self.hidden_size) for i in range(graph.num_nodes)
-        ]
+    # ------------------------------------------------------------------
+    # Incremental API
+    # ------------------------------------------------------------------
+    def init_state(self, features: np.ndarray) -> GruPropagationState:
+        """Fresh GRU state: one encoded ``(1, q)`` row per node."""
+        encoded = self._encode_features(features)
+        n = encoded.shape[0]
+        return GruPropagationState(
+            node_state=[encoded[i].reshape(1, self.hidden_size) for i in range(n)]
+        )
 
-        edges = self._ordered_edges(graph, rng)
-        origin = edges[0].time if edges else 0.0
-        self.last_update_count = 0
-        for edge in edges:
-            if self.time_encoder is not None:
-                message = ops.concat(
-                    [node_state[edge.src], self._encode_time(edge.time, origin)], axis=1
-                )
-            else:
-                message = node_state[edge.src]
-            node_state[edge.dst] = self.cell(message, node_state[edge.dst])
-            self.last_update_count += 1
+    def add_nodes(self, state: GruPropagationState, features: np.ndarray) -> None:
+        """Append newly-observed nodes to a GRU state."""
+        encoded = self._encode_features(features)
+        for i in range(encoded.shape[0]):
+            state.node_state.append(encoded[i].reshape(1, self.hidden_size))
 
-        rows = [state.reshape(self.hidden_size) for state in node_state]
+    def set_node(self, state: GruPropagationState, node: int, features: np.ndarray) -> None:
+        """Overwrite one node's GRU state with freshly-encoded features."""
+        encoded = self._encode_features(features)
+        state.node_state[node] = encoded[0].reshape(1, self.hidden_size)
+
+    def step(self, state: GruPropagationState, edge: TemporalEdge) -> None:
+        """One GRU update (Eq. 6) along ``edge``."""
+        if state.origin is None:
+            state.origin = edge.time
+        if self.time_encoder is not None:
+            message = ops.concat(
+                [state.node_state[edge.src], self._encode_time(edge.time, state.origin)],
+                axis=1,
+            )
+        else:
+            message = state.node_state[edge.src]
+        state.node_state[edge.dst] = self.cell(message, state.node_state[edge.dst])
+        state.updates += 1
+
+    def node_embedding(self, state: GruPropagationState, node: int) -> Tensor:
+        """Single-node view of :meth:`finalize` (shape ``(q,)``)."""
+        return ops.tanh(state.node_state[node].reshape(self.hidden_size))
+
+    def finalize(self, state: GruPropagationState) -> Tensor:
+        """Node embedding matrix ``tanh(H)`` of shape ``(n, q)``."""
+        rows = [row.reshape(self.hidden_size) for row in state.node_state]
         return ops.tanh(ops.stack(rows, axis=0))
+
+    def snapshot_state(self, state: GruPropagationState) -> dict[str, np.ndarray]:
+        """Arrays capturing the full GRU state."""
+        arrays = self._common_snapshot(state)
+        arrays["node_state"] = np.stack(
+            [row.data.reshape(self.hidden_size) for row in state.node_state], axis=0
+        ) if state.node_state else np.zeros((0, self.hidden_size))
+        return arrays
+
+    def restore_state(self, arrays: dict[str, np.ndarray]) -> GruPropagationState:
+        """Rebuild a GRU state from :meth:`snapshot_state` arrays."""
+        origin, updates = self._restore_common(arrays)
+        node_state = [
+            Tensor(row.copy().reshape(1, self.hidden_size))
+            for row in arrays["node_state"]
+        ]
+        return GruPropagationState(node_state=node_state, origin=origin, updates=updates)
+
+    def forward(self, graph: CTDN, rng: np.random.Generator | None = None) -> Tensor:
+        """Compute the local node embedding matrix ``H`` of shape (n, q).
+
+        Like the SUM updater, this is a fold of :meth:`step` over the
+        chronological edges.
+        """
+        state = self.init_state(graph.features)
+        for edge in self._ordered_edges(graph, rng):
+            self.step(state, edge)
+        self.last_update_count = state.updates
+        return self.finalize(state)
 
 
 class RandomAggregation(TemporalPropagationBase):
@@ -225,7 +465,8 @@ class RandomAggregation(TemporalPropagationBase):
     Ignores edge timestamps entirely; every node sums the encoded
     features of a random subset of its (undirected) neighbours.  Used by
     the Fig. 3/4 ablation studies as the degenerate message-passing
-    reference.
+    reference.  Not a recurrence over the edge sequence, so it has no
+    incremental API.
     """
 
     def __init__(

@@ -137,6 +137,24 @@ class CTDN:
             graph_id=self.graph_id,
         )
 
+    def with_appended(self, *edges: tuple[int, int, float] | TemporalEdge) -> "CTDN":
+        """Return a copy with ``edges`` appended after the existing ones.
+
+        The streaming tests and benchmarks use this to model a live
+        session growing one event at a time.
+        """
+        return self.with_edges(list(self.edges) + list(edges))
+
+    def prefix(self, count: int) -> "CTDN":
+        """Return a copy containing the first ``count`` chronological edges.
+
+        The ``count``-edge prefix of :meth:`edges_sorted` — the
+        "session so far" view that online serving scores incrementally.
+        """
+        if count < 0:
+            raise ValueError(f"prefix length must be >= 0, got {count}")
+        return self.with_edges(self.edges_sorted()[:count])
+
     def copy(self) -> "CTDN":
         """Deep copy."""
         return self.with_edges(list(self.edges))

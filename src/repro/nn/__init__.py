@@ -15,7 +15,12 @@ from repro.nn.attention import MultiHeadAttention, scaled_dot_product_attention
 from repro.nn.time2vec import Time2Vec
 from repro.nn.norm import Dropout, LayerNorm
 from repro.nn.loss import bce_with_logits, binary_cross_entropy, cross_entropy
-from repro.nn.serialization import load_checkpoint, save_checkpoint
+from repro.nn.serialization import (
+    load_checkpoint,
+    read_archive,
+    save_checkpoint,
+    write_archive,
+)
 from repro.nn import init
 
 __all__ = [
@@ -40,5 +45,7 @@ __all__ = [
     "cross_entropy",
     "save_checkpoint",
     "load_checkpoint",
+    "write_archive",
+    "read_archive",
     "init",
 ]

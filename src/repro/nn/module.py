@@ -92,11 +92,32 @@ class Module:
     # Checkpointing
     # ------------------------------------------------------------------
     def state_dict(self) -> dict[str, np.ndarray]:
-        """Return a copy of every parameter keyed by dotted name."""
-        return {name: param.data.copy() for name, param in self.named_parameters()}
+        """Return a copy of every parameter keyed by dotted name.
+
+        Dotted names must be unique: an attribute assigned via
+        ``setattr(m, "child.weight", p)`` would collide with a child
+        module ``child`` owning a parameter ``weight`` and silently
+        shadow it in the dict, corrupting checkpoints — so collisions
+        raise instead.
+        """
+        state: dict[str, np.ndarray] = {}
+        for name, param in self.named_parameters():
+            if name in state:
+                raise KeyError(
+                    f"duplicate parameter name {name!r} in state dict; "
+                    "a parameter attribute containing '.' collides with a "
+                    "nested module's parameter"
+                )
+            state[name] = param.data.copy()
+        return state
 
     def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
-        """Load parameters from :meth:`state_dict` output."""
+        """Load parameters from :meth:`state_dict` output.
+
+        Values are cast to each parameter's existing dtype, so loading
+        a checkpoint that was stored at a different precision cannot
+        silently change the model's compute dtype.
+        """
         own = dict(self.named_parameters())
         missing = set(own) - set(state)
         unexpected = set(state) - set(own)
@@ -106,7 +127,7 @@ class Module:
             param = own[name]
             if param.data.shape != values.shape:
                 raise ValueError(f"shape mismatch for {name}: {param.data.shape} vs {values.shape}")
-            param.data = values.copy()
+            param.data = np.asarray(values, dtype=param.data.dtype).copy()
 
     # ------------------------------------------------------------------
     # Call protocol

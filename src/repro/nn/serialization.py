@@ -3,6 +3,15 @@
 The experiment harness trains many models; these helpers persist any
 :class:`~repro.nn.module.Module` (TP-GNN or baseline) so long runs can
 be resumed and trained models shipped with results.
+
+Two layers are exposed:
+
+* :func:`write_archive` / :func:`read_archive` — the raw format: named
+  float arrays plus a JSON metadata blob in one compressed ``.npz``.
+  The serving engine reuses this layer to checkpoint live session
+  state next to the model weights.
+* :func:`save_checkpoint` / :func:`load_checkpoint` — the module-level
+  convenience API built on top.
 """
 
 from __future__ import annotations
@@ -18,6 +27,44 @@ _META_KEY = "__repro_meta__"
 _FORMAT_VERSION = 1
 
 
+def _normalize(path: str | Path) -> Path:
+    path = Path(path)
+    return path if path.suffix == ".npz" else path.with_suffix(".npz")
+
+
+def write_archive(
+    path: str | Path, arrays: dict[str, np.ndarray], meta: dict
+) -> Path:
+    """Write named arrays plus JSON-serialisable ``meta`` to ``path``.
+
+    Returns the resolved path (``.npz`` suffix enforced).  Array names
+    must not collide with the reserved metadata key.
+    """
+    path = _normalize(path)
+    if _META_KEY in arrays:
+        raise ValueError(
+            f"array name {_META_KEY!r} is reserved for checkpoint metadata"
+        )
+    payload = dict(arrays)
+    payload[_META_KEY] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def read_archive(path: str | Path) -> tuple[dict[str, np.ndarray], dict]:
+    """Read back ``(arrays, meta)`` written by :func:`write_archive`."""
+    path = _normalize(path)
+    with np.load(path) as archive:
+        if _META_KEY not in archive:
+            raise ValueError(f"{path} is not a repro checkpoint (missing metadata)")
+        meta = json.loads(bytes(archive[_META_KEY].tobytes()).decode("utf-8"))
+        arrays = {key: archive[key] for key in archive.files if key != _META_KEY}
+    return arrays, meta
+
+
 def save_checkpoint(model: Module, path: str | Path, metadata: dict | None = None) -> Path:
     """Write the model's parameters (and optional metadata) to ``path``.
 
@@ -25,22 +72,13 @@ def save_checkpoint(model: Module, path: str | Path, metadata: dict | None = Non
     ``metadata`` must be JSON-serialisable (experiment config, metrics).
     Returns the resolved path (``.npz`` suffix enforced).
     """
-    path = Path(path)
-    if path.suffix != ".npz":
-        path = path.with_suffix(".npz")
-    payload = dict(model.state_dict())
     meta = {
         "format_version": _FORMAT_VERSION,
         "model_class": type(model).__name__,
         "num_parameters": model.num_parameters(),
         "user": metadata or {},
     }
-    payload[_META_KEY] = np.frombuffer(
-        json.dumps(meta).encode("utf-8"), dtype=np.uint8
-    )
-    path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez_compressed(path, **payload)
-    return path
+    return write_archive(path, model.state_dict(), meta)
 
 
 def load_checkpoint(model: Module, path: str | Path, strict_class: bool = True) -> dict:
@@ -60,23 +98,16 @@ def load_checkpoint(model: Module, path: str | Path, strict_class: bool = True) 
     -------
     The checkpoint's metadata dict.
     """
-    path = Path(path)
-    if path.suffix != ".npz":
-        path = path.with_suffix(".npz")
-    with np.load(path) as archive:
-        if _META_KEY not in archive:
-            raise ValueError(f"{path} is not a repro checkpoint (missing metadata)")
-        meta = json.loads(bytes(archive[_META_KEY].tobytes()).decode("utf-8"))
-        if meta.get("format_version") != _FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported checkpoint format {meta.get('format_version')!r}"
-            )
-        if strict_class and meta["model_class"] != type(model).__name__:
-            raise TypeError(
-                f"checkpoint was written by {meta['model_class']}, "
-                f"refusing to load into {type(model).__name__} "
-                "(pass strict_class=False to override)"
-            )
-        state = {key: archive[key] for key in archive.files if key != _META_KEY}
+    state, meta = read_archive(path)
+    if meta.get("format_version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported checkpoint format {meta.get('format_version')!r}"
+        )
+    if strict_class and meta.get("model_class") != type(model).__name__:
+        raise TypeError(
+            f"checkpoint was written by {meta.get('model_class')}, "
+            f"refusing to load into {type(model).__name__} "
+            "(pass strict_class=False to override)"
+        )
     model.load_state_dict(state)
     return meta

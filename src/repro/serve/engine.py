@@ -1,0 +1,290 @@
+"""The streaming inference engine: router + incremental model + metrics.
+
+:class:`StreamingEngine` is the deployable unit of :mod:`repro.serve`.
+It ingests an interleaved :class:`~repro.serve.events.StreamEvent`
+feed, maintains live per-session temporal state, and answers
+predictions in O(1) per session — no edge-list replay on the hot path.
+
+Responsibilities are split cleanly so later scaling PRs (sharding,
+async ingest, state caches) replace one seam at a time:
+
+* :class:`~repro.serve.router.SessionRouter` — session table, LRU
+  eviction, out-of-order admission;
+* :class:`~repro.serve.incremental.IncrementalClassifier` — the O(1)
+  model-state updates and the online/exact read paths;
+* :class:`~repro.serve.metrics.ServeMetrics` — operational counters
+  and step-latency percentiles;
+* :meth:`StreamingEngine.checkpoint` / :meth:`StreamingEngine.restore`
+  — full serving state (weights + every live session + counters) in
+  one archive, via :mod:`repro.nn.serialization`.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.core.model import TPGNN
+from repro.nn.serialization import read_archive, write_archive
+from repro.serve.events import StreamEvent
+from repro.serve.incremental import IncrementalClassifier
+from repro.serve.metrics import ServeMetrics
+from repro.serve.router import SessionRouter
+from repro.serve.state import SessionState
+
+_FORMAT = "repro-serve-state"
+_FORMAT_VERSION = 1
+
+
+class StreamingEngine:
+    """Online TP-GNN inference over an interleaved multi-session feed.
+
+    Parameters
+    ----------
+    model:
+        The (ideally trained) TP-GNN whose parameters serve traffic.
+    max_sessions:
+        LRU capacity of the session table.
+    out_of_order:
+        Admission policy for per-session disorder (``"drop"``,
+        ``"raise"`` or ``"buffer"``; see :class:`SessionRouter`).
+    watermark_delay:
+        Buffer window for the ``"buffer"`` policy.
+    on_evict:
+        Optional hook ``(session_id, SessionState) -> None`` fired when
+        the LRU evicts a session (e.g. emit its final prediction).
+    missing_features:
+        Endpoint cold-start policy (see :class:`IncrementalClassifier`).
+        The engine defaults to ``"zeros"``: after an LRU eviction the
+        tail of a re-admitted session must keep serving rather than
+        crash the ingest loop.
+    metrics:
+        Inject a :class:`ServeMetrics` (a fresh one is created
+        otherwise).
+    """
+
+    def __init__(
+        self,
+        model: TPGNN,
+        max_sessions: int = 1024,
+        out_of_order: str = "drop",
+        watermark_delay: float = 0.0,
+        on_evict: Callable[[str, SessionState], None] | None = None,
+        missing_features: str = "zeros",
+        metrics: ServeMetrics | None = None,
+    ):
+        self.classifier = IncrementalClassifier(model, missing_features=missing_features)
+        self.metrics = metrics if metrics is not None else ServeMetrics()
+        self._user_on_evict = on_evict
+        self.router: SessionRouter[SessionState] = SessionRouter(
+            factory=self._new_session,
+            max_sessions=max_sessions,
+            out_of_order=out_of_order,
+            watermark_delay=watermark_delay,
+            on_evict=self._on_evict,
+        )
+
+    @property
+    def model(self) -> TPGNN:
+        """The served model (parameters shared, not copied)."""
+        return self.classifier.model
+
+    def _new_session(self, session_id: str) -> SessionState:
+        self.metrics.sessions_started += 1
+        return self.classifier.new_session(session_id)
+
+    def _on_evict(self, session_id: str, state: SessionState) -> None:
+        self.metrics.sessions_evicted += 1
+        if self._user_on_evict is not None:
+            self._user_on_evict(session_id, state)
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def ingest(self, event: StreamEvent) -> int:
+        """Admit one event; returns how many session updates it applied.
+
+        Under the buffer policy one arrival can release several queued
+        events (or none); under drop/raise it is 0 or 1.
+        """
+        self.metrics.events_ingested += 1
+        before_dropped = self.router.stats.dropped
+        before_late = self.router.stats.late_dropped
+        deliveries = self.router.route(event)
+        self.metrics.events_dropped += self.router.stats.dropped - before_dropped
+        self.metrics.events_late_dropped += self.router.stats.late_dropped - before_late
+        applied = 0
+        for state, ready in deliveries:
+            self._apply(state, ready)
+            applied += 1
+        return applied
+
+    def _apply(self, state: SessionState, event: StreamEvent) -> None:
+        if state.label is None and event.label is not None:
+            state.label = event.label
+        start = _time.perf_counter()
+        self.classifier.observe(
+            state, (event.src, event.dst, event.time), event.node_features
+        )
+        self.metrics.observe_step(_time.perf_counter() - start)
+
+    def ingest_many(self, feed: Iterable[StreamEvent]) -> int:
+        """Ingest a whole feed; returns total session updates applied."""
+        return sum(self.ingest(event) for event in feed)
+
+    def flush(self) -> int:
+        """Drain every buffered event (end-of-stream); returns count."""
+        applied = 0
+        for state, event in self.router.flush():
+            self._apply(state, event)
+            applied += 1
+        return applied
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def session(self, session_id: str) -> SessionState | None:
+        """The live state of one session (None if unknown/evicted)."""
+        return self.router.get(session_id)
+
+    def live_sessions(self) -> list[str]:
+        """Ids of all live sessions, least-recently-active first."""
+        return self.router.session_ids()
+
+    def predict(self, session_id: str, mode: str = "online") -> float:
+        """Probability that ``session_id`` is positive, from live state.
+
+        ``mode="online"`` is the O(1) hot path; ``mode="exact"``
+        reproduces batch-replay logits (O(m) in the extractor only).
+        """
+        state = self.router.get(session_id)
+        if state is None:
+            raise KeyError(f"unknown session {session_id!r} (never seen or evicted)")
+        probability = self.classifier.predict_proba(state, mode=mode)
+        self.metrics.predictions_served += 1
+        return probability
+
+    def predict_many(
+        self, session_ids: Sequence[str] | None = None
+    ) -> dict[str, float]:
+        """Micro-batched online scoring of many sessions at once.
+
+        Groups the pending sessions' graph embeddings into one matrix
+        and runs the classifier head in a single matmul pass — the
+        grouped read path a polling consumer should use.
+        """
+        ids = list(session_ids) if session_ids is not None else self.live_sessions()
+        states = []
+        for session_id in ids:
+            state = self.router.get(session_id)
+            if state is None:
+                raise KeyError(f"unknown session {session_id!r} (never seen or evicted)")
+            states.append(state)
+        logits = self.classifier.logits_online(states)
+        self.metrics.predictions_served += len(ids)
+        probabilities = 1.0 / (1.0 + np.exp(-logits))
+        return dict(zip(ids, (float(p) for p in probabilities)))
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+    def checkpoint(self, path: str | Path, metadata: dict | None = None) -> Path:
+        """Persist the full serving state to one ``.npz`` archive.
+
+        Contains the model weights, every live session's temporal
+        state, the LRU order, and the metric counters — enough to
+        restart the server mid-stream with :meth:`restore`.
+        """
+        arrays: dict[str, np.ndarray] = {
+            f"model.{name}": value for name, value in self.model.state_dict().items()
+        }
+        session_ids = self.live_sessions()
+        labels = {}
+        for index, session_id in enumerate(session_ids):
+            state = self.router.get(session_id)
+            for key, value in self.classifier.snapshot(state).items():
+                arrays[f"session.{index}.{key}"] = value
+            labels[session_id] = state.label
+        meta = {
+            "format": _FORMAT,
+            "format_version": _FORMAT_VERSION,
+            "model_class": type(self.model).__name__,
+            "sessions": session_ids,
+            "config": {
+                "max_sessions": self.router.max_sessions,
+                "out_of_order": self.router.out_of_order,
+                "watermark_delay": self.router.watermark_delay,
+            },
+            "metrics": self.metrics.counters(),
+            "user": metadata or {},
+        }
+        return write_archive(path, arrays, meta)
+
+    @classmethod
+    def restore(
+        cls,
+        path: str | Path,
+        model: TPGNN,
+        on_evict: Callable[[str, SessionState], None] | None = None,
+    ) -> "StreamingEngine":
+        """Rebuild an engine (weights + sessions + counters) from disk.
+
+        ``model`` must be architecturally identical to the one that
+        wrote the checkpoint; its parameters are overwritten.
+        """
+        arrays, meta = read_archive(path)
+        if meta.get("format") != _FORMAT:
+            raise ValueError(f"{path} is not a serving-state checkpoint")
+        if meta.get("format_version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported serving-state format {meta.get('format_version')!r}"
+            )
+        model_state = {
+            key[len("model."):]: value
+            for key, value in arrays.items()
+            if key.startswith("model.")
+        }
+        model.load_state_dict(model_state)
+        config = meta.get("config", {})
+        engine = cls(
+            model,
+            max_sessions=int(config.get("max_sessions", 1024)),
+            out_of_order=str(config.get("out_of_order", "drop")),
+            watermark_delay=float(config.get("watermark_delay", 0.0)),
+            on_evict=on_evict,
+        )
+        engine.metrics.load_counters(meta.get("metrics", {}))
+        for index, session_id in enumerate(meta.get("sessions", [])):
+            prefix = f"session.{index}."
+            session_arrays = {
+                key[len(prefix):]: value
+                for key, value in arrays.items()
+                if key.startswith(prefix)
+            }
+            state = engine.classifier.restore(session_id, session_arrays)
+            engine._adopt(session_id, state)
+        return engine
+
+    def _adopt(self, session_id: str, state: SessionState) -> None:
+        """Install a restored session into the router's table."""
+        from repro.serve.router import _SessionEntry
+
+        entry: _SessionEntry[SessionState] = _SessionEntry(payload=state)
+        last = state.last_time
+        if last is not None:
+            entry.last_applied = last
+            entry.max_seen = last
+        self.router._sessions[session_id] = entry
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"StreamingEngine(sessions={len(self.router)}, "
+            f"policy={self.router.out_of_order!r}, "
+            f"events={self.metrics.events_applied})"
+        )

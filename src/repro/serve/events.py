@@ -1,0 +1,134 @@
+"""Event model for online serving: one record per temporal edge.
+
+A live deployment observes an *interleaved* feed of events from many
+concurrent sessions (user sessions, HDFS blocks, trajectories …).  Each
+:class:`StreamEvent` is one temporal edge of one session, carrying raw
+features for any endpoint the server has not seen yet — the streaming
+analogue of a :class:`~repro.graph.ctdn.CTDN` row.
+
+:func:`dataset_to_feed` replays a :class:`~repro.graph.dataset.GraphDataset`
+as such a feed (chronological within each session, sessions interleaved
+by timestamp), which is how the ``repro serve`` CLI, the examples, and
+the serve test-suite drive the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+import numpy as np
+
+from repro.graph.ctdn import CTDN
+
+
+@dataclass(frozen=True)
+class StreamEvent:
+    """One temporal edge of one session, as seen on the wire.
+
+    Parameters
+    ----------
+    session_id:
+        Which session (dynamic graph) the edge belongs to.
+    src, dst:
+        Session-local node ids (information flows ``src -> dst``).
+    time:
+        Event timestamp.  Sessions keep independent clocks; the model
+        encodes session-relative time, so absolute offsets are free.
+    node_features:
+        Raw feature rows for endpoints this event introduces, keyed by
+        node id.  Required the first time a node id appears in a
+        session; ignored for already-known nodes.
+    label:
+        Optional ground-truth session label, carried through for replay
+        evaluation (never consumed by the engine itself).
+    """
+
+    session_id: str
+    src: int
+    dst: int
+    time: float
+    node_features: Mapping[int, np.ndarray] | None = None
+    label: int | None = field(default=None, compare=False)
+
+    def __post_init__(self):
+        if self.src < 0 or self.dst < 0:
+            raise ValueError(f"node ids must be non-negative, got ({self.src}, {self.dst})")
+        if not np.isfinite(self.time):
+            raise ValueError(f"event time must be finite, got {self.time}")
+
+
+def session_events(
+    graph: CTDN, session_id: str | None = None, offset: float = 0.0
+) -> list[StreamEvent]:
+    """One session's chronological events, features attached on first sight.
+
+    ``offset`` shifts the session's clock (time encoding is
+    session-relative, so predictions are unaffected).
+    """
+    sid = session_id if session_id is not None else (graph.graph_id or "session-0")
+    seen: set[int] = set()
+    events = []
+    for edge in graph.edges_sorted():
+        features = {}
+        for node in (edge.src, edge.dst):
+            if node not in seen:
+                features[node] = graph.features[node]
+                seen.add(node)
+        events.append(
+            StreamEvent(
+                session_id=sid,
+                src=edge.src,
+                dst=edge.dst,
+                time=edge.time + offset,
+                node_features=features or None,
+                label=graph.label,
+            )
+        )
+    return events
+
+
+def dataset_to_feed(
+    graphs: Iterable[CTDN],
+    rng: np.random.Generator | None = None,
+    spread: float = 0.0,
+) -> list[StreamEvent]:
+    """Replay a dataset as one interleaved, time-ordered event feed.
+
+    Parameters
+    ----------
+    graphs:
+        The sessions to replay (a :class:`GraphDataset` works directly).
+    rng:
+        When given with ``spread`` > 0, each session's clock is shifted
+        by a uniform offset in ``[0, spread)`` so arrivals interleave
+        the way independent live sessions do.
+    spread:
+        Width of the random per-session start-time window.
+
+    Returns
+    -------
+    Events sorted by timestamp; ties keep per-session chronological
+    order (stable sort), so every session still sees its own edges in
+    order.
+    """
+    feed: list[StreamEvent] = []
+    for index, graph in enumerate(graphs):
+        sid = graph.graph_id or f"session-{index}"
+        offset = float(rng.uniform(0.0, spread)) if (rng is not None and spread > 0) else 0.0
+        feed.extend(session_events(graph, session_id=sid, offset=offset))
+    feed.sort(key=lambda e: e.time)
+    return feed
+
+
+def iter_feed(feed: Iterable[StreamEvent]) -> Iterator[StreamEvent]:
+    """Iterate a feed, validating monotone non-decreasing arrival times."""
+    last = -np.inf
+    for event in feed:
+        if event.time < last:
+            raise ValueError(
+                f"feed is not time-ordered: {event.time} after {last} "
+                "(sort it or route through SessionRouter with a buffer policy)"
+            )
+        last = event.time
+        yield event

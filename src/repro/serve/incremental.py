@@ -1,0 +1,284 @@
+"""Incremental TP-GNN inference: O(1) state updates per temporal edge.
+
+Batch TP-GNN scores a session by replaying its entire edge list —
+O(m) per new event.  Both of the model's components are recurrences
+over the chronological edge sequence, so this module carries their
+state forward instead:
+
+* :meth:`IncrementalClassifier.observe` advances the propagation state
+  and the global extractor's GRU hidden by exactly one edge;
+* :meth:`IncrementalClassifier.logit` scores the session from the live
+  state.
+
+Two read modes are offered:
+
+* ``"online"`` — the classifier head on the live extractor hidden.
+  O(1): one small matmul.  The extractor consumed each edge's
+  embedding *as it arrived* (causal semantics — the standard
+  continuous-time TGNN serving discipline), so early edges were
+  embedded from the node states current at that moment.
+* ``"exact"`` — re-runs only the extractor GRU over the logged edges
+  using the *current* node states, which reproduces the batch
+  ``forward`` logits bit-for-bit (batch embeds every edge with the
+  final node states).  O(m) in the extractor but still skips the O(m)
+  propagation replay.
+
+The equivalence suite (``tests/serve/test_equivalence.py``) pins
+``"exact"`` streaming == batch to ≤ 1e-8, including across
+:meth:`snapshot` / :meth:`restore` round-trips.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.model import TPGNN
+from repro.graph.edge import TemporalEdge
+from repro.serve.state import SessionState
+from repro.tensor import Tensor, no_grad
+
+READ_MODES = ("online", "exact")
+
+_EDGE_LOG_KEY = "edges"
+_FEATURE_SEEN_KEY = "feature_seen"
+_LABEL_KEY = "label"
+
+
+class IncrementalClassifier:
+    """Streaming wrapper around a (trained) :class:`TPGNN` model.
+
+    The model's parameters are shared, never copied: one classifier can
+    serve any number of concurrent sessions, each represented by a
+    :class:`SessionState`.  All methods run under ``no_grad`` — serving
+    never builds autograd graphs.
+
+    Parameters
+    ----------
+    model:
+        A TP-GNN instance (SUM or GRU updater).  Updaters without the
+        incremental API (e.g. the ``rand`` ablation) are rejected.
+    missing_features:
+        What to do when an edge endpoint is new to its session and the
+        event carries no features for it: ``"raise"`` (default —
+        strict, the replay/equivalence discipline) or ``"zeros"``
+        (cold-start with zero features; what a server does when a
+        session was LRU-evicted mid-stream and its tail re-admitted).
+    """
+
+    MISSING_FEATURE_POLICIES = ("raise", "zeros")
+
+    def __init__(self, model: TPGNN, missing_features: str = "raise"):
+        if not isinstance(model, TPGNN):
+            raise TypeError(
+                f"IncrementalClassifier requires a TPGNN model, got {type(model).__name__}"
+            )
+        if missing_features not in self.MISSING_FEATURE_POLICIES:
+            raise KeyError(
+                f"unknown missing_features policy {missing_features!r}; "
+                f"choose from {self.MISSING_FEATURE_POLICIES}"
+            )
+        self.model = model
+        self.missing_features = missing_features
+        self.propagation = model.propagation
+        self.extractor = model.extractor
+
+    # ------------------------------------------------------------------
+    # Session lifecycle
+    # ------------------------------------------------------------------
+    def new_session(
+        self, session_id: str, features: np.ndarray | None = None
+    ) -> SessionState:
+        """Create an empty session.
+
+        ``features`` optionally pre-materialises the full ``(n, q_raw)``
+        node-feature matrix (replay-style usage); live usage starts with
+        no nodes and materialises them from event payloads.
+        """
+        with no_grad():
+            if features is None:
+                features = np.zeros((0, self.propagation.in_features))
+            features = np.asarray(features, dtype=np.float64)
+            state = SessionState(
+                session_id=session_id,
+                prop_state=self.propagation.init_state(features),
+                ext_state=self.extractor.init_state(),
+            )
+            state.feature_seen.update(range(features.shape[0]))
+        return state
+
+    def _materialize(
+        self,
+        state: SessionState,
+        node: int,
+        node_features: Mapping[int, np.ndarray] | None,
+    ) -> None:
+        """Ensure ``node`` has a real (feature-encoded) state row."""
+        if node in state.feature_seen:
+            return
+        features = None if node_features is None else node_features.get(node)
+        if features is None:
+            if self.missing_features == "raise":
+                raise ValueError(
+                    f"session {state.session_id!r}: node {node} is new but the event "
+                    "carries no features for it"
+                )
+            features = np.zeros(self.propagation.in_features)
+        # Reserve placeholder rows for any ids between the current size
+        # and the new node; they are overwritten if their features ever
+        # arrive, and are never read as edge endpoints before that.
+        missing = node + 1 - state.prop_state.num_nodes
+        if missing > 0:
+            self.propagation.add_nodes(
+                state.prop_state,
+                np.zeros((missing, self.propagation.in_features)),
+            )
+        self.propagation.set_node(state.prop_state, node, np.asarray(features, dtype=np.float64))
+        state.feature_seen.add(node)
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def observe(
+        self,
+        state: SessionState,
+        edge: TemporalEdge | tuple[int, int, float],
+        node_features: Mapping[int, np.ndarray] | None = None,
+    ) -> None:
+        """Ingest one temporal edge into the session — O(1) work.
+
+        Advances the propagation recurrence, embeds the edge from the
+        now-current endpoint states, and steps the extractor GRU.
+        """
+        edge = TemporalEdge(int(edge[0]), int(edge[1]), float(edge[2]))
+        with no_grad():
+            self._materialize(state, edge.src, node_features)
+            self._materialize(state, edge.dst, node_features)
+            self.propagation.step(state.prop_state, edge)
+            row = self.extractor.edge_embedding(
+                self.propagation.node_embedding(state.prop_state, edge.src),
+                self.propagation.node_embedding(state.prop_state, edge.dst),
+            )
+            self.extractor.step(state.ext_state, row)
+        state.edges.append(edge)
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def graph_embedding(self, state: SessionState, mode: str = "online") -> Tensor:
+        """The session's graph embedding ``g`` under the chosen read mode."""
+        if mode not in READ_MODES:
+            raise KeyError(f"unknown read mode {mode!r}; choose from {READ_MODES}")
+        with no_grad():
+            if mode == "online":
+                return self.extractor.graph_embedding(state.ext_state)
+            if not state.edges:
+                raise ValueError(
+                    "exact mode needs at least one observed edge "
+                    "(batch TP-GNN rejects empty graphs too)"
+                )
+            node_embeddings = self.propagation.finalize(state.prop_state)
+            sequence = self.extractor.edge_embeddings(node_embeddings, state.edges)
+            replay = self.extractor.init_state()
+            width = sequence.shape[1]
+            for index in range(len(state.edges)):
+                self.extractor.step(replay, sequence[index].reshape(1, width))
+            return self.extractor.graph_embedding(replay)
+
+    def logit(self, state: SessionState, mode: str = "online") -> float:
+        """Raw classification logit of the session's current state."""
+        with no_grad():
+            return float(self.model.logit(self.graph_embedding(state, mode)).item())
+
+    def predict_proba(self, state: SessionState, mode: str = "online") -> float:
+        """Probability that the session is positive (label 1)."""
+        return float(1.0 / (1.0 + np.exp(-self.logit(state, mode))))
+
+    def logits_online(self, states: Sequence[SessionState]) -> np.ndarray:
+        """Micro-batched online read path: one matmul for many sessions.
+
+        Stacks the live extractor hiddens into a ``(b, d)`` matrix and
+        runs the classifier head once — the engine's grouped scoring
+        pass.
+        """
+        if not states:
+            return np.zeros(0)
+        stacked = np.stack(
+            [s.ext_state.hidden.data.reshape(self.extractor.hidden_size) for s in states],
+            axis=0,
+        )
+        with no_grad():
+            logits = self.model.logits(Tensor(stacked))
+        return logits.data.copy()
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore
+    # ------------------------------------------------------------------
+    def snapshot(self, state: SessionState) -> dict[str, np.ndarray]:
+        """Flat array form of the full session state.
+
+        Round-trips through :meth:`restore`: a restored session
+        continues the stream with bit-identical results (asserted by
+        the equivalence suite).
+        """
+        arrays = {
+            f"prop.{key}": value
+            for key, value in self.propagation.snapshot_state(state.prop_state).items()
+        }
+        arrays.update(
+            {
+                f"ext.{key}": value
+                for key, value in self.extractor.snapshot_state(state.ext_state).items()
+            }
+        )
+        arrays[_EDGE_LOG_KEY] = np.array(
+            [[e.src, e.dst, e.time] for e in state.edges], dtype=np.float64
+        ).reshape(len(state.edges), 3)
+        arrays[_FEATURE_SEEN_KEY] = np.array(sorted(state.feature_seen), dtype=np.int64)
+        has_label = state.label is not None
+        arrays[_LABEL_KEY] = np.array(
+            [state.label if has_label else 0, int(has_label)], dtype=np.int64
+        )
+        return arrays
+
+    def restore(self, session_id: str, arrays: Mapping[str, np.ndarray]) -> SessionState:
+        """Rebuild a session from :meth:`snapshot` output."""
+        prop_arrays = {
+            key[len("prop."):]: value
+            for key, value in arrays.items()
+            if key.startswith("prop.")
+        }
+        ext_arrays = {
+            key[len("ext."):]: value
+            for key, value in arrays.items()
+            if key.startswith("ext.")
+        }
+        label_value, has_label = (int(v) for v in arrays[_LABEL_KEY])
+        state = SessionState(
+            session_id=session_id,
+            prop_state=self.propagation.restore_state(prop_arrays),
+            ext_state=self.extractor.restore_state(ext_arrays),
+            edges=[
+                TemporalEdge(int(row[0]), int(row[1]), float(row[2]))
+                for row in arrays[_EDGE_LOG_KEY]
+            ],
+            feature_seen=set(int(n) for n in arrays[_FEATURE_SEEN_KEY]),
+            label=label_value if has_label else None,
+        )
+        return state
+
+    # ------------------------------------------------------------------
+    # Replay convenience
+    # ------------------------------------------------------------------
+    def replay(
+        self,
+        session_id: str,
+        features: np.ndarray,
+        edges: Iterable[TemporalEdge | tuple[int, int, float]],
+    ) -> SessionState:
+        """Fold :meth:`observe` over a full edge list (testing/warm-up)."""
+        state = self.new_session(session_id, features=features)
+        for edge in edges:
+            self.observe(state, edge)
+        return state

@@ -1,0 +1,111 @@
+"""Serving metrics: counters and step-latency percentiles.
+
+A deliberately small, dependency-free counter block modelled on what a
+real inference service exports: ingest/drop/eviction counters plus a
+fixed-size latency reservoir from which p50/p99 are computed.  The
+engine updates it on every event; ``repro serve`` prints the summary
+after a replay.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class LatencyReservoir:
+    """Fixed-size ring buffer of the most recent latency samples.
+
+    Keeps serving-time memory bounded no matter how long the engine
+    runs; percentiles therefore describe *recent* behaviour, which is
+    what an operator watches.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._samples = np.zeros(capacity)
+        self._next = 0
+        self.count = 0
+
+    def record(self, seconds: float) -> None:
+        """Add one latency sample (seconds)."""
+        self._samples[self._next] = seconds
+        self._next = (self._next + 1) % self.capacity
+        self.count += 1
+
+    def values(self) -> np.ndarray:
+        """The retained samples (at most ``capacity``), unordered."""
+        return self._samples[: min(self.count, self.capacity)].copy()
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile of retained samples (0 when empty)."""
+        values = self.values()
+        return float(np.percentile(values, q)) if values.size else 0.0
+
+
+class ServeMetrics:
+    """Counter block for the streaming engine.
+
+    Attributes mirror the lifecycle of an event: it is *ingested*, then
+    either *applied* (stepping some session), *dropped* (out-of-order),
+    or *late-dropped* (missed the buffer watermark); sessions are
+    *started* and possibly *evicted*; reads are *predictions served*.
+    """
+
+    def __init__(self, latency_capacity: int = 4096):
+        self.events_ingested = 0
+        self.events_applied = 0
+        self.events_dropped = 0
+        self.events_late_dropped = 0
+        self.sessions_started = 0
+        self.sessions_evicted = 0
+        self.predictions_served = 0
+        self.step_latency = LatencyReservoir(latency_capacity)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def observe_step(self, seconds: float) -> None:
+        """Record one applied event and its step latency."""
+        self.events_applied += 1
+        self.step_latency.record(seconds)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def counters(self) -> dict[str, int]:
+        """The integer counters as a plain dict (checkpointed as-is)."""
+        return {
+            "events_ingested": self.events_ingested,
+            "events_applied": self.events_applied,
+            "events_dropped": self.events_dropped,
+            "events_late_dropped": self.events_late_dropped,
+            "sessions_started": self.sessions_started,
+            "sessions_evicted": self.sessions_evicted,
+            "predictions_served": self.predictions_served,
+        }
+
+    def load_counters(self, counters: dict[str, int]) -> None:
+        """Restore counters written by :meth:`counters`."""
+        for key, value in counters.items():
+            if hasattr(self, key):
+                setattr(self, key, int(value))
+
+    def summary(self) -> dict[str, float]:
+        """Counters plus latency percentiles (milliseconds)."""
+        info: dict[str, float] = dict(self.counters())
+        info["step_latency_p50_ms"] = self.step_latency.percentile(50) * 1e3
+        info["step_latency_p99_ms"] = self.step_latency.percentile(99) * 1e3
+        return info
+
+    def render(self) -> str:
+        """Human-readable one-block summary (printed by ``repro serve``)."""
+        summary = self.summary()
+        lines = ["serve metrics"]
+        for key, value in summary.items():
+            if key.endswith("_ms"):
+                lines.append(f"  {key:<24} {value:9.3f}")
+            else:
+                lines.append(f"  {key:<24} {int(value):9d}")
+        return "\n".join(lines)

@@ -1,0 +1,215 @@
+"""Session routing: demultiplex an interleaved event feed.
+
+A live feed carries events from many concurrent sessions, possibly with
+per-session disorder (retries, clock skew, multi-source ingestion).
+:class:`SessionRouter` owns the session table and the admission
+policy, and hands *ordered* per-session events to the engine:
+
+* **LRU eviction** — at most ``max_sessions`` live sessions; creating
+  one more evicts the least-recently-active session (an ``on_evict``
+  hook lets the engine flush a final prediction or checkpoint it).
+* **Out-of-order policy** — events older than the last event already
+  applied to their session are handled per ``out_of_order``:
+
+  - ``"drop"`` (default) — silently discard, counted;
+  - ``"raise"`` — raise :class:`OutOfOrderError` (strict pipelines);
+  - ``"buffer"`` — hold events in a per-session min-heap and release
+    them in time order once the session watermark (latest time seen
+    minus ``watermark_delay``) passes them.  Events arriving later
+    than the watermark window are dropped, counted separately.
+
+The router is generic over the session payload: the engine supplies a
+``factory(session_id) -> payload`` and receives ``(payload, event)``
+deliveries back.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Generic, TypeVar
+
+from repro.serve.events import StreamEvent
+
+Payload = TypeVar("Payload")
+
+OUT_OF_ORDER_POLICIES = ("drop", "raise", "buffer")
+
+
+class OutOfOrderError(RuntimeError):
+    """An event arrived older than its session's last applied event."""
+
+
+@dataclass
+class _SessionEntry(Generic[Payload]):
+    """Router-internal bookkeeping for one live session."""
+
+    payload: Payload
+    last_applied: float = float("-inf")
+    max_seen: float = float("-inf")
+    pending: list[tuple[float, int, StreamEvent]] = field(default_factory=list)
+
+
+@dataclass
+class RouterStats:
+    """Counters the router maintains for :class:`~repro.serve.metrics.ServeMetrics`."""
+
+    routed: int = 0
+    dropped: int = 0
+    late_dropped: int = 0
+    buffered_peak: int = 0
+    sessions_started: int = 0
+    sessions_evicted: int = 0
+
+
+class SessionRouter(Generic[Payload]):
+    """Demultiplexes an interleaved event feed into ordered sessions.
+
+    Parameters
+    ----------
+    factory:
+        Builds the payload (e.g. a ``SessionState``) for a new session id.
+    max_sessions:
+        LRU capacity; the least-recently-active session is evicted when
+        a new session would exceed it.
+    out_of_order:
+        One of :data:`OUT_OF_ORDER_POLICIES`.
+    watermark_delay:
+        Buffer window for the ``"buffer"`` policy: an event is released
+        once the session has seen a timestamp ``watermark_delay`` past
+        it.  ``0.0`` releases immediately (pure re-sort of ties).
+    on_evict:
+        Called with ``(session_id, payload)`` just before eviction.
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[str], Payload],
+        max_sessions: int = 1024,
+        out_of_order: str = "drop",
+        watermark_delay: float = 0.0,
+        on_evict: Callable[[str, Payload], None] | None = None,
+    ):
+        if max_sessions <= 0:
+            raise ValueError(f"max_sessions must be positive, got {max_sessions}")
+        if out_of_order not in OUT_OF_ORDER_POLICIES:
+            raise KeyError(
+                f"unknown out_of_order policy {out_of_order!r}; "
+                f"choose from {OUT_OF_ORDER_POLICIES}"
+            )
+        if watermark_delay < 0:
+            raise ValueError(f"watermark_delay must be >= 0, got {watermark_delay}")
+        self.factory = factory
+        self.max_sessions = max_sessions
+        self.out_of_order = out_of_order
+        self.watermark_delay = watermark_delay
+        self.on_evict = on_evict
+        self.stats = RouterStats()
+        self._sessions: "OrderedDict[str, _SessionEntry[Payload]]" = OrderedDict()
+        self._tiebreak = itertools.count()
+
+    # ------------------------------------------------------------------
+    # Session table
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def __contains__(self, session_id: str) -> bool:
+        return session_id in self._sessions
+
+    def session_ids(self) -> list[str]:
+        """Live session ids, least-recently-active first."""
+        return list(self._sessions)
+
+    def get(self, session_id: str) -> Payload | None:
+        """Payload for ``session_id`` (no LRU touch), or None."""
+        entry = self._sessions.get(session_id)
+        return entry.payload if entry is not None else None
+
+    def pop(self, session_id: str) -> Payload | None:
+        """Remove and return a session's payload (no evict hook)."""
+        entry = self._sessions.pop(session_id, None)
+        return entry.payload if entry is not None else None
+
+    def _entry(self, session_id: str) -> _SessionEntry[Payload]:
+        """Fetch-or-create the session entry, applying LRU discipline."""
+        entry = self._sessions.get(session_id)
+        if entry is not None:
+            self._sessions.move_to_end(session_id)
+            return entry
+        while len(self._sessions) >= self.max_sessions:
+            evicted_id, evicted = self._sessions.popitem(last=False)
+            self.stats.sessions_evicted += 1
+            if self.on_evict is not None:
+                self.on_evict(evicted_id, evicted.payload)
+        entry = _SessionEntry(payload=self.factory(session_id))
+        self._sessions[session_id] = entry
+        self.stats.sessions_started += 1
+        return entry
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def route(self, event: StreamEvent) -> list[tuple[Payload, StreamEvent]]:
+        """Admit one event; return the (payload, event) pairs now ready.
+
+        Under ``"drop"``/``"raise"`` this is the event itself (or
+        nothing); under ``"buffer"`` it is every buffered event of the
+        session whose watermark has passed, in timestamp order.
+        """
+        entry = self._entry(event.session_id)
+        if self.out_of_order == "buffer":
+            return self._route_buffered(entry, event)
+        if event.time < entry.last_applied:
+            if self.out_of_order == "raise":
+                raise OutOfOrderError(
+                    f"session {event.session_id!r}: event at t={event.time} arrived "
+                    f"after t={entry.last_applied} was already applied"
+                )
+            self.stats.dropped += 1
+            return []
+        entry.last_applied = event.time
+        self.stats.routed += 1
+        return [(entry.payload, event)]
+
+    def _route_buffered(
+        self, entry: _SessionEntry[Payload], event: StreamEvent
+    ) -> list[tuple[Payload, StreamEvent]]:
+        """Buffer policy: heap-reorder within the watermark window."""
+        if event.time < entry.last_applied:
+            # Beyond repair: an older event was already folded into the
+            # recurrence, so this one missed its window.
+            self.stats.late_dropped += 1
+            return []
+        heapq.heappush(entry.pending, (event.time, next(self._tiebreak), event))
+        entry.max_seen = max(entry.max_seen, event.time)
+        self.stats.buffered_peak = max(self.stats.buffered_peak, len(entry.pending))
+        watermark = entry.max_seen - self.watermark_delay
+        ready: list[tuple[Payload, StreamEvent]] = []
+        while entry.pending and entry.pending[0][0] <= watermark:
+            _, _, pending_event = heapq.heappop(entry.pending)
+            entry.last_applied = pending_event.time
+            self.stats.routed += 1
+            ready.append((entry.payload, pending_event))
+        return ready
+
+    def flush(self, session_id: str | None = None) -> list[tuple[Payload, StreamEvent]]:
+        """Release every buffered event (end-of-stream drain).
+
+        With ``session_id`` only that session is drained; otherwise all
+        sessions, in LRU order.
+        """
+        targets = [session_id] if session_id is not None else list(self._sessions)
+        ready: list[tuple[Payload, StreamEvent]] = []
+        for sid in targets:
+            entry = self._sessions.get(sid)
+            if entry is None:
+                continue
+            while entry.pending:
+                _, _, pending_event = heapq.heappop(entry.pending)
+                entry.last_applied = pending_event.time
+                self.stats.routed += 1
+                ready.append((entry.payload, pending_event))
+        return ready

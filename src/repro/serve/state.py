@@ -1,0 +1,58 @@
+"""Per-session serving state: the carried-forward temporal recurrences.
+
+A :class:`SessionState` bundles everything the engine needs to score a
+live session in O(1) after each event:
+
+* the propagation state (``X``/``M`` for the SUM updater, ``h`` for the
+  GRU updater) — advanced by
+  :meth:`~repro.core.propagation.TemporalPropagationBase.step`;
+* the global extractor's GRU hidden state — advanced by
+  :meth:`~repro.core.extractor.GlobalTemporalExtractor.step`;
+* the session's edge log (needed for exact-mode rescoring and for
+  checkpoints).
+
+States are created, advanced, and serialised by
+:class:`~repro.serve.incremental.IncrementalClassifier`; this module
+only defines the data shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.extractor import ExtractorState
+from repro.core.propagation import PropagationState
+from repro.graph.edge import TemporalEdge
+
+
+@dataclass
+class SessionState:
+    """Live state of one session inside the streaming engine."""
+
+    session_id: str
+    prop_state: PropagationState
+    ext_state: ExtractorState
+    edges: list[TemporalEdge] = field(default_factory=list)
+    feature_seen: set[int] = field(default_factory=set)
+    label: int | None = None
+
+    @property
+    def num_events(self) -> int:
+        """Edges consumed so far."""
+        return len(self.edges)
+
+    @property
+    def last_time(self) -> float | None:
+        """Timestamp of the most recent edge (None before the first)."""
+        return self.edges[-1].time if self.edges else None
+
+    @property
+    def num_nodes(self) -> int:
+        """Nodes materialised so far (including placeholder rows)."""
+        return self.prop_state.num_nodes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SessionState(id={self.session_id!r}, events={self.num_events}, "
+            f"nodes={self.num_nodes})"
+        )

@@ -1,6 +1,6 @@
 """Training loops, metrics, and the paper's evaluation protocol."""
 
-from repro.training.metrics import Metrics, MetricSummary, compute_metrics
+from repro.training.metrics import Metrics, MetricSummary, compute_metrics, roc_auc
 from repro.training.trainer import (
     TrainConfig,
     TrainResult,
@@ -14,6 +14,7 @@ __all__ = [
     "Metrics",
     "MetricSummary",
     "compute_metrics",
+    "roc_auc",
     "TrainConfig",
     "TrainResult",
     "train_model",

@@ -41,8 +41,11 @@ class Metrics:
 def compute_metrics(y_true: Sequence[int], y_pred: Sequence[int]) -> Metrics:
     """Binary precision/recall/F1 with the paper's conventions.
 
-    Positive class is label 1.  Degenerate denominators yield 0 rather
-    than raising.
+    Positive class is label 1.  Degenerate inputs are defined rather
+    than raising: zero denominators yield 0, and a single-class label
+    array (all positives or all negatives — common when evaluating a
+    short live-serving window) simply produces the corresponding
+    degenerate counts.
     """
     truth = np.asarray(y_true, dtype=np.int64)
     pred = np.asarray(y_pred, dtype=np.int64)
@@ -58,6 +61,44 @@ def compute_metrics(y_true: Sequence[int], y_pred: Sequence[int]) -> Metrics:
     recall = tp / (tp + fn) if tp + fn else 0.0
     f1 = 2 * precision * recall / (precision + recall) if precision + recall else 0.0
     return Metrics(precision, recall, f1, tp, fp, fn, tn)
+
+
+def roc_auc(y_true: Sequence[int], scores: Sequence[float]) -> float:
+    """Area under the ROC curve from raw scores (rank statistic).
+
+    Computed as the Mann-Whitney U statistic with midrank tie handling,
+    so thresholded probabilities and raw logits give the same value.
+
+    Degenerate guard: when the label array contains a single class the
+    ROC curve is undefined; the defined fallback is **0.5** (the
+    no-information value), so rolling AUC over a live serving window —
+    where all sessions seen so far may share one label — never raises
+    or returns a misleading 0/1.
+    """
+    truth = np.asarray(y_true, dtype=np.int64)
+    values = np.asarray(scores, dtype=np.float64)
+    if truth.shape != values.shape:
+        raise ValueError(f"shape mismatch: {truth.shape} vs {values.shape}")
+    if truth.size == 0:
+        raise ValueError("cannot compute AUC on an empty score set")
+    positives = int((truth == 1).sum())
+    negatives = truth.size - positives
+    if positives == 0 or negatives == 0:
+        return 0.5
+    order = np.argsort(values, kind="mergesort")
+    ranks = np.empty(truth.size, dtype=np.float64)
+    ranks[order] = np.arange(1, truth.size + 1)
+    # Midranks for ties, so equal scores contribute half a win each.
+    sorted_values = values[order]
+    start = 0
+    for end in range(1, truth.size + 1):
+        if end == truth.size or sorted_values[end] != sorted_values[start]:
+            if end - start > 1:
+                ranks[order[start:end]] = 0.5 * (start + 1 + end)
+            start = end
+    rank_sum = float(ranks[truth == 1].sum())
+    u_statistic = rank_sum - positives * (positives + 1) / 2.0
+    return u_statistic / (positives * negatives)
 
 
 @dataclass(frozen=True)

@@ -4,7 +4,17 @@ import numpy as np
 import pytest
 
 from repro.core import TPGNN
-from repro.nn import GRUCell, Linear, load_checkpoint, save_checkpoint
+from repro.nn import (
+    GRUCell,
+    Linear,
+    Module,
+    ModuleList,
+    Parameter,
+    load_checkpoint,
+    read_archive,
+    save_checkpoint,
+    write_archive,
+)
 
 
 class TestRoundtrip:
@@ -63,3 +73,65 @@ class TestValidation:
         path = save_checkpoint(Linear(2, 2), tmp_path / "lin.npz")
         with pytest.raises((KeyError, ValueError)):
             load_checkpoint(Linear(3, 3), path, strict_class=False)
+
+
+class TestArchiveLayer:
+    """The raw array+metadata layer under the checkpoint API."""
+
+    def test_round_trip(self, tmp_path):
+        arrays = {"a": np.arange(6, dtype=np.float64).reshape(2, 3),
+                  "nested.b": np.ones(2, dtype=np.float32)}
+        meta = {"kind": "test", "values": [1, 2.5], "nested": {"x": None}}
+        path = write_archive(tmp_path / "arch", arrays, meta)
+        back, back_meta = read_archive(path)
+        assert back_meta == meta
+        assert set(back) == set(arrays)
+        for key, value in arrays.items():
+            np.testing.assert_array_equal(back[key], value)
+            assert back[key].dtype == value.dtype
+
+    def test_reserved_metadata_key_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="reserved"):
+            write_archive(tmp_path / "bad", {"__repro_meta__": np.zeros(1)}, {})
+
+
+class TestNestedModules:
+    """Checkpoints of module trees: name uniqueness and dtype stability."""
+
+    class Wrapper(Module):
+        def __init__(self, seed):
+            super().__init__()
+            rng = np.random.default_rng(seed)
+            self.encoder = GRUCell(3, 4, rng=rng)
+            self.heads = ModuleList([Linear(4, 2, rng=rng), Linear(4, 2, rng=rng)])
+
+    def test_nested_round_trip(self, tmp_path):
+        a, b = self.Wrapper(0), self.Wrapper(1)
+        path = save_checkpoint(a, tmp_path / "nested.npz")
+        load_checkpoint(b, path)
+        state_a, state_b = a.state_dict(), b.state_dict()
+        assert set(state_a) == set(state_b)
+        assert any(key.startswith("heads.1.") for key in state_a)
+        for key, value in state_a.items():
+            np.testing.assert_array_equal(value, state_b[key])
+
+    def test_dotted_attribute_collision_raises(self):
+        model = self.Wrapper(0)
+        collision = next(iter(model.encoder.state_dict()))
+        setattr(model, f"encoder.{collision}", Parameter(np.zeros(1)))
+        with pytest.raises(KeyError, match="duplicate parameter name"):
+            model.state_dict()
+
+    def test_load_preserves_parameter_dtype(self, tmp_path):
+        model = Linear(2, 2, rng=np.random.default_rng(0))
+        state = {k: v.astype(np.float32) for k, v in model.state_dict().items()}
+        model.load_state_dict(state)
+        for param in model.parameters():
+            assert param.data.dtype == np.float64
+
+    def test_loaded_values_are_copies(self, tmp_path):
+        model = Linear(2, 2, rng=np.random.default_rng(0))
+        state = model.state_dict()
+        model.load_state_dict(state)
+        state["weight"][:] = 99.0
+        assert not np.any(model.state_dict()["weight"] == 99.0)

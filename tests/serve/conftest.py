@@ -1,0 +1,61 @@
+"""Shared fixtures and builders for the serving test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import TPGNN
+from repro.graph import CTDN
+
+
+def make_model(updater: str = "sum", seed: int = 0) -> TPGNN:
+    """A small TP-GNN in eval mode, as served in production."""
+    model = TPGNN(
+        in_features=3,
+        updater=updater,
+        hidden_size=8,
+        gru_hidden_size=8,
+        time_dim=4,
+        seed=seed,
+    )
+    model.eval()
+    return model
+
+
+def random_ctdn(
+    seed: int,
+    max_nodes: int = 7,
+    max_edges: int = 12,
+    tie_fraction: float = 0.0,
+    label: int | None = None,
+    graph_id: str | None = None,
+) -> CTDN:
+    """A random temporal graph; ``tie_fraction`` repeats timestamps."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(3, max_nodes + 1))
+    m = int(rng.integers(2, max_edges + 1))
+    edges = []
+    t = 0.0
+    for _ in range(m):
+        if not edges or rng.random() >= tie_fraction:
+            t += float(rng.exponential(1.0)) + 0.05
+        u, v = rng.choice(n, size=2, replace=False)
+        edges.append((int(u), int(v), t))
+    return CTDN(
+        n,
+        rng.normal(size=(n, 3)),
+        edges,
+        label=label if label is not None else int(rng.integers(0, 2)),
+        graph_id=graph_id,
+    )
+
+
+@pytest.fixture
+def sum_model() -> TPGNN:
+    return make_model("sum")
+
+
+@pytest.fixture
+def gru_model() -> TPGNN:
+    return make_model("gru")

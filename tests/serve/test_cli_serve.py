@@ -1,0 +1,86 @@
+"""End-to-end tests for the ``repro serve`` CLI subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+    def test_defaults_shown_in_help(self, capsys):
+        # ArgumentDefaultsHelpFormatter on every subparser.
+        for command in ("serve", "table2", "train"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args([command, "--help"])
+            assert "(default:" in capsys.readouterr().out
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.dataset == "Forum-java"
+        assert args.mode == "online"
+        assert args.out_of_order == "drop"
+
+    def test_serve_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--mode", "fuzzy"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--out-of-order", "reorder"])
+
+
+class TestExecution:
+    def run_serve(self, tmp_path, *extra):
+        output = tmp_path / "predictions.jsonl"
+        code = main([
+            "serve", "--dataset", "Forum-java", "--num-graphs", "6",
+            "--scale", "0.1", "--seed", "0", "--hidden-size", "6",
+            "--time-dim", "2", "--output", str(output), *extra,
+        ])
+        assert code == 0
+        return [json.loads(line) for line in output.read_text().splitlines()]
+
+    def test_emits_one_final_record_per_session(self, tmp_path, capsys):
+        records = self.run_serve(tmp_path)
+        capsys.readouterr()
+        finals = [r for r in records if r["final"]]
+        assert len(finals) == 6
+        assert len({r["session_id"] for r in finals}) == 6
+        for record in finals:
+            assert 0.0 <= record["probability"] <= 1.0
+            assert record["prediction"] in (0, 1)
+            assert record["mode"] == "online"
+            assert record["events"] > 0 and record["nodes"] > 0
+            assert record["label"] in (0, 1)
+
+    def test_rolling_emits_interim_records(self, tmp_path, capsys):
+        records = self.run_serve(tmp_path, "--rolling", "5")
+        capsys.readouterr()
+        interim = [r for r in records if not r["final"]]
+        assert interim
+        assert all(r["events"] % 5 == 0 for r in interim)
+
+    def test_exact_mode_and_state_saving(self, tmp_path, capsys):
+        state = tmp_path / "state.npz"
+        records = self.run_serve(
+            tmp_path, "--mode", "exact", "--save-state", str(state)
+        )
+        capsys.readouterr()
+        assert state.exists()
+        assert all(r["mode"] == "exact" for r in records)
+
+    def test_eviction_emits_final_records(self, tmp_path, capsys):
+        records = self.run_serve(tmp_path, "--max-sessions", "2")
+        capsys.readouterr()
+        evicted = [r for r in records if r.get("evicted")]
+        assert evicted
+        assert all(r["final"] for r in evicted)
+        # Every session still gets exactly one final verdict somewhere.
+        assert {r["session_id"] for r in records if r["final"]} == {
+            r["session_id"] for r in records
+        }

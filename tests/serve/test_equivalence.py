@@ -1,0 +1,154 @@
+"""Streaming == batch: the serving engine's core correctness contract.
+
+Batch TP-GNN ``forward`` is a fold over ``step`` (one code path), so a
+session streamed edge-by-edge through :class:`IncrementalClassifier`
+must reproduce the batch logits.  The ``"exact"`` read mode pins this
+to ≤ 1e-8 (in practice bit-for-bit) on random CTDNs for both updaters,
+across seeds, tied timestamps, and mid-stream snapshot/restore.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve import IncrementalClassifier
+from repro.tensor import no_grad
+from tests.serve.conftest import make_model, random_ctdn
+
+TOLERANCE = 1e-8
+
+
+def batch_logit(model, graph) -> float:
+    with no_grad():
+        return float(model(graph).item())
+
+
+def streaming_logit(model, graph, mode: str = "exact") -> float:
+    classifier = IncrementalClassifier(model)
+    state = classifier.replay(graph.graph_id or "s", graph.features, graph.edges_sorted())
+    return classifier.logit(state, mode=mode)
+
+
+class TestExactEqualsBatch:
+    @pytest.mark.parametrize("updater", ["sum", "gru"])
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_random_graphs(self, updater, seed):
+        model = make_model(updater, seed=seed % 7)
+        graph = random_ctdn(seed)
+        assert streaming_logit(model, graph) == pytest.approx(
+            batch_logit(model, graph), abs=TOLERANCE
+        )
+
+    @pytest.mark.parametrize("updater", ["sum", "gru"])
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_tied_timestamps(self, updater, seed):
+        # Heavy timestamp ties: the stable chronological order must be
+        # identical on the batch and streaming paths.
+        model = make_model(updater, seed=1)
+        graph = random_ctdn(seed, tie_fraction=0.7)
+        assert streaming_logit(model, graph) == pytest.approx(
+            batch_logit(model, graph), abs=TOLERANCE
+        )
+
+    @pytest.mark.parametrize("updater", ["sum", "gru"])
+    def test_every_prefix_matches(self, updater):
+        # The invariant holds at every moment of the stream, not just
+        # at the end: after k events, exact == batch on the k-prefix.
+        model = make_model(updater)
+        graph = random_ctdn(99, max_edges=10)
+        classifier = IncrementalClassifier(model)
+        state = classifier.new_session("s", features=graph.features)
+        for k, edge in enumerate(graph.edges_sorted(), start=1):
+            classifier.observe(state, edge)
+            assert classifier.logit(state, mode="exact") == pytest.approx(
+                batch_logit(model, graph.prefix(k)), abs=TOLERANCE
+            )
+
+    def test_single_edge_online_equals_exact(self, sum_model):
+        # With one edge the propagation state at arrival IS the final
+        # state, so even the causal online path matches batch.
+        graph = random_ctdn(3, max_edges=2).prefix(1)
+        classifier = IncrementalClassifier(sum_model)
+        state = classifier.replay("s", graph.features, graph.edges_sorted())
+        online = classifier.logit(state, mode="online")
+        assert online == pytest.approx(batch_logit(sum_model, graph), abs=TOLERANCE)
+        assert online == pytest.approx(classifier.logit(state, mode="exact"), abs=TOLERANCE)
+
+
+class TestSnapshotRestoreMidStream:
+    @pytest.mark.parametrize("updater", ["sum", "gru"])
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        cut=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_restored_session_continues_exactly(self, updater, seed, cut):
+        model = make_model(updater, seed=2)
+        graph = random_ctdn(seed)
+        edges = graph.edges_sorted()
+        split = int(round(cut * len(edges)))
+
+        classifier = IncrementalClassifier(model)
+        state = classifier.new_session("s", features=graph.features)
+        for edge in edges[:split]:
+            classifier.observe(state, edge)
+        # Freeze, thaw, continue the stream on the restored copy.
+        restored = classifier.restore("s", classifier.snapshot(state))
+        for edge in edges[split:]:
+            classifier.observe(restored, edge)
+
+        reference = batch_logit(model, graph)
+        assert classifier.logit(restored, mode="exact") == pytest.approx(
+            reference, abs=TOLERANCE
+        )
+        # The restored copy's online state matches an uninterrupted run.
+        for edge in edges[split:]:
+            classifier.observe(state, edge)
+        assert classifier.logit(restored, mode="online") == pytest.approx(
+            classifier.logit(state, mode="online"), abs=TOLERANCE
+        )
+
+    def test_snapshot_is_deep(self, sum_model):
+        # Mutating the live session must not leak into the snapshot.
+        graph = random_ctdn(7)
+        classifier = IncrementalClassifier(sum_model)
+        edges = graph.edges_sorted()
+        state = classifier.replay("s", graph.features, edges[:-1])
+        snapshot = classifier.snapshot(state)
+        before = classifier.logit(classifier.restore("s", snapshot), mode="exact")
+        classifier.observe(state, edges[-1])
+        after = classifier.logit(classifier.restore("s", snapshot), mode="exact")
+        assert before == after
+        assert classifier.restore("s", snapshot).num_events == len(edges) - 1
+
+
+class TestFoldForward:
+    @pytest.mark.parametrize("updater", ["sum", "gru"])
+    def test_forward_is_a_fold_over_step(self, updater):
+        # The refactored batch forward must equal an explicit
+        # init_state -> step -> finalize fold.
+        model = make_model(updater)
+        graph = random_ctdn(11)
+        prop = model.propagation
+        state = prop.init_state(graph.features)
+        for edge in graph.edges_sorted():
+            prop.step(state, edge)
+        with no_grad():
+            folded = prop.finalize(state).data
+            batch = prop(graph).data
+        np.testing.assert_allclose(folded, batch, atol=TOLERANCE)
+
+    def test_node_embedding_matches_finalize_rows(self, gru_model):
+        graph = random_ctdn(13)
+        prop = gru_model.propagation
+        state = prop.init_state(graph.features)
+        for edge in graph.edges_sorted():
+            prop.step(state, edge)
+        with no_grad():
+            full = prop.finalize(state).data
+            for node in range(graph.num_nodes):
+                row = prop.node_embedding(state, node).data.reshape(-1)
+                np.testing.assert_allclose(row, full[node], atol=TOLERANCE)

@@ -1,0 +1,95 @@
+"""Tests for the stream event model and dataset-to-feed replay."""
+
+import numpy as np
+import pytest
+
+from repro.graph import GraphDataset
+from repro.serve import StreamEvent, dataset_to_feed, iter_feed, session_events
+from tests.serve.conftest import random_ctdn
+
+
+class TestStreamEvent:
+    def test_negative_node_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            StreamEvent("s", -1, 2, 1.0)
+
+    def test_non_finite_time_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            StreamEvent("s", 0, 1, float("nan"))
+
+    def test_label_ignored_in_equality(self):
+        assert StreamEvent("s", 0, 1, 1.0, label=0) == StreamEvent("s", 0, 1, 1.0, label=1)
+
+
+class TestSessionEvents:
+    def test_chronological_and_complete(self):
+        graph = random_ctdn(5, graph_id="g5")
+        events = session_events(graph)
+        assert len(events) == graph.num_edges
+        times = [e.time for e in events]
+        assert times == sorted(times)
+        assert all(e.session_id == "g5" for e in events)
+        assert all(e.label == graph.label for e in events)
+
+    def test_features_attached_on_first_sight_only(self):
+        graph = random_ctdn(5)
+        events = session_events(graph)
+        seen = set()
+        for event in events:
+            carried = set(event.node_features or {})
+            expected = {n for n in (event.src, event.dst) if n not in seen}
+            assert carried == expected
+            for node in carried:
+                np.testing.assert_array_equal(
+                    event.node_features[node], graph.features[node]
+                )
+            seen.update((event.src, event.dst))
+
+    def test_offset_shifts_clock(self):
+        graph = random_ctdn(5)
+        base = session_events(graph)
+        shifted = session_events(graph, offset=100.0)
+        for a, b in zip(base, shifted):
+            assert b.time == pytest.approx(a.time + 100.0)
+
+
+class TestDatasetToFeed:
+    def _graphs(self, count=5):
+        return [random_ctdn(seed, graph_id=f"g{seed}") for seed in range(count)]
+
+    def test_globally_time_ordered(self):
+        feed = dataset_to_feed(self._graphs(), rng=np.random.default_rng(0), spread=10.0)
+        times = [e.time for e in feed]
+        assert times == sorted(times)
+
+    def test_per_session_order_preserved(self):
+        graphs = self._graphs()
+        feed = dataset_to_feed(graphs, rng=np.random.default_rng(0), spread=10.0)
+        for graph in graphs:
+            session = [e for e in feed if e.session_id == graph.graph_id]
+            assert [(e.src, e.dst) for e in session] == [
+                (e.src, e.dst) for e in graph.edges_sorted()
+            ]
+
+    def test_unnamed_sessions_get_indexed_ids(self):
+        graphs = [random_ctdn(1), random_ctdn(2)]
+        ids = {e.session_id for e in dataset_to_feed(graphs)}
+        assert ids == {"session-0", "session-1"}
+
+    def test_accepts_graph_dataset(self):
+        dataset = GraphDataset(self._graphs(), name="t")
+        assert len(dataset_to_feed(dataset)) == sum(g.num_edges for g in dataset)
+
+
+class TestIterFeed:
+    def test_passes_ordered_feed(self):
+        feed = dataset_to_feed(self._graphs())
+        assert list(iter_feed(feed)) == feed
+
+    def _graphs(self):
+        return [random_ctdn(seed) for seed in range(3)]
+
+    def test_rejects_disorder(self):
+        events = [StreamEvent("s", 0, 1, 2.0), StreamEvent("s", 1, 2, 1.0)]
+        with pytest.raises(ValueError, match="not time-ordered"):
+            list(iter_feed(events))

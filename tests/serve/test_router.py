@@ -1,0 +1,142 @@
+"""Tests for the session router: LRU table and out-of-order policies."""
+
+import pytest
+
+from repro.serve import OutOfOrderError, SessionRouter, StreamEvent
+
+
+def event(sid: str, t: float) -> StreamEvent:
+    return StreamEvent(sid, 0, 1, t)
+
+
+def make_router(**kwargs) -> SessionRouter:
+    return SessionRouter(factory=lambda sid: {"id": sid}, **kwargs)
+
+
+class TestSessionTable:
+    def test_factory_called_once_per_session(self):
+        created = []
+        router = SessionRouter(factory=lambda sid: created.append(sid) or sid)
+        router.route(event("a", 1.0))
+        router.route(event("a", 2.0))
+        router.route(event("b", 1.0))
+        assert created == ["a", "b"]
+        assert len(router) == 2 and "a" in router
+
+    def test_get_and_pop(self):
+        router = make_router()
+        router.route(event("a", 1.0))
+        assert router.get("a") == {"id": "a"}
+        assert router.pop("a") == {"id": "a"}
+        assert router.get("a") is None
+        assert router.pop("missing") is None
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            make_router(max_sessions=0)
+        with pytest.raises(KeyError):
+            make_router(out_of_order="reorder")
+        with pytest.raises(ValueError):
+            make_router(watermark_delay=-1.0)
+
+
+class TestLRUEviction:
+    def test_least_recently_active_evicted_first(self):
+        evicted = []
+        router = make_router(max_sessions=2, on_evict=lambda sid, p: evicted.append(sid))
+        router.route(event("a", 1.0))
+        router.route(event("b", 2.0))
+        router.route(event("a", 3.0))  # touch a: b is now the LRU
+        router.route(event("c", 4.0))
+        assert evicted == ["b"]
+        assert router.session_ids() == ["a", "c"]
+        assert router.stats.sessions_evicted == 1
+        assert router.stats.sessions_started == 3
+
+    def test_capacity_never_exceeded(self):
+        router = make_router(max_sessions=3)
+        for index in range(10):
+            router.route(event(f"s{index}", float(index)))
+            assert len(router) <= 3
+        assert router.session_ids() == ["s7", "s8", "s9"]
+
+    def test_reentry_after_eviction_is_a_fresh_session(self):
+        router = make_router(max_sessions=1)
+        router.route(event("a", 5.0))
+        router.route(event("b", 6.0))  # evicts a, forgetting its clock
+        deliveries = router.route(event("a", 1.0))  # old timestamp, new session
+        assert len(deliveries) == 1
+        assert router.stats.sessions_started == 3
+
+
+class TestDropPolicy:
+    def test_stale_event_dropped_and_counted(self):
+        router = make_router(out_of_order="drop")
+        assert len(router.route(event("a", 2.0))) == 1
+        assert router.route(event("a", 1.0)) == []
+        assert router.stats.dropped == 1
+        assert router.stats.routed == 1
+
+    def test_equal_timestamp_admitted(self):
+        router = make_router(out_of_order="drop")
+        router.route(event("a", 2.0))
+        assert len(router.route(event("a", 2.0))) == 1
+
+    def test_sessions_do_not_interfere(self):
+        router = make_router(out_of_order="drop")
+        router.route(event("a", 10.0))
+        assert len(router.route(event("b", 1.0))) == 1
+
+
+class TestRaisePolicy:
+    def test_stale_event_raises(self):
+        router = make_router(out_of_order="raise")
+        router.route(event("a", 2.0))
+        with pytest.raises(OutOfOrderError, match="t=1.0"):
+            router.route(event("a", 1.0))
+
+
+class TestBufferPolicy:
+    def test_reorders_within_watermark(self):
+        router = make_router(out_of_order="buffer", watermark_delay=5.0)
+        assert router.route(event("a", 3.0)) == []  # held: watermark at -2
+        assert router.route(event("a", 1.0)) == []  # disorder absorbed
+        ready = router.route(event("a", 8.0))  # watermark at 3: releases 1, 3
+        assert [e.time for _, e in ready] == [1.0, 3.0]
+        ready = router.route(event("a", 20.0))  # watermark at 15: releases 8
+        assert [e.time for _, e in ready] == [8.0]
+
+    def test_event_older_than_applied_is_late_dropped(self):
+        router = make_router(out_of_order="buffer", watermark_delay=1.0)
+        router.route(event("a", 1.0))
+        router.route(event("a", 10.0))  # releases t=1
+        assert router.route(event("a", 0.5)) == []  # already folded past it
+        assert router.stats.late_dropped == 1
+
+    def test_zero_delay_releases_immediately_in_order(self):
+        router = make_router(out_of_order="buffer", watermark_delay=0.0)
+        ready = router.route(event("a", 1.0))
+        assert [e.time for _, e in ready] == [1.0]
+
+    def test_flush_drains_in_time_order(self):
+        router = make_router(out_of_order="buffer", watermark_delay=100.0)
+        for t in (3.0, 1.0, 2.0):
+            assert router.route(event("a", t)) == []
+        router.route(event("b", 5.0))
+        ready = router.flush()
+        assert [e.time for _, e in ready] == [1.0, 2.0, 3.0, 5.0]
+        assert router.flush() == []
+
+    def test_flush_single_session(self):
+        router = make_router(out_of_order="buffer", watermark_delay=100.0)
+        router.route(event("a", 1.0))
+        router.route(event("b", 2.0))
+        ready = router.flush("a")
+        assert [e.session_id for _, e in ready] == ["a"]
+        assert [e.session_id for _, e in router.flush()] == ["b"]
+
+    def test_buffered_peak_tracked(self):
+        router = make_router(out_of_order="buffer", watermark_delay=100.0)
+        for t in (1.0, 2.0, 3.0):
+            router.route(event("a", t))
+        assert router.stats.buffered_peak == 3

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.training import Metrics, MetricSummary, compute_metrics
+from repro.training import Metrics, MetricSummary, compute_metrics, roc_auc
 
 
 class TestComputeMetrics:
@@ -74,3 +74,52 @@ class TestMetricSummary:
     def test_single_run_zero_std(self):
         summary = MetricSummary.from_runs([Metrics(0.5, 0.5, 0.5)])
         assert summary.f1_std == 0.0
+
+
+class TestSingleClassGuards:
+    """Degenerate label arrays (rolling serving windows) stay defined."""
+
+    def test_all_positive_labels(self):
+        m = compute_metrics([1, 1, 1], [1, 1, 0])
+        assert m.precision == 1.0
+        assert m.recall == pytest.approx(2 / 3)
+        assert m.false_positives == 0 and m.true_negatives == 0
+
+    def test_all_negative_labels(self):
+        m = compute_metrics([0, 0, 0], [0, 1, 0])
+        assert m.precision == 0.0 and m.recall == 0.0 and m.f1 == 0.0
+        assert m.accuracy == pytest.approx(2 / 3)
+
+
+class TestRocAuc:
+    def test_known_value(self):
+        # The classic sklearn doc example.
+        assert roc_auc([0, 0, 1, 1], [0.1, 0.4, 0.35, 0.8]) == pytest.approx(0.75)
+
+    def test_perfect_and_inverted(self):
+        assert roc_auc([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == 1.0
+        assert roc_auc([0, 0, 1, 1], [0.9, 0.8, 0.2, 0.1]) == 0.0
+
+    def test_threshold_invariant(self):
+        scores = [0.1, 0.4, 0.35, 0.8]
+        labels = [0, 1, 0, 1]
+        logits = [np.log(s / (1 - s)) for s in scores]
+        assert roc_auc(labels, scores) == pytest.approx(roc_auc(labels, logits))
+
+    def test_ties_use_midranks(self):
+        assert roc_auc([0, 1], [0.5, 0.5]) == pytest.approx(0.5)
+        assert roc_auc([0, 0, 1, 1], [0.3, 0.5, 0.5, 0.7]) == pytest.approx(0.875)
+
+    def test_single_class_fallback(self):
+        # A live window may contain only one class; AUC is undefined
+        # there and must fall back to 0.5, never raise or return 0/1.
+        assert roc_auc([1, 1, 1], [0.2, 0.9, 0.4]) == 0.5
+        assert roc_auc([0, 0], [0.2, 0.9]) == 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            roc_auc([], [])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            roc_auc([1, 0], [0.5])
