@@ -5,6 +5,12 @@ scale (seconds-to-minutes per experiment on one CPU core) and prints
 the result next to the paper's numbers.  Set the ``REPRO_PRESET``
 environment variable to ``small`` or ``paper`` to run a benchmark at a
 larger scale.
+
+The suite opts into the on-disk trial cache (``results/cache/`` by
+default, override with ``REPRO_CACHE_DIR``): repeated ``-m slow`` runs
+only execute the (model, dataset, seed) trials missing from the cache,
+so an interrupted benchmark session resumes incrementally.  Set
+``REPRO_NO_TRIAL_CACHE=1`` for a fully hermetic run.
 """
 
 from __future__ import annotations
@@ -13,7 +19,9 @@ import os
 
 import pytest
 
-from repro.experiments import PRESETS, ExperimentConfig
+from repro.experiments import PRESETS, ExperimentConfig, TrialCache
+from repro.experiments.parallel import DEFAULT_CACHE_DIR
+from repro.experiments.runner import set_default_trial_cache
 
 
 @pytest.fixture(scope="session")
@@ -23,6 +31,25 @@ def config() -> ExperimentConfig:
     if preset not in PRESETS:
         raise KeyError(f"REPRO_PRESET must be one of {sorted(PRESETS)}, got {preset!r}")
     return PRESETS[preset]
+
+
+@pytest.fixture(scope="session", autouse=True)
+def trial_cache():
+    """Route every benchmark's trials through the on-disk cache.
+
+    Installed process-wide so ``evaluate_model`` calls inside the
+    table/figure runners hit the cache transparently; restored on
+    teardown.
+    """
+    if os.environ.get("REPRO_NO_TRIAL_CACHE"):
+        yield None
+        return
+    cache = TrialCache(os.environ.get("REPRO_CACHE_DIR", str(DEFAULT_CACHE_DIR)))
+    previous = set_default_trial_cache(cache)
+    try:
+        yield cache
+    finally:
+        set_default_trial_cache(previous)
 
 
 def print_block(text: str) -> None:

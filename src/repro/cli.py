@@ -10,14 +10,19 @@ Usage::
     python -m repro.cli fig5    --preset smoke          # sensitivity
     python -m repro.cli fig6    --preset smoke          # runtime vs F1
     python -m repro.cli fig7    --preset smoke          # case study
+    python -m repro.cli bench   --table 2 --jobs 8      # parallel cached sweep
     python -m repro.cli train   --dataset HDFS --model TP-GNN-SUM
     python -m repro.cli serve   --dataset Forum-java --num-graphs 40
 
 Every experiment command prints the same text tables/figures the
 benchmarks emit, at the chosen preset (override individual knobs with
-the flags below).  ``serve`` replays a dataset as a live timestamped
-event feed through the streaming inference engine and emits one JSON
-line per session prediction.
+the flags below).  ``bench`` regenerates Table II/III through the
+parallel, fault-tolerant trial runner with an on-disk cache under
+``results/cache/`` — a warm re-run executes zero trials, and killed or
+failed trials resume from their last epoch checkpoint.  ``serve``
+replays a dataset as a live timestamped event feed through the
+streaming inference engine and emits one JSON line per session
+prediction.
 """
 
 from __future__ import annotations
@@ -118,6 +123,30 @@ def build_parser() -> argparse.ArgumentParser:
         if name in ("table2", "table3", "fig3", "fig4", "fig6"):
             cmd.add_argument("--datasets", nargs="+", choices=DATASET_NAMES)
 
+    bench = add_command(
+        "bench",
+        "regenerate Table II/III through the parallel, cached trial runner",
+    )
+    _add_common(bench)
+    bench.add_argument("--table", type=int, choices=(2, 3), default=2,
+                       help="which table's (model x dataset) grid to run")
+    bench.add_argument("--datasets", nargs="+", choices=DATASET_NAMES,
+                       help="restrict to these datasets")
+    bench.add_argument("--models", nargs="+", choices=ALL_MODELS + PLUS_G_MODELS,
+                       help="restrict to these models")
+    bench.add_argument("--jobs", type=int,
+                       help="concurrent trial workers (default: CPU count)")
+    bench.add_argument("--retries", type=int, default=1,
+                       help="extra attempts per trial after a failure")
+    bench.add_argument("--trial-timeout", dest="trial_timeout", type=float,
+                       help="per-trial wall-clock budget in seconds")
+    bench.add_argument("--cache-dir", dest="cache_dir", default=None,
+                       help="trial cache directory (default: results/cache)")
+    bench.add_argument("--no-cache", dest="no_cache", action="store_true",
+                       help="run every cell even if cached")
+    bench.add_argument("--clear-cache", dest="clear_cache", action="store_true",
+                       help="delete cached trials before running")
+
     train = add_command("train", "train one model on one dataset")
     _add_common(train)
     train.add_argument("--dataset", choices=DATASET_NAMES, required=True)
@@ -158,6 +187,83 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--save-state", dest="save_state",
                        help="write a serving-state checkpoint here after the replay")
     return parser
+
+
+def _run_bench(args) -> int:
+    from repro.experiments import (
+        DEFAULT_CACHE_DIR,
+        TrialCache,
+        failed_trials,
+        format_duration,
+        run_table_parallel,
+    )
+
+    config = _config_from_args(args)
+    if args.table == 2:
+        datasets = tuple(args.datasets) if args.datasets else DATASET_NAMES
+        models = tuple(args.models) if args.models else ALL_MODELS
+        formatter = format_table2
+    else:
+        from repro.experiments import TABLE3_DATASETS, TABLE3_MODELS
+
+        datasets = tuple(args.datasets) if args.datasets else TABLE3_DATASETS
+        models = tuple(args.models) if args.models else TABLE3_MODELS
+        formatter = format_table3
+
+    cache = None
+    if not args.no_cache:
+        cache = TrialCache(args.cache_dir or DEFAULT_CACHE_DIR)
+        if args.clear_cache:
+            removed = cache.clear()
+            print(f"cleared {removed} cached trial(s) from {cache.root}",
+                  file=sys.stderr)
+
+    def report(event) -> None:
+        eta = format_duration(event.eta_seconds) if event.eta_seconds is not None else "?"
+        print(
+            f"  [{event.done}/{event.total}] "
+            f"completed={event.completed} cached={event.cached} "
+            f"failed={event.failed} running={event.running} "
+            f"eta={eta}  {event.message}",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    table, results = run_table_parallel(
+        config,
+        datasets=datasets,
+        models=models,
+        cache=cache,
+        jobs=args.jobs,
+        retries=args.retries,
+        trial_timeout=args.trial_timeout,
+        progress=report,
+    )
+    print(formatter(table))
+    counts = {
+        status: sum(1 for r in results if r.status == status)
+        for status in ("completed", "cached", "failed")
+    }
+    print(
+        f"\n{counts['completed']} trial(s) executed, {counts['cached']} served "
+        f"from cache" + (f" ({cache.root})" if cache is not None else "")
+        + f", {counts['failed']} failed",
+    )
+    failures = failed_trials(results)
+    for failure in failures:
+        last_line = failure.error.strip().splitlines()[-1] if failure.error else "?"
+        print(
+            f"FAILED {failure.spec.cell()} after {failure.attempts} attempt(s): "
+            f"{last_line}",
+            file=sys.stderr,
+        )
+    if failures:
+        print(
+            "re-running `repro bench` retries failed cells and resumes "
+            "interrupted trials from their last checkpoint",
+            file=sys.stderr,
+        )
+    return 1 if failures else 0
 
 
 def _run_train(args) -> None:
@@ -305,7 +411,11 @@ def _run_serve(args) -> None:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    config = _config_from_args(args) if args.command not in ("train", "serve") else None
+    config = (
+        _config_from_args(args)
+        if args.command not in ("bench", "train", "serve")
+        else None
+    )
 
     if args.command == "table1":
         print(format_table1(config))
@@ -328,6 +438,8 @@ def main(argv: list[str] | None = None) -> int:
         print(format_runtime(run_runtime(config, **kwargs)))
     elif args.command == "fig7":
         print(format_case_study(run_case_study(config)))
+    elif args.command == "bench":
+        return _run_bench(args)
     elif args.command == "train":
         _run_train(args)
     elif args.command == "serve":

@@ -29,7 +29,7 @@ from repro.core.propagation import TemporalPropagationGRU, TemporalPropagationSu
 from repro.graph.ctdn import CTDN
 from repro.nn import Linear, Module
 from repro.optim import Adam, clip_grad_norm
-from repro.tensor import Tensor, no_grad, ops
+from repro.tensor import Tensor, no_grad
 
 
 class UnsupervisedTPGNN(Module):

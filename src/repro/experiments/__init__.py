@@ -8,8 +8,34 @@ from repro.experiments.config import (
     ExperimentConfig,
     snapshot_size_for,
 )
-from repro.experiments.runner import build_dataset, evaluate_model
-from repro.experiments.reporting import render_bar_chart, render_heatmap, render_table
+from repro.experiments.runner import (
+    build_dataset,
+    dataset_for,
+    evaluate_model,
+    set_default_trial_cache,
+)
+from repro.experiments.parallel import (
+    CODE_VERSION,
+    DEFAULT_CACHE_DIR,
+    ParallelRunner,
+    SweepProgress,
+    TrialCache,
+    TrialOutcome,
+    TrialResult,
+    TrialSpec,
+    failed_trials,
+    run_table_parallel,
+    run_trial,
+    summarize_trials,
+    trial_cache_key,
+    trial_specs,
+)
+from repro.experiments.reporting import (
+    format_duration,
+    render_bar_chart,
+    render_heatmap,
+    render_table,
+)
 from repro.experiments.table1 import format_table1, table1_rows
 from repro.experiments.table2 import (
     PAPER_F1,
@@ -56,10 +82,27 @@ __all__ = [
     "PRESETS",
     "snapshot_size_for",
     "build_dataset",
+    "dataset_for",
     "evaluate_model",
+    "set_default_trial_cache",
+    "CODE_VERSION",
+    "DEFAULT_CACHE_DIR",
+    "ParallelRunner",
+    "SweepProgress",
+    "TrialCache",
+    "TrialOutcome",
+    "TrialResult",
+    "TrialSpec",
+    "failed_trials",
+    "run_table_parallel",
+    "run_trial",
+    "summarize_trials",
+    "trial_cache_key",
+    "trial_specs",
     "render_table",
     "render_heatmap",
     "render_bar_chart",
+    "format_duration",
     "table1_rows",
     "format_table1",
     "run_table2",

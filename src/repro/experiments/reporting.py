@@ -35,6 +35,18 @@ def render_table(
     return "\n".join(lines)
 
 
+def format_duration(seconds: float) -> str:
+    """Compact human duration for progress lines: ``42s``, ``3m12s``, ``2h05m``."""
+    seconds = max(0.0, float(seconds))
+    if seconds < 60:
+        return f"{seconds:.0f}s"
+    minutes, secs = divmod(int(round(seconds)), 60)
+    if minutes < 60:
+        return f"{minutes}m{secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"
+
+
 def render_heatmap(
     values: Sequence[Sequence[float]],
     row_labels: Sequence[str],

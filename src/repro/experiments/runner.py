@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from functools import lru_cache
+from typing import TYPE_CHECKING
 
 from repro.baselines.registry import make_model
 from repro.data.registry import make_dataset
@@ -11,31 +12,72 @@ from repro.graph.dataset import GraphDataset
 from repro.training.metrics import MetricSummary
 from repro.training.trainer import run_trials
 
+if TYPE_CHECKING:
+    from repro.experiments.parallel import TrialCache
+
+#: Process-wide default trial cache (see :func:`set_default_trial_cache`).
+_default_trial_cache: "TrialCache | None" = None
+
+
+def set_default_trial_cache(cache: "TrialCache | None") -> "TrialCache | None":
+    """Install a process-wide trial cache for :func:`evaluate_model`.
+
+    Returns the previously installed cache so callers (e.g. the
+    benchmark suite's session fixture) can restore it.  Passing ``None``
+    disables caching again.
+    """
+    global _default_trial_cache
+    previous = _default_trial_cache
+    _default_trial_cache = cache
+    return previous
+
 
 @lru_cache(maxsize=16)
-def _cached_dataset(name: str, num_graphs: int, seed: int, scale: float) -> GraphDataset:
+def dataset_for(name: str, num_graphs: int, seed: int, scale: float) -> GraphDataset:
+    """Deterministically build (and memoise) one dataset.
+
+    The memo is per process: parallel trial workers each build the
+    datasets they need once, and repeated cells within a process reuse
+    them.  Generation is deterministic, so a hit is exactly equivalent
+    to regeneration.
+    """
     return make_dataset(name, num_graphs, seed=seed, scale=scale)
 
 
 def build_dataset(name: str, config: ExperimentConfig) -> GraphDataset:
-    """Deterministically build (and cache) a dataset for ``config``.
+    """Build (and cache) the dataset ``config`` describes.
 
     Caching matters because one benchmark session evaluates many models
-    on the same datasets; generation is deterministic so a cache hit is
-    exactly equivalent to regeneration.
+    on the same datasets.
     """
-    return _cached_dataset(name, config.num_graphs, config.seed, config.graph_scale)
+    return dataset_for(name, config.num_graphs, config.seed, config.graph_scale)
 
 
 def evaluate_model(
-    model_name: str, dataset_name: str, config: ExperimentConfig
+    model_name: str,
+    dataset_name: str,
+    config: ExperimentConfig,
+    cache: "TrialCache | None" = None,
 ) -> MetricSummary:
     """Train + evaluate one model on one dataset per the paper's protocol.
 
     Chronological ``train_fraction`` split, ``config.runs`` independent
     seeded repetitions, metrics averaged with std — the Table II cell
     for (model, dataset).
+
+    With a ``cache`` (explicit, or installed process-wide via
+    :func:`set_default_trial_cache`), each repetition is first looked up
+    in the on-disk trial cache and only missing runs execute; cold
+    results are identical to the uncached path.
     """
+    if cache is None:
+        cache = _default_trial_cache
+    if cache is not None:
+        # Imported lazily: parallel imports this module at load time.
+        from repro.experiments.parallel import run_cell_cached
+
+        return run_cell_cached(model_name, dataset_name, config, cache)
+
     dataset = build_dataset(dataset_name, config)
     snapshot_size = snapshot_size_for(dataset_name)
 

@@ -17,8 +17,10 @@ from repro.nn.norm import Dropout, LayerNorm
 from repro.nn.loss import bce_with_logits, binary_cross_entropy, cross_entropy
 from repro.nn.serialization import (
     load_checkpoint,
+    pack_namespaced,
     read_archive,
     save_checkpoint,
+    unpack_namespaced,
     write_archive,
 )
 from repro.nn import init
@@ -47,5 +49,7 @@ __all__ = [
     "load_checkpoint",
     "write_archive",
     "read_archive",
+    "pack_namespaced",
+    "unpack_namespaced",
     "init",
 ]

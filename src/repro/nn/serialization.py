@@ -17,6 +17,7 @@ Two layers are exposed:
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 import numpy as np
@@ -38,7 +39,10 @@ def write_archive(
     """Write named arrays plus JSON-serialisable ``meta`` to ``path``.
 
     Returns the resolved path (``.npz`` suffix enforced).  Array names
-    must not collide with the reserved metadata key.
+    must not collide with the reserved metadata key.  The archive is
+    written to a temp file and atomically renamed into place, so a
+    writer killed mid-checkpoint (e.g. a timed-out trial worker) can
+    never publish a torn file.
     """
     path = _normalize(path)
     if _META_KEY in arrays:
@@ -50,7 +54,13 @@ def write_archive(
         json.dumps(meta).encode("utf-8"), dtype=np.uint8
     )
     path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez_compressed(path, **payload)
+    # savez appends ".npz" unless the name already ends with it.
+    temporary = path.with_name(f".{path.stem}.{os.getpid()}.tmp.npz")
+    try:
+        np.savez_compressed(temporary, **payload)
+        os.replace(temporary, path)
+    finally:
+        temporary.unlink(missing_ok=True)
     return path
 
 
@@ -63,6 +73,44 @@ def read_archive(path: str | Path) -> tuple[dict[str, np.ndarray], dict]:
         meta = json.loads(bytes(archive[_META_KEY].tobytes()).decode("utf-8"))
         arrays = {key: archive[key] for key in archive.files if key != _META_KEY}
     return arrays, meta
+
+
+_NAMESPACE_SEP = "/"
+
+
+def pack_namespaced(
+    groups: dict[str, dict[str, np.ndarray]]
+) -> dict[str, np.ndarray]:
+    """Flatten named array groups into one archive-ready dict.
+
+    ``{"model": {...}, "optim": {...}}`` becomes ``{"model/w": ...,
+    "optim/m.0": ...}`` so several state dicts (model weights, optimiser
+    moments, serving state) can share one :func:`write_archive` file
+    without key collisions.  Group names must not contain the
+    separator; inner keys may (only the first separator splits).
+    """
+    packed: dict[str, np.ndarray] = {}
+    for group, arrays in groups.items():
+        if _NAMESPACE_SEP in group:
+            raise ValueError(
+                f"group name {group!r} must not contain {_NAMESPACE_SEP!r}"
+            )
+        for key, value in arrays.items():
+            packed[f"{group}{_NAMESPACE_SEP}{key}"] = value
+    return packed
+
+
+def unpack_namespaced(
+    arrays: dict[str, np.ndarray]
+) -> dict[str, dict[str, np.ndarray]]:
+    """Invert :func:`pack_namespaced` back into per-group dicts."""
+    groups: dict[str, dict[str, np.ndarray]] = {}
+    for key, value in arrays.items():
+        group, _, inner = key.partition(_NAMESPACE_SEP)
+        if not inner:
+            raise ValueError(f"array key {key!r} carries no namespace")
+        groups.setdefault(group, {})[inner] = value
+    return groups
 
 
 def save_checkpoint(model: Module, path: str | Path, metadata: dict | None = None) -> Path:

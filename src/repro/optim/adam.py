@@ -55,6 +55,24 @@ class Adam(Optimizer):
             v_hat = v / bias2
             param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
 
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """First/second moments plus the bias-correction step count."""
+        state: dict[str, np.ndarray] = {
+            "step_count": np.asarray(self._step_count, dtype=np.int64)
+        }
+        for index, (m, v) in enumerate(zip(self._m, self._v)):
+            state[f"m.{index}"] = m.copy()
+            state[f"v.{index}"] = v.copy()
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore moments and step count written by :meth:`state_dict`."""
+        super().load_state_dict(state)
+        self._step_count = int(state["step_count"])
+        for index in range(len(self.parameters)):
+            self._m[index][...] = state[f"m.{index}"]
+            self._v[index][...] = state[f"v.{index}"]
+
 
 class AdamW(Adam):
     """Adam with decoupled weight decay (Loshchilov & Hutter, 2019)."""

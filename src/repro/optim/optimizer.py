@@ -26,15 +26,63 @@ class Optimizer:
         """Apply one update; must be overridden."""
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Array-valued optimiser state, keyed by slot name.
+
+        The base optimiser is stateless; subclasses with per-parameter
+        slots (momentum buffers, Adam moments) override this so training
+        checkpoints can round-trip the full optimiser, not just the
+        model weights.  Returned arrays are copies.
+        """
+        return {}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore state produced by :meth:`state_dict`.
+
+        Keys and shapes must match exactly — a checkpoint written for a
+        different parameter list must not load silently.
+        """
+        _check_state_keys(self.state_dict(), state)
+
+
+def _check_state_keys(
+    own: dict[str, np.ndarray], state: dict[str, np.ndarray]
+) -> None:
+    """Validate ``state`` against the optimiser's current slot layout."""
+    missing = set(own) - set(state)
+    unexpected = set(state) - set(own)
+    if missing or unexpected:
+        raise KeyError(
+            "optimizer state mismatch: "
+            f"missing={sorted(missing)}, unexpected={sorted(unexpected)}"
+        )
+    for name, values in state.items():
+        if np.shape(own[name]) != np.shape(values):
+            raise ValueError(
+                f"shape mismatch for optimizer slot {name!r}: "
+                f"{np.shape(own[name])} vs {np.shape(values)}"
+            )
+
 
 def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
     """Scale gradients so their global L2 norm is at most ``max_norm``.
 
     Returns the pre-clipping norm.  Parameters without gradients are
     skipped.  Used to keep BPTT through long edge sequences stable.
+
+    A non-finite norm (any NaN/inf gradient) is returned *unscaled* and
+    the gradients are left untouched: scaling by ``max_norm / nan``
+    would only spread the poison, and the caller needs the non-finite
+    norm as a signal to discard the batch before it corrupts optimiser
+    moments.
     """
     params = [p for p in parameters if p.grad is not None]
     total = float(np.sqrt(sum(float((p.grad**2).sum()) for p in params)))
+    if not np.isfinite(total):
+        return total
     if total > max_norm and total > 0.0:
         scale = max_norm / total
         for param in params:

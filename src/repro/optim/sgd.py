@@ -41,3 +41,16 @@ class SGD(Optimizer):
                 velocity += grad
                 grad = velocity
             param.data -= self.lr * grad
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Momentum buffers, one per managed parameter."""
+        return {
+            f"velocity.{index}": velocity.copy()
+            for index, velocity in enumerate(self._velocity)
+        }
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore momentum buffers written by :meth:`state_dict`."""
+        super().load_state_dict(state)
+        for index in range(len(self.parameters)):
+            self._velocity[index][...] = state[f"velocity.{index}"]

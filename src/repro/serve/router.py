@@ -95,7 +95,7 @@ class SessionRouter(Generic[Payload]):
         if max_sessions <= 0:
             raise ValueError(f"max_sessions must be positive, got {max_sessions}")
         if out_of_order not in OUT_OF_ORDER_POLICIES:
-            raise KeyError(
+            raise ValueError(
                 f"unknown out_of_order policy {out_of_order!r}; "
                 f"choose from {OUT_OF_ORDER_POLICIES}"
             )

@@ -6,8 +6,11 @@ from repro.training.trainer import (
     TrainResult,
     evaluate,
     inference_time_per_graph,
+    load_train_state,
     run_trials,
+    save_train_state,
     train_model,
+    trial_seed,
 )
 
 __all__ = [
@@ -21,4 +24,7 @@ __all__ = [
     "evaluate",
     "inference_time_per_graph",
     "run_trials",
+    "trial_seed",
+    "save_train_state",
+    "load_train_state",
 ]

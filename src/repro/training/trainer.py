@@ -7,12 +7,18 @@ them end to end with Adam + binary cross-entropy, exactly the recipe of
 the paper's experimental setup (Adam, lr 1e-3, chronological 30/70
 split, tie-shuffling per epoch, metrics averaged over several seeded
 runs).
+
+Training is resumable: ``train_model`` can write an epoch-boundary
+checkpoint (model weights, Adam moments, RNG state, loss history) and
+pick up from it bit-for-bit, which the parallel experiment runner in
+:mod:`repro.experiments.parallel` relies on for fault tolerance.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field, replace
+from pathlib import Path
 from typing import Callable
 
 import numpy as np
@@ -20,9 +26,19 @@ import numpy as np
 from repro.core.base import GraphClassifierBase
 from repro.graph.dataset import GraphDataset
 from repro.nn import bce_with_logits
+from repro.nn.serialization import (
+    pack_namespaced,
+    read_archive,
+    unpack_namespaced,
+    write_archive,
+)
 from repro.optim import Adam, clip_grad_norm
 from repro.tensor import no_grad
 from repro.training.metrics import Metrics, MetricSummary, compute_metrics
+
+#: Metadata tag distinguishing training-state archives from plain
+#: model checkpoints (bumped if the resume format changes).
+_TRAIN_STATE_FORMAT = 1
 
 
 @dataclass(frozen=True)
@@ -51,23 +67,112 @@ class TrainResult:
     losses: list[float] = field(default_factory=list)
     train_seconds: float = 0.0
     epochs_run: int = 0
+    #: Batches whose gradient norm came out NaN/inf; their updates were
+    #: skipped (gradients zeroed) rather than poisoning the optimiser.
+    nonfinite_batches: int = 0
+    #: Epochs restored from a checkpoint rather than run in-process.
+    resumed_from_epoch: int = 0
+
+
+def save_train_state(
+    path: str | Path,
+    model: GraphClassifierBase,
+    optimizer: Adam,
+    config: TrainConfig,
+    result: TrainResult,
+    rng: np.random.Generator,
+) -> Path:
+    """Write a resumable mid-training checkpoint to ``path``.
+
+    One archive holds the model weights and optimiser moments (packed
+    under ``model/`` and ``optim/`` namespaces) plus everything else a
+    bit-exact resume needs: RNG state, loss history, epoch counter and
+    the config the run was started with.
+    """
+    meta = {
+        "train_state_format": _TRAIN_STATE_FORMAT,
+        "config": asdict(config),
+        "epochs_run": result.epochs_run,
+        "losses": result.losses,
+        "nonfinite_batches": result.nonfinite_batches,
+        "train_seconds": result.train_seconds,
+        "rng_state": rng.bit_generator.state,
+    }
+    arrays = pack_namespaced(
+        {"model": model.state_dict(), "optim": optimizer.state_dict()}
+    )
+    return write_archive(path, arrays, meta)
+
+
+def load_train_state(
+    path: str | Path,
+    model: GraphClassifierBase,
+    optimizer: Adam,
+    config: TrainConfig,
+    rng: np.random.Generator,
+) -> TrainResult:
+    """Restore a checkpoint written by :func:`save_train_state`.
+
+    The stored config must match ``config`` exactly — resuming a run
+    under different hyperparameters would silently produce a hybrid
+    trajectory, so it raises instead.
+    """
+    arrays, meta = read_archive(path)
+    if meta.get("train_state_format") != _TRAIN_STATE_FORMAT:
+        raise ValueError(
+            f"unsupported training-state format {meta.get('train_state_format')!r}"
+        )
+    if meta["config"] != asdict(config):
+        raise ValueError(
+            f"checkpoint at {path} was written under a different TrainConfig "
+            f"({meta['config']} vs {asdict(config)}); refusing to resume"
+        )
+    groups = unpack_namespaced(arrays)
+    model.load_state_dict(groups.get("model", {}))
+    optimizer.load_state_dict(groups.get("optim", {}))
+    rng.bit_generator.state = meta["rng_state"]
+    return TrainResult(
+        losses=[float(loss) for loss in meta["losses"]],
+        train_seconds=float(meta["train_seconds"]),
+        epochs_run=int(meta["epochs_run"]),
+        nonfinite_batches=int(meta["nonfinite_batches"]),
+        resumed_from_epoch=int(meta["epochs_run"]),
+    )
 
 
 def train_model(
-    model: GraphClassifierBase, train_data: GraphDataset, config: TrainConfig
+    model: GraphClassifierBase,
+    train_data: GraphDataset,
+    config: TrainConfig,
+    *,
+    checkpoint_path: str | Path | None = None,
+    checkpoint_every: int = 1,
 ) -> TrainResult:
     """Train ``model`` in place on ``train_data``.
 
-    Gradients from ``batch_size`` graphs are accumulated before each
-    Adam step; the global gradient norm is clipped to stabilise BPTT
-    through long edge sequences.
+    Gradients from up to ``batch_size`` graphs are accumulated and then
+    *averaged* over the actual batch (so the trailing partial batch
+    takes a step at the same effective scale as full batches) before the
+    global gradient norm is clipped.  A batch whose gradient norm is
+    NaN/inf is skipped entirely — its gradients are zeroed instead of
+    being stepped into the Adam moments — and counted in
+    ``TrainResult.nonfinite_batches``.
+
+    When ``checkpoint_path`` is given, a resumable training-state
+    archive is written every ``checkpoint_every`` epochs; if the file
+    already exists the run restores it and continues from the recorded
+    epoch, reproducing the uninterrupted trajectory bit-for-bit.
     """
+    if checkpoint_every < 1:
+        raise ValueError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
     optimizer = Adam(model.parameters(), lr=config.learning_rate)
     rng = np.random.default_rng(config.seed)
     result = TrainResult()
+    if checkpoint_path is not None and Path(checkpoint_path).exists():
+        result = load_train_state(checkpoint_path, model, optimizer, config, rng)
     model.train()
     start = time.perf_counter()
-    for _ in range(config.epochs):
+    for _ in range(result.epochs_run, config.epochs):
         indices = (
             rng.permutation(len(train_data))
             if config.shuffle_graphs
@@ -86,26 +191,52 @@ def train_model(
             pending += 1
             last = position == len(indices) - 1
             if pending >= config.batch_size or last:
-                clip_grad_norm(model.parameters(), config.grad_clip)
-                optimizer.step()
+                if pending > 1:
+                    for param in model.parameters():
+                        if param.grad is not None:
+                            param.grad /= pending
+                norm = clip_grad_norm(model.parameters(), config.grad_clip)
+                if np.isfinite(norm):
+                    optimizer.step()
+                else:
+                    result.nonfinite_batches += 1
                 optimizer.zero_grad()
                 pending = 0
         result.losses.append(epoch_loss / max(1, len(indices)))
         result.epochs_run += 1
-    result.train_seconds = time.perf_counter() - start
+        if (
+            checkpoint_path is not None
+            and (result.epochs_run % checkpoint_every == 0
+                 or result.epochs_run == config.epochs)
+        ):
+            result.train_seconds += time.perf_counter() - start
+            start = time.perf_counter()
+            save_train_state(
+                checkpoint_path, model, optimizer, config, result, rng
+            )
+    result.train_seconds += time.perf_counter() - start
     return result
 
 
 def evaluate(model: GraphClassifierBase, data: GraphDataset, threshold: float = 0.5) -> Metrics:
-    """Evaluate ``model`` on ``data``; returns precision/recall/F1."""
+    """Evaluate ``model`` on ``data``; returns precision/recall/F1.
+
+    The model's train/eval mode is restored on exit, so evaluating a
+    model that is already serving in eval mode does not flip it back to
+    training.
+    """
+    was_training = model.training
     model.eval()
     predictions = []
-    with no_grad():
-        for graph in data:
-            logit = model(graph).item()
-            probability = 1.0 / (1.0 + np.exp(-logit))
-            predictions.append(int(probability >= threshold))
-    model.train()
+    try:
+        with no_grad():
+            for graph in data:
+                logit = model(graph).item()
+                probability = 1.0 / (1.0 + np.exp(-logit))
+                predictions.append(int(probability >= threshold))
+    finally:
+        if was_training:
+            model.train()
     return compute_metrics(data.labels, predictions)
 
 
@@ -113,14 +244,19 @@ def inference_time_per_graph(model: GraphClassifierBase, data: GraphDataset) -> 
     """Average wall-clock seconds to embed and classify one graph.
 
     Used by the Fig. 6 running-time comparison (the paper reports
-    microseconds per graph).
+    microseconds per graph).  Restores the model's prior train/eval
+    mode on exit.
     """
+    was_training = model.training
     model.eval()
     start = time.perf_counter()
-    with no_grad():
-        for graph in data:
-            model(graph)
-    model.train()
+    try:
+        with no_grad():
+            for graph in data:
+                model(graph)
+    finally:
+        if was_training:
+            model.train()
     return (time.perf_counter() - start) / len(data)
 
 
@@ -151,16 +287,14 @@ def run_trials(
     train_data, test_data = dataset.split(train_fraction)
     results = []
     for run in range(runs):
-        model = model_factory(config.seed + 1000 * run)
-        run_config = TrainConfig(
-            epochs=config.epochs,
-            learning_rate=config.learning_rate,
-            batch_size=config.batch_size,
-            grad_clip=config.grad_clip,
-            shuffle_ties=config.shuffle_ties,
-            shuffle_graphs=config.shuffle_graphs,
-            seed=config.seed + 1000 * run,
-        )
+        run_seed = trial_seed(config.seed, run)
+        model = model_factory(run_seed)
+        run_config = replace(config, seed=run_seed)
         train_model(model, train_data, run_config)
         results.append(evaluate(model, test_data))
     return MetricSummary.from_runs(results)
+
+
+def trial_seed(base_seed: int, run: int) -> int:
+    """The derived seed of repetition ``run`` (paper protocol: 1000 apart)."""
+    return base_seed + 1000 * run

@@ -5,7 +5,6 @@ import pytest
 
 from repro.baselines import (
     ALL_MODELS,
-    CONTINUOUS_MODELS,
     PLUS_G_MODELS,
     PlusGlobalExtractor,
     TGN,

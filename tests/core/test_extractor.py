@@ -12,7 +12,6 @@ from repro.core.edge_agg import (
     weighted_l1,
     weighted_l2,
 )
-from repro.graph import CTDN
 from repro.tensor import Tensor
 
 

@@ -1,6 +1,5 @@
 """Tests for the Forum-java / HDFS / trajectory dataset generators."""
 
-import numpy as np
 import pytest
 
 from repro.data import (

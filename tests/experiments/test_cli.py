@@ -55,3 +55,63 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "F1=" in out
         assert checkpoint.exists()
+
+
+class TestBenchParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.command == "bench"
+        assert args.table == 2
+        assert args.retries == 1
+        assert args.jobs is None
+        assert args.trial_timeout is None
+        assert not args.no_cache and not args.clear_cache
+
+    def test_table_choice_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "--table", "4"])
+
+    def test_model_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "--models", "AlexNet"])
+
+    def test_flags_parsed(self):
+        args = build_parser().parse_args([
+            "bench", "--table", "3", "--datasets", "HDFS", "--models", "TGN+G",
+            "--jobs", "4", "--retries", "0", "--trial-timeout", "90",
+            "--cache-dir", "/tmp/c", "--clear-cache",
+        ])
+        assert args.table == 3
+        assert args.datasets == ["HDFS"]
+        assert args.jobs == 4
+        assert args.trial_timeout == 90.0
+        assert args.cache_dir == "/tmp/c"
+        assert args.clear_cache
+
+
+@pytest.mark.cache
+class TestBenchExecution:
+    BENCH = [
+        "bench", "--table", "2", "--datasets", "HDFS", "--models", "GCN",
+        "--preset", "smoke", "--num-graphs", "8", "--scale", "0.1",
+        "--epochs", "1", "--runs", "1", "--hidden-size", "4", "--jobs", "2",
+    ]
+
+    def test_cold_then_warm_run(self, capsys, tmp_path):
+        cache_args = ["--cache-dir", str(tmp_path)]
+        assert main(self.BENCH + cache_args) == 0
+        cold = capsys.readouterr()
+        assert "HDFS" in cold.out
+        assert "1 trial(s) executed, 0 served from cache" in cold.out
+        assert "eta=" in cold.err  # live progress on stderr
+
+        assert main(self.BENCH + cache_args) == 0
+        warm = capsys.readouterr()
+        assert "0 trial(s) executed, 1 served from cache" in warm.out
+        # Identical table text, modulo the trailing cache-count line.
+        assert warm.out.split("\n\n")[0] == cold.out.split("\n\n")[0]
+
+    def test_no_cache_flag(self, capsys):
+        assert main(self.BENCH + ["--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "1 trial(s) executed, 0 served from cache, 0 failed" in out

@@ -1,7 +1,5 @@
 """Tests for experiment configuration and the shared runner."""
 
-import pytest
-
 from repro.experiments import (
     PRESETS,
     SMALL,

@@ -1,7 +1,6 @@
 """Tests for GRU/LSTM cells and sequence wrappers."""
 
 import numpy as np
-import pytest
 
 from repro.nn import GRU, GRUCell, LSTM, LSTMCell
 from repro.tensor import Tensor, check_gradients

@@ -11,8 +11,10 @@ from repro.nn import (
     ModuleList,
     Parameter,
     load_checkpoint,
+    pack_namespaced,
     read_archive,
     save_checkpoint,
+    unpack_namespaced,
     write_archive,
 )
 
@@ -93,6 +95,49 @@ class TestArchiveLayer:
     def test_reserved_metadata_key_rejected(self, tmp_path):
         with pytest.raises(ValueError, match="reserved"):
             write_archive(tmp_path / "bad", {"__repro_meta__": np.zeros(1)}, {})
+
+    def test_write_is_atomic_no_temp_left_behind(self, tmp_path):
+        path = write_archive(tmp_path / "arch", {"a": np.zeros(2)}, {})
+        leftovers = [p for p in tmp_path.iterdir() if p != path]
+        assert leftovers == []
+
+    def test_overwrite_replaces_cleanly(self, tmp_path):
+        write_archive(tmp_path / "arch", {"a": np.zeros(3)}, {"v": 1})
+        path = write_archive(tmp_path / "arch", {"a": np.ones(3)}, {"v": 2})
+        arrays, meta = read_archive(path)
+        np.testing.assert_array_equal(arrays["a"], np.ones(3))
+        assert meta == {"v": 2}
+
+
+class TestNamespacedPacking:
+    """Several state dicts sharing one archive without key collisions."""
+
+    def test_round_trip(self):
+        groups = {
+            "model": {"w": np.ones(2), "child.b": np.zeros(3)},
+            "optim": {"m.0": np.full(2, 2.0), "step_count": np.asarray(7)},
+        }
+        packed = pack_namespaced(groups)
+        assert set(packed) == {"model/w", "model/child.b", "optim/m.0", "optim/step_count"}
+        back = unpack_namespaced(packed)
+        assert set(back) == {"model", "optim"}
+        np.testing.assert_array_equal(back["optim"]["m.0"], groups["optim"]["m.0"])
+
+    def test_group_name_with_separator_rejected(self):
+        with pytest.raises(ValueError, match="must not contain"):
+            pack_namespaced({"mo/del": {"w": np.ones(1)}})
+
+    def test_unnamespaced_key_rejected(self):
+        with pytest.raises(ValueError, match="no namespace"):
+            unpack_namespaced({"orphan": np.ones(1)})
+
+    def test_through_archive(self, tmp_path):
+        groups = {"model": {"w": np.arange(4.0)}, "optim": {"v.0": np.ones(4)}}
+        path = write_archive(tmp_path / "both", pack_namespaced(groups), {})
+        arrays, _ = read_archive(path)
+        back = unpack_namespaced(arrays)
+        np.testing.assert_array_equal(back["model"]["w"], np.arange(4.0))
+        np.testing.assert_array_equal(back["optim"]["v.0"], np.ones(4))
 
 
 class TestNestedModules:

@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.nn import Linear, bce_with_logits
 from repro.nn.module import Parameter
@@ -136,3 +138,112 @@ class TestClipGradNorm:
         norm = clip_grad_norm([p, q], max_norm=1.0)
         assert norm > 0.0
         assert q.grad is None
+
+    @pytest.mark.parametrize("poison", [np.nan, np.inf, -np.inf])
+    def test_nonfinite_gradient_not_scaled(self, poison):
+        # The old `total > max_norm` comparison was False for NaN (grads
+        # passed through unclipped) and scaled by max_norm/inf == 0 for
+        # inf; both silently poisoned the Adam moments.
+        p = quadratic_param(1.0)
+        p.grad = np.array([poison])
+        q = quadratic_param(1.0)
+        q.grad = np.array([3.0])
+        norm = clip_grad_norm([p, q], max_norm=1.0)
+        assert not np.isfinite(norm)
+        # Gradients are reported, not rescaled, so the caller can zero
+        # the batch.
+        assert np.array_equal(p.grad, np.array([poison]), equal_nan=True)
+        assert q.grad[0] == 3.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        grads=st.lists(
+            st.lists(
+                st.floats(
+                    allow_nan=True,
+                    allow_infinity=True,
+                    allow_subnormal=False,
+                    width=32,
+                ),
+                min_size=1,
+                max_size=4,
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+        max_norm=st.floats(min_value=1e-3, max_value=1e3),
+    )
+    def test_clip_invariants(self, grads, max_norm):
+        params = []
+        for values in grads:
+            param = Parameter(np.zeros(len(values)))
+            param.grad = np.array(values, dtype=np.float64)
+            params.append(param)
+        before = [param.grad.copy() for param in params]
+        norm = clip_grad_norm(params, max_norm=max_norm)
+        if np.isfinite(norm):
+            after = float(
+                np.sqrt(sum(float((p.grad**2).sum()) for p in params))
+            )
+            assert after <= max_norm * (1.0 + 1e-9) or after <= norm
+        else:
+            # Non-finite norm: every gradient must be left untouched.
+            for original, param in zip(before, params):
+                assert np.array_equal(original, param.grad, equal_nan=True)
+
+
+class TestOptimizerStateDict:
+    def test_adam_round_trip_preserves_trajectory(self):
+        p1, p2 = quadratic_param(4.0), quadratic_param(4.0)
+        source, target = Adam([p1], lr=0.1), Adam([p2], lr=0.1)
+        for _ in range(3):
+            source.zero_grad()
+            (p1 * p1).sum().backward()
+            source.step()
+        p2.data[...] = p1.data
+        target.load_state_dict(source.state_dict())
+        for opt, param in ((source, p1), (target, p2)):
+            opt.zero_grad()
+            (param * param).sum().backward()
+            opt.step()
+        # Identical moments + step count -> bit-identical next update.
+        assert p1.data[0] == p2.data[0]
+
+    def test_sgd_round_trip_preserves_momentum(self):
+        p1, p2 = quadratic_param(2.0), quadratic_param(2.0)
+        source = SGD([p1], lr=0.1, momentum=0.9)
+        target = SGD([p2], lr=0.1, momentum=0.9)
+        source.zero_grad()
+        (p1 * p1).sum().backward()
+        source.step()
+        p2.data[...] = p1.data
+        target.load_state_dict(source.state_dict())
+        for opt, param in ((source, p1), (target, p2)):
+            opt.zero_grad()
+            (param * param).sum().backward()
+            opt.step()
+        assert p1.data[0] == p2.data[0]
+
+    def test_state_dict_returns_copies(self):
+        p = quadratic_param(1.0)
+        opt = Adam([p])
+        state = opt.state_dict()
+        state["m.0"][...] = 99.0
+        assert opt.state_dict()["m.0"][0] == 0.0
+
+    def test_mismatched_keys_rejected(self):
+        opt = Adam([quadratic_param()])
+        with pytest.raises(KeyError, match="state mismatch"):
+            opt.load_state_dict({"m.0": np.zeros(1)})
+
+    def test_mismatched_shapes_rejected(self):
+        opt = SGD([quadratic_param()], momentum=0.9)
+        with pytest.raises(ValueError, match="shape mismatch"):
+            opt.load_state_dict({"velocity.0": np.zeros(5)})
+
+    def test_base_optimizer_state_is_empty(self):
+        opt = SGD([quadratic_param()])  # momentum-free SGD still has slots
+        assert set(opt.state_dict()) == {"velocity.0"}
+        base = Optimizer([quadratic_param()])
+        assert base.state_dict() == {}
+        base.load_state_dict({})

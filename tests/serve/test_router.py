@@ -34,10 +34,17 @@ class TestSessionTable:
     def test_invalid_config_rejected(self):
         with pytest.raises(ValueError):
             make_router(max_sessions=0)
-        with pytest.raises(KeyError):
-            make_router(out_of_order="reorder")
         with pytest.raises(ValueError):
             make_router(watermark_delay=-1.0)
+
+    def test_unknown_policy_is_value_error_listing_choices(self):
+        # ValueError like the sibling validations, not KeyError, and the
+        # message must name every valid policy.
+        with pytest.raises(ValueError) as excinfo:
+            make_router(out_of_order="reorder")
+        message = str(excinfo.value)
+        for policy in ("drop", "raise", "buffer"):
+            assert policy in message
 
 
 class TestLRUEviction:

@@ -1,0 +1,131 @@
+"""Tests for resumable training checkpoints (mid-sweep fault tolerance)."""
+
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.core import TPGNN
+from repro.optim import Adam
+from repro.training import (
+    TrainConfig,
+    load_train_state,
+    save_train_state,
+    train_model,
+)
+from repro.training import trainer as trainer_module
+
+
+def make_model(seed=0):
+    return TPGNN(3, updater="sum", hidden_size=6, gru_hidden_size=6, time_dim=2, seed=seed)
+
+
+class TestSaveLoadTrainState:
+    def test_round_trip(self, tmp_path, tiny_dataset):
+        config = TrainConfig(epochs=2, seed=5)
+        model = make_model(1)
+        optimizer = Adam(model.parameters(), lr=config.learning_rate)
+        rng = np.random.default_rng(config.seed)
+        rng.random(17)  # advance so the stored stream position is non-trivial
+        result = trainer_module.TrainResult(
+            losses=[0.5, 0.25], train_seconds=1.5, epochs_run=2, nonfinite_batches=1
+        )
+        path = save_train_state(
+            tmp_path / "state.npz", model, optimizer, config, result, rng
+        )
+
+        clone = make_model(99)
+        clone_opt = Adam(clone.parameters(), lr=config.learning_rate)
+        clone_rng = np.random.default_rng(0)
+        restored = load_train_state(path, clone, clone_opt, config, clone_rng)
+        assert restored.losses == result.losses
+        assert restored.epochs_run == 2
+        assert restored.nonfinite_batches == 1
+        assert restored.resumed_from_epoch == 2
+        for key, value in model.state_dict().items():
+            assert np.array_equal(value, clone.state_dict()[key]), key
+        # RNG stream continues from the exact saved position.
+        assert clone_rng.random() == rng.random()
+
+    def test_config_mismatch_refused(self, tmp_path):
+        config = TrainConfig(epochs=2, seed=5)
+        model = make_model()
+        optimizer = Adam(model.parameters())
+        rng = np.random.default_rng(0)
+        path = save_train_state(
+            tmp_path / "state.npz", model, optimizer, config,
+            trainer_module.TrainResult(), rng,
+        )
+        other = TrainConfig(epochs=2, seed=5, learning_rate=0.5)
+        with pytest.raises(ValueError, match="refusing to resume"):
+            load_train_state(path, model, optimizer, other, rng)
+
+
+class TestResumableTraining:
+    def test_checkpoint_every_validated(self, tiny_dataset):
+        with pytest.raises(ValueError, match="checkpoint_every"):
+            train_model(
+                make_model(), tiny_dataset, TrainConfig(epochs=1), checkpoint_every=0
+            )
+
+    def test_checkpointing_does_not_perturb_training(self, tmp_path, tiny_dataset):
+        config = TrainConfig(epochs=3, seed=2, batch_size=4)
+        plain = make_model(8)
+        base = train_model(plain, tiny_dataset, config)
+        checkpointed = make_model(8)
+        result = train_model(
+            checkpointed, tiny_dataset, config,
+            checkpoint_path=tmp_path / "state.npz",
+        )
+        assert result.losses == base.losses
+        for key, value in plain.state_dict().items():
+            assert np.array_equal(value, checkpointed.state_dict()[key]), key
+
+    def test_resume_reproduces_uninterrupted_run(self, tmp_path, tiny_dataset, monkeypatch):
+        config = TrainConfig(epochs=6, seed=3, batch_size=4)
+        baseline = make_model(11)
+        base_result = train_model(baseline, tiny_dataset, config)
+
+        # Run with per-epoch checkpoints, snapshotting the epoch-3 state
+        # to simulate a crash right after it was written.
+        checkpoint = tmp_path / "state.npz"
+        snapshot = tmp_path / "epoch3.npz"
+        real_save = save_train_state
+
+        def spying_save(path, model, optimizer, cfg, result, rng):
+            out = real_save(path, model, optimizer, cfg, result, rng)
+            if result.epochs_run == 3:
+                shutil.copy(out, snapshot)
+            return out
+
+        monkeypatch.setattr(trainer_module, "save_train_state", spying_save)
+        train_model(
+            make_model(11), tiny_dataset, config, checkpoint_path=checkpoint
+        )
+        assert snapshot.exists()
+
+        # "Crash": drop back to the epoch-3 checkpoint, resume into a
+        # fresh (differently seeded) model — the checkpoint fully
+        # determines the continuation.
+        shutil.copy(snapshot, checkpoint)
+        resumed = make_model(99)
+        result = train_model(
+            resumed, tiny_dataset, config, checkpoint_path=checkpoint
+        )
+        assert result.resumed_from_epoch == 3
+        assert result.epochs_run == 6
+        assert result.losses == base_result.losses
+        for key, value in baseline.state_dict().items():
+            assert np.array_equal(value, resumed.state_dict()[key]), key
+
+    def test_completed_run_is_not_retrained(self, tmp_path, tiny_dataset):
+        config = TrainConfig(epochs=2, seed=1)
+        checkpoint = tmp_path / "state.npz"
+        first = train_model(
+            make_model(4), tiny_dataset, config, checkpoint_path=checkpoint
+        )
+        again = train_model(
+            make_model(4), tiny_dataset, config, checkpoint_path=checkpoint
+        )
+        assert again.resumed_from_epoch == 2
+        assert again.losses == first.losses

@@ -1,16 +1,21 @@
 """Tests for the training loop and the evaluation protocol."""
 
+import dataclasses
+
 import numpy as np
-import pytest
 
 from repro.core import TPGNN
+from repro.graph import CTDN, GraphDataset
 from repro.training import (
     TrainConfig,
+    TrainResult,
     evaluate,
     inference_time_per_graph,
     run_trials,
     train_model,
+    trial_seed,
 )
+from repro.training.metrics import MetricSummary
 
 
 def make_model(seed=0):
@@ -56,6 +61,75 @@ class TestTrainModel:
         result = train_model(make_model(), tiny_dataset, TrainConfig(epochs=1, batch_size=1, seed=0))
         assert result.epochs_run == 1
 
+    def test_partial_batch_step_scale_matches_exact_batch(self, tiny_dataset):
+        # 12 graphs at batch_size 20 leaves one trailing partial batch of
+        # 12; with per-batch gradient averaging that step must be
+        # identical to running at batch_size exactly 12.  Under the old
+        # summed-gradient behaviour both configs summed, so this passed
+        # vacuously — the real regression is the batch_size-5 case below.
+        oversized = make_model(1)
+        exact = make_model(1)
+        train_model(oversized, tiny_dataset,
+                    TrainConfig(epochs=2, batch_size=20, seed=4))
+        train_model(exact, tiny_dataset,
+                    TrainConfig(epochs=2, batch_size=len(tiny_dataset), seed=4))
+        for key, value in oversized.state_dict().items():
+            assert np.array_equal(value, exact.state_dict()[key]), key
+
+    def test_trailing_partial_batch_is_averaged(self, tiny_dataset):
+        # 12 graphs at batch_size 5 -> batches of 5, 5, 2.  If the
+        # trailing 2-graph batch were summed instead of averaged, its
+        # pre-clip gradient would be ~2.5x smaller than intended relative
+        # to the full batches; with averaging, a single-epoch run equals
+        # a manual replay that averages each batch explicitly.
+        model = make_model(2)
+        config = TrainConfig(epochs=1, batch_size=5, seed=7,
+                             shuffle_graphs=False, shuffle_ties=False)
+        train_model(model, tiny_dataset, config)
+
+        from repro.nn import bce_with_logits
+        from repro.optim import Adam, clip_grad_norm
+
+        replay = make_model(2)
+        optimizer = Adam(replay.parameters(), lr=config.learning_rate)
+        for start in range(0, len(tiny_dataset), config.batch_size):
+            optimizer.zero_grad()
+            batch = [tiny_dataset[i]
+                     for i in range(start, min(start + config.batch_size,
+                                               len(tiny_dataset)))]
+            for graph in batch:
+                loss = bce_with_logits(
+                    replay(graph), np.array([float(graph.label)])
+                )
+                loss.backward()
+            for param in replay.parameters():
+                if param.grad is not None:
+                    param.grad /= len(batch)
+            clip_grad_norm(replay.parameters(), config.grad_clip)
+            optimizer.step()
+        for key, value in model.state_dict().items():
+            assert np.allclose(value, replay.state_dict()[key]), key
+
+    def test_nonfinite_batch_skipped_and_counted(self):
+        # A graph with a NaN feature poisons its batch's gradients; the
+        # trainer must skip that step (keeping parameters finite) and
+        # surface the count on TrainResult.
+        features = np.eye(3)
+        clean = CTDN(3, features, [(0, 1, 1.0), (1, 2, 2.0)], label=1)
+        poisoned_features = features.copy()
+        poisoned_features[0, 0] = np.nan
+        poisoned = CTDN(3, poisoned_features, [(0, 1, 1.0), (1, 2, 2.0)], label=0)
+        data = GraphDataset([clean, poisoned, clean], name="poisoned")
+        model = make_model()
+        result = train_model(
+            model, data,
+            TrainConfig(epochs=1, batch_size=1, seed=0,
+                        shuffle_graphs=False, shuffle_ties=False),
+        )
+        assert result.nonfinite_batches == 1
+        for key, value in model.state_dict().items():
+            assert np.isfinite(value).all(), key
+
 
 class TestEvaluate:
     def test_metrics_returned(self, tiny_dataset):
@@ -68,6 +142,14 @@ class TestEvaluate:
         model = make_model()
         evaluate(model, tiny_dataset)
         assert model.training
+
+    def test_eval_mode_preserved(self, tiny_dataset):
+        # A model already serving in eval mode must not be flipped back
+        # to training by a metrics pass.
+        model = make_model()
+        model.eval()
+        evaluate(model, tiny_dataset)
+        assert not model.training
 
     def test_threshold_extremes(self, tiny_dataset):
         model = make_model()
@@ -83,6 +165,15 @@ class TestInferenceTiming:
         seconds = inference_time_per_graph(make_model(), tiny_dataset)
         assert seconds > 0.0
 
+    def test_prior_mode_restored(self, tiny_dataset):
+        model = make_model()
+        model.eval()
+        inference_time_per_graph(model, tiny_dataset)
+        assert not model.training
+        model.train()
+        inference_time_per_graph(model, tiny_dataset)
+        assert model.training
+
 
 class TestRunTrials:
     def test_summary_over_runs(self, tiny_dataset):
@@ -94,6 +185,28 @@ class TestRunTrials:
         )
         assert summary.runs == 2
         assert 0.0 <= summary.f1_mean <= 1.0
+
+    def test_run_configs_derived_with_replace(self, tiny_dataset, monkeypatch):
+        # Every non-seed hyperparameter — including ones added to
+        # TrainConfig later — must survive into the per-run config; only
+        # the seed may differ.
+        base = TrainConfig(epochs=4, learning_rate=0.5, batch_size=3,
+                           grad_clip=1.25, shuffle_ties=False,
+                           shuffle_graphs=False, seed=7)
+        seen = []
+
+        def fake_train(model, data, config, **kwargs):
+            seen.append(config)
+            return TrainResult(losses=[0.0], epochs_run=config.epochs)
+
+        monkeypatch.setattr("repro.training.trainer.train_model", fake_train)
+        summary = run_trials(
+            lambda seed: make_model(seed), tiny_dataset, base, runs=3
+        )
+        assert isinstance(summary, MetricSummary)
+        assert [c.seed for c in seen] == [trial_seed(7, run) for run in range(3)]
+        for config in seen:
+            assert dataclasses.replace(config, seed=base.seed) == base
 
     def test_uses_chronological_split(self, tiny_dataset):
         # Must not raise and must evaluate only on the last 70%.
