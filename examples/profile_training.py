@@ -1,0 +1,66 @@
+"""Profile a training run with the telemetry subsystem.
+
+Where does a TP-GNN epoch actually spend its time?  This example turns
+on :mod:`repro.telemetry` around one short training run and reads the
+answer off three artifacts:
+
+1. the **span flame report** — the trainer's nested
+   ``train/epoch/batch/forward|backward|optimizer_step`` wall-time
+   tree,
+2. the **top-ops table** — per-op-kind forward/backward seconds and
+   output bytes, attributed by patching the autograd dispatch layer,
+3. the **metric registry** — streaming histograms of batch loss and
+   gradient norm the trainer records while telemetry is enabled.
+
+Outside the ``capture`` block all of this instrumentation is off and
+costs (almost) nothing — a guard test in ``tests/telemetry`` holds the
+disabled overhead under 5% of an epoch.
+
+    python examples/profile_training.py
+"""
+
+from repro import telemetry
+from repro.core import TPGNN
+from repro.data import make_dataset
+from repro.training import TrainConfig, train_model
+
+
+def main() -> None:
+    data = make_dataset("HDFS", num_graphs=40, seed=0, scale=0.3)
+    train_data, _ = data.split(0.5)
+    model = TPGNN(data.feature_dim, updater="sum", hidden_size=16,
+                  time_dim=4, seed=0)
+
+    print(f"== profiling 2 epochs over {len(train_data)} sessions ==")
+    with telemetry.capture(profile=True) as cap:
+        result = train_model(
+            model, train_data, TrainConfig(epochs=2, learning_rate=0.01, seed=0)
+        )
+    print(f"loss {result.losses[0]:.3f} -> {result.losses[-1]:.3f}\n")
+
+    # 1. Where did the wall time go, structurally?
+    print(cap.flame())
+    print()
+
+    # 2. Which tensor ops dominate, and how much of it is backward?
+    print(cap.top_ops(k=8))
+    print()
+
+    # 3. What did the loss/grad-norm distributions look like?
+    for name, labels, kind, instrument in cap.registry:
+        if kind == "histogram":
+            summary = instrument.summary()
+            print(f"{name}: n={summary['count']} mean={summary['mean']:.4f} "
+                  f"p50={summary['p50']:.4f} p99={summary['p99']:.4f}")
+
+    # The attributed op time nests inside the traced training wall time.
+    print(f"\nop time {cap.profiler.total_seconds:.3f}s "
+          f"of {cap.tracer.total_seconds:.3f}s traced")
+
+    # Everything above also exports as JSONL for offline analysis:
+    #     with open("telemetry.jsonl", "w") as stream:
+    #         cap.write_jsonl(stream)
+
+
+if __name__ == "__main__":
+    main()

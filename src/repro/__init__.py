@@ -18,6 +18,8 @@ autograd substrate:
 * :mod:`repro.experiments` — one harness module per table/figure.
 * :mod:`repro.serve` — streaming online inference: incremental
   per-session temporal state, O(1) predictions per event.
+* :mod:`repro.telemetry` — unified observability: metric registry,
+  hierarchical span tracer, op-level autograd profiler.
 
 Quickstart
 ----------
@@ -42,6 +44,7 @@ from repro import (
     nn,
     optim,
     serve,
+    telemetry,
     tensor,
     training,
 )
@@ -58,4 +61,5 @@ __all__ = [
     "training",
     "experiments",
     "serve",
+    "telemetry",
 ]

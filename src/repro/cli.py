@@ -13,6 +13,7 @@ Usage::
     python -m repro.cli bench   --table 2 --jobs 8      # parallel cached sweep
     python -m repro.cli train   --dataset HDFS --model TP-GNN-SUM
     python -m repro.cli serve   --dataset Forum-java --num-graphs 40
+    python -m repro.cli profile --dataset HDFS --epochs 1
 
 Every experiment command prints the same text tables/figures the
 benchmarks emit, at the chosen preset (override individual knobs with
@@ -22,7 +23,10 @@ parallel, fault-tolerant trial runner with an on-disk cache under
 failed trials resume from their last epoch checkpoint.  ``serve``
 replays a dataset as a live timestamped event feed through the
 streaming inference engine and emits one JSON line per session
-prediction.
+prediction.  ``profile`` trains under the telemetry subsystem (span
+tracer + op-level autograd profiler) and prints a text flame report
+plus a top-k op table; ``bench --profile`` does the same per trial and
+aggregates op timings across the sweep (see OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -146,6 +150,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run every cell even if cached")
     bench.add_argument("--clear-cache", dest="clear_cache", action="store_true",
                        help="delete cached trials before running")
+    bench.add_argument("--profile", action="store_true",
+                       help="attribute per-op time in every trial and print a "
+                            "sweep-wide top-ops table")
+    bench.add_argument("--top", type=int, default=10,
+                       help="rows in the --profile top-ops table")
 
     train = add_command("train", "train one model on one dataset")
     _add_common(train)
@@ -186,6 +195,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="JSONL destination ('-' = stdout)")
     serve.add_argument("--save-state", dest="save_state",
                        help="write a serving-state checkpoint here after the replay")
+
+    profile = add_command(
+        "profile",
+        "train under the telemetry subsystem; print a span flame report "
+        "and a top-k op table",
+    )
+    _add_common(profile)
+    profile.add_argument("--dataset", choices=DATASET_NAMES, default="HDFS")
+    profile.add_argument("--model", choices=ALL_MODELS + PLUS_G_MODELS,
+                         default="TP-GNN-SUM")
+    profile.add_argument("--top", type=int, default=10,
+                         help="rows in the top-ops table")
+    profile.add_argument("--no-ops", dest="no_ops", action="store_true",
+                         help="skip op-level profiling (spans and metrics only)")
+    profile.add_argument("--jsonl",
+                         help="also write every telemetry row (spans, ops, "
+                              "metrics) to this JSONL file")
     return parser
 
 
@@ -193,6 +219,7 @@ def _run_bench(args) -> int:
     from repro.experiments import (
         DEFAULT_CACHE_DIR,
         TrialCache,
+        aggregate_telemetry,
         failed_trials,
         format_duration,
         run_table_parallel,
@@ -238,6 +265,7 @@ def _run_bench(args) -> int:
         retries=args.retries,
         trial_timeout=args.trial_timeout,
         progress=report,
+        profile=args.profile,
     )
     print(formatter(table))
     counts = {
@@ -249,12 +277,22 @@ def _run_bench(args) -> int:
         f"from cache" + (f" ({cache.root})" if cache is not None else "")
         + f", {counts['failed']} failed",
     )
+    if args.profile:
+        from repro.telemetry import aggregate_op_rows, render_op_rows
+
+        groups = aggregate_telemetry(results, kind="op")
+        if groups:
+            print()
+            print(render_op_rows(aggregate_op_rows(groups), k=args.top))
+        else:
+            print("\n(no op telemetry collected — all cells cached without "
+                  "profiled telemetry?)", file=sys.stderr)
     failures = failed_trials(results)
     for failure in failures:
         last_line = failure.error.strip().splitlines()[-1] if failure.error else "?"
         print(
-            f"FAILED {failure.spec.cell()} after {failure.attempts} attempt(s): "
-            f"{last_line}",
+            f"FAILED {failure.spec.cell()} after {failure.attempts} attempt(s), "
+            f"{format_duration(failure.seconds)} wall: {last_line}",
             file=sys.stderr,
         )
     if failures:
@@ -409,11 +447,51 @@ def _run_serve(args) -> None:
         sink.close()
 
 
+def _run_profile(args) -> None:
+    from repro import telemetry
+    from repro.experiments.runner import build_dataset
+
+    config = _config_from_args(args)
+    dataset = build_dataset(args.dataset, config)
+    train_data, _ = dataset.split(config.train_fraction)
+    model = make_model(
+        args.model,
+        in_features=dataset.feature_dim,
+        seed=config.seed,
+        hidden_size=config.hidden_size,
+        time_dim=config.time_dim,
+        snapshot_size=snapshot_size_for(args.dataset),
+    )
+    print(
+        f"profiling {args.model} on {args.dataset} "
+        f"({len(train_data)} train graphs, {config.epochs} epoch(s))",
+        file=sys.stderr,
+    )
+    with telemetry.capture(profile=not args.no_ops) as cap:
+        result = train_model(model, train_data, config.train_config())
+    print(f"loss {result.losses[0]:.3f} -> {result.losses[-1]:.3f} "
+          f"({result.train_seconds:.2f}s)")
+    print()
+    print(cap.flame())
+    if not args.no_ops:
+        print()
+        print(cap.top_ops(args.top))
+        op_total = cap.profiler.total_seconds
+        wall = cap.tracer.total_seconds
+        if wall > 0:
+            print(f"\nop time {op_total:.3f}s of {wall:.3f}s traced wall "
+                  f"({100 * op_total / wall:.0f}%)")
+    if args.jsonl:
+        with open(args.jsonl, "w") as stream:
+            count = cap.write_jsonl(stream)
+        print(f"{count} telemetry rows written to {args.jsonl}", file=sys.stderr)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     config = (
         _config_from_args(args)
-        if args.command not in ("bench", "train", "serve")
+        if args.command not in ("bench", "train", "serve", "profile")
         else None
     )
 
@@ -444,6 +522,8 @@ def main(argv: list[str] | None = None) -> int:
         _run_train(args)
     elif args.command == "serve":
         _run_serve(args)
+    elif args.command == "profile":
+        _run_profile(args)
     return 0
 
 

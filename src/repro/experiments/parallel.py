@@ -22,6 +22,11 @@ first-class parallel subsystem instead of one serial in-process loop:
   checkpoints (model + optimiser + RNG state) next to the cache, so an
   interrupted or killed trial resumes at its last completed epoch with
   a bit-for-bit identical trajectory.
+* **Per-trial telemetry.**  Each worker trains inside a
+  :func:`repro.telemetry.capture` and ships its span tree, loss and
+  gradient-norm histograms (and per-op timings under ``--profile``)
+  back with the result; the rows are persisted as
+  ``<key>.telemetry.jsonl`` next to the cache entry.
 
 ``repro bench`` drives this runner from the CLI with live progress
 reporting; the pytest benchmarks opt in through
@@ -43,6 +48,7 @@ from multiprocessing.connection import wait as connection_wait
 from pathlib import Path
 from typing import Callable
 
+from repro import telemetry
 from repro.baselines.registry import make_model
 from repro.experiments.config import ExperimentConfig, snapshot_size_for
 from repro.experiments.runner import dataset_for
@@ -174,6 +180,13 @@ class TrialResult:
     outcome: TrialOutcome | None = None
     error: str | None = None
     attempts: int = 0
+    #: Scheduler wall-clock spent on this cell across every attempt
+    #: (0 for cache hits); surfaced for failed cells by ``repro bench``.
+    seconds: float = 0.0
+    #: Per-trial telemetry rows (spans / ops / metrics) captured by the
+    #: worker; persisted as ``<key>.telemetry.jsonl`` next to the cache
+    #: entry.
+    telemetry: list[dict] | None = None
 
 
 # ----------------------------------------------------------------------
@@ -200,6 +213,10 @@ class TrialCache:
         """Mid-training checkpoint file for an in-flight ``key``."""
         return self.root / "checkpoints" / f"{key}.npz"
 
+    def telemetry_path(self, key: str) -> Path:
+        """Telemetry JSONL persisted next to the cache entry for ``key``."""
+        return self.root / f"{key}.telemetry.jsonl"
+
     def get(self, key: str) -> TrialOutcome | None:
         """Cached outcome for ``key``, or None on miss/corruption."""
         path = self.path(key)
@@ -214,8 +231,20 @@ class TrialCache:
         except (KeyError, TypeError, ValueError):
             return None
 
-    def put(self, key: str, spec: TrialSpec, outcome: TrialOutcome) -> Path:
-        """Publish a completed trial and drop its mid-training checkpoint."""
+    def put(
+        self,
+        key: str,
+        spec: TrialSpec,
+        outcome: TrialOutcome,
+        telemetry_rows: list[dict] | None = None,
+    ) -> Path:
+        """Publish a completed trial and drop its mid-training checkpoint.
+
+        When the trial carried telemetry (spans / op stats / metric
+        snapshots), the rows are persisted as ``<key>.telemetry.jsonl``
+        alongside the result so a sweep's timing profile survives the
+        processes that produced it.
+        """
         self.root.mkdir(parents=True, exist_ok=True)
         payload = {
             "key": key,
@@ -229,20 +258,41 @@ class TrialCache:
             json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8"
         )
         os.replace(temporary, path)
+        if telemetry_rows:
+            lines = "".join(
+                json.dumps(row, sort_keys=True) + "\n" for row in telemetry_rows
+            )
+            telemetry_file = self.telemetry_path(key)
+            temporary = telemetry_file.with_name(
+                f".{telemetry_file.name}.{os.getpid()}.tmp"
+            )
+            temporary.write_text(lines, encoding="utf-8")
+            os.replace(temporary, telemetry_file)
         checkpoint = self.checkpoint_path(key)
         if checkpoint.exists():
             checkpoint.unlink()
         return path
 
+    def get_telemetry(self, key: str) -> list[dict] | None:
+        """Persisted telemetry rows for ``key`` (None when absent/torn)."""
+        try:
+            text = self.telemetry_path(key).read_text(encoding="utf-8")
+            return [json.loads(line) for line in text.splitlines() if line]
+        except (OSError, json.JSONDecodeError):
+            return None
+
     def __len__(self) -> int:
         return len(list(self.root.glob("*.json")))
 
     def clear(self) -> int:
-        """Delete every cache entry and checkpoint; returns entries removed."""
+        """Delete every cache entry, telemetry file and checkpoint;
+        returns result entries removed."""
         removed = 0
         for entry in self.root.glob("*.json"):
             entry.unlink()
             removed += 1
+        for telemetry_file in self.root.glob("*.telemetry.jsonl"):
+            telemetry_file.unlink()
         for checkpoint in self.root.glob("checkpoints/*.npz"):
             checkpoint.unlink()
         return removed
@@ -264,6 +314,28 @@ def run_trial(
     loss raises :class:`TrialFailure` so the scheduler records the cell
     as failed instead of caching poisoned metrics.
     """
+    outcome, _ = run_trial_instrumented(
+        spec, checkpoint_path, checkpoint_every, collect=False
+    )
+    return outcome
+
+
+def run_trial_instrumented(
+    spec: TrialSpec,
+    checkpoint_path: str | Path | None = None,
+    checkpoint_every: int = 1,
+    collect: bool = True,
+    profile: bool = False,
+) -> tuple[TrialOutcome, list[dict] | None]:
+    """:func:`run_trial` plus a telemetry capture of the run.
+
+    With ``collect``, training executes inside
+    :func:`repro.telemetry.capture`, so the returned rows hold the
+    trial's span tree and loss/grad-norm histograms (plus per-op
+    timings when ``profile`` is set).  The capture swaps the
+    process-global tracer/registry for the duration, so in-process
+    callers' telemetry state is untouched.
+    """
     dataset = dataset_for(
         spec.dataset_name, spec.num_graphs, spec.dataset_seed, spec.graph_scale
     )
@@ -276,32 +348,59 @@ def run_trial(
         time_dim=spec.time_dim,
         snapshot_size=spec.snapshot_size,
     )
-    result = train_model(
-        model,
-        train_data,
-        spec.train,
-        checkpoint_path=checkpoint_path,
-        checkpoint_every=checkpoint_every,
-    )
+
+    def execute() -> "TrainResult":
+        return train_model(
+            model,
+            train_data,
+            spec.train,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every,
+        )
+
+    rows: list[dict] | None = None
+    if collect:
+        with telemetry.capture(profile=profile) as cap:
+            result = execute()
+        rows = [{"kind": "trial", "cell": spec.cell(),
+                 "train_seconds": result.train_seconds,
+                 "epochs_run": result.epochs_run}]
+        rows += cap.to_rows()
+    else:
+        result = execute()
     if any(not math.isfinite(loss) for loss in result.losses):
         raise TrialFailure(
             f"non-finite training loss in {spec.cell()}: losses={result.losses}"
         )
     metrics = evaluate(model, test_data)
-    return TrialOutcome(
+    outcome = TrialOutcome(
         metrics=metrics,
         losses=tuple(result.losses),
         train_seconds=result.train_seconds,
         epochs_run=result.epochs_run,
         nonfinite_batches=result.nonfinite_batches,
     )
+    return outcome, rows
 
 
 def _trial_worker(spec, checkpoint_path, checkpoint_every, conn) -> None:
     """Worker-process entry point: run one trial, ship the result back."""
     try:
-        outcome = run_trial(spec, checkpoint_path, checkpoint_every)
-        conn.send(("ok", outcome.to_json()))
+        outcome, rows = run_trial_instrumented(spec, checkpoint_path, checkpoint_every)
+        conn.send(("ok", outcome.to_json(), rows))
+    except BaseException:
+        conn.send(("error", traceback.format_exc()))
+    finally:
+        conn.close()
+
+
+def _profiled_trial_worker(spec, checkpoint_path, checkpoint_every, conn) -> None:
+    """Like :func:`_trial_worker` with op-level profiling enabled."""
+    try:
+        outcome, rows = run_trial_instrumented(
+            spec, checkpoint_path, checkpoint_every, profile=True
+        )
+        conn.send(("ok", outcome.to_json(), rows))
     except BaseException:
         conn.send(("error", traceback.format_exc()))
     finally:
@@ -340,6 +439,14 @@ class _ActiveTrial:
     attempt: int
     deadline: float | None
     index: int = 0
+    #: When this attempt's worker was launched (monotonic clock).
+    launched: float = 0.0
+    #: Wall-clock burned by this cell's *previous* attempts.
+    prior_seconds: float = 0.0
+
+    def elapsed(self) -> float:
+        """Total scheduler wall-clock spent on this cell so far."""
+        return self.prior_seconds + (time.monotonic() - self.launched)
 
 
 class ParallelRunner:
@@ -368,6 +475,10 @@ class ParallelRunner:
     start_method:
         ``multiprocessing`` start method override (tests use the
         platform default; ``"spawn"`` works but pays import cost).
+    profile:
+        Run workers with the op-level autograd profiler enabled, so
+        each trial's telemetry includes per-op timings (``repro bench
+        --profile``).  Ignored when a custom ``worker`` is supplied.
     """
 
     def __init__(
@@ -380,11 +491,14 @@ class ParallelRunner:
         progress: Callable[[SweepProgress], None] | None = None,
         start_method: str | None = None,
         worker: Callable = _trial_worker,
+        profile: bool = False,
     ):
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
         if trial_timeout is not None and trial_timeout <= 0:
             raise ValueError(f"trial_timeout must be positive, got {trial_timeout}")
+        if profile and worker is _trial_worker:
+            worker = _profiled_trial_worker
         self.cache = cache
         self.jobs = max(1, jobs if jobs is not None else os.cpu_count() or 1)
         self.retries = retries
@@ -405,18 +519,19 @@ class ParallelRunner:
         results: list[TrialResult | None] = [None] * total
         stats = {"completed": 0, "cached": 0, "failed": 0}
         started = time.monotonic()
-        pending: deque[tuple[int, TrialSpec, str, int]] = deque()
+        pending: deque[tuple[int, TrialSpec, str, int, float]] = deque()
         for index, spec in enumerate(specs):
             key = trial_cache_key(spec)
             outcome = self.cache.get(key) if self.cache is not None else None
             if outcome is not None:
                 results[index] = TrialResult(
-                    spec=spec, key=key, status="cached", outcome=outcome
+                    spec=spec, key=key, status="cached", outcome=outcome,
+                    telemetry=self.cache.get_telemetry(key),
                 )
                 stats["cached"] += 1
                 self._report(stats, total, 0, started, f"{spec.cell()} cached")
             else:
-                pending.append((index, spec, key, 1))
+                pending.append((index, spec, key, 1, 0.0))
         active: dict[int, _ActiveTrial] = {}
         try:
             while pending or active:
@@ -437,7 +552,7 @@ class ParallelRunner:
     # -- internals -----------------------------------------------------
     def _launch(
         self, index: int, spec: TrialSpec, key: str, attempt: int,
-        active: dict[int, _ActiveTrial],
+        prior_seconds: float, active: dict[int, _ActiveTrial],
     ) -> None:
         parent_conn, child_conn = self._ctx.Pipe(duplex=False)
         checkpoint = None
@@ -459,6 +574,7 @@ class ParallelRunner:
         active[index] = _ActiveTrial(
             process=process, conn=parent_conn, spec=spec, key=key,
             attempt=attempt, deadline=deadline, index=index,
+            launched=time.monotonic(), prior_seconds=prior_seconds,
         )
 
     def _poll(self, active, pending, results, stats, total, started) -> None:
@@ -494,11 +610,16 @@ class ParallelRunner:
             del active[index]
             if received and message[0] == "ok":
                 outcome = TrialOutcome.from_json(message[1])
+                # Custom workers may send bare ("ok", outcome) pairs;
+                # the stock workers append their telemetry rows.
+                rows = message[2] if len(message) > 2 else None
                 if self.cache is not None:
-                    self.cache.put(trial.key, trial.spec, outcome)
+                    self.cache.put(trial.key, trial.spec, outcome,
+                                   telemetry_rows=rows)
                 results[index] = TrialResult(
                     spec=trial.spec, key=trial.key, status="completed",
                     outcome=outcome, attempts=trial.attempt,
+                    seconds=trial.elapsed(), telemetry=rows,
                 )
                 stats["completed"] += 1
                 self._report(
@@ -520,7 +641,8 @@ class ParallelRunner:
         self, trial, pending, results, stats, total, started, error: str
     ) -> None:
         if trial.attempt <= self.retries:
-            pending.append((trial.index, trial.spec, trial.key, trial.attempt + 1))
+            pending.append((trial.index, trial.spec, trial.key,
+                            trial.attempt + 1, trial.elapsed()))
             self._report(
                 stats, total, 0, started,
                 f"{trial.spec.cell()} failed (attempt {trial.attempt}), retrying",
@@ -528,7 +650,7 @@ class ParallelRunner:
         else:
             results[trial.index] = TrialResult(
                 spec=trial.spec, key=trial.key, status="failed",
-                error=error, attempts=trial.attempt,
+                error=error, attempts=trial.attempt, seconds=trial.elapsed(),
             )
             stats["failed"] += 1
             self._report(
@@ -582,8 +704,10 @@ def run_cell_cached(
         key = trial_cache_key(spec)
         outcome = cache.get(key)
         if outcome is None:
-            outcome = run_trial(spec, checkpoint_path=cache.checkpoint_path(key))
-            cache.put(key, spec, outcome)
+            outcome, rows = run_trial_instrumented(
+                spec, checkpoint_path=cache.checkpoint_path(key)
+            )
+            cache.put(key, spec, outcome, telemetry_rows=rows)
         metrics.append(outcome.metrics)
     return MetricSummary.from_runs(metrics)
 
@@ -628,12 +752,15 @@ def run_table_parallel(
     retries: int = 1,
     trial_timeout: float | None = None,
     progress: Callable[[SweepProgress], None] | None = None,
+    profile: bool = False,
 ) -> tuple[dict[str, dict[str, MetricSummary]], list[TrialResult]]:
     """Evaluate a (datasets x models) grid through the parallel runner.
 
     Returns ``(table, trial_results)`` where ``table`` feeds
     ``format_table2``/``format_table3`` directly and ``trial_results``
-    carries per-cell status (cached / completed / failed + traceback).
+    carries per-cell status (cached / completed / failed + traceback)
+    plus each trial's telemetry rows.  With ``profile``, workers also
+    attribute time per tensor op (see ``repro bench --profile``).
     """
     specs = [
         spec
@@ -647,6 +774,25 @@ def run_table_parallel(
         retries=retries,
         trial_timeout=trial_timeout,
         progress=progress,
+        profile=profile,
     )
     results = runner.run(specs)
     return summarize_trials(results), results
+
+
+def aggregate_telemetry(
+    results: list[TrialResult], kind: str = "op"
+) -> list[list[dict]]:
+    """Collect each trial's telemetry rows of one ``kind``.
+
+    Feed the ``"op"`` groups to
+    :func:`repro.telemetry.aggregate_op_rows` for a sweep-wide top-ops
+    table.
+    """
+    groups = []
+    for result in results:
+        if result.telemetry:
+            rows = [row for row in result.telemetry if row.get("kind") == kind]
+            if rows:
+                groups.append(rows)
+    return groups

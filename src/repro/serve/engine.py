@@ -27,6 +27,7 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.model import TPGNN
 from repro.nn.serialization import read_archive, write_archive
 from repro.serve.events import StreamEvent
@@ -125,11 +126,12 @@ class StreamingEngine:
     def _apply(self, state: SessionState, event: StreamEvent) -> None:
         if state.label is None and event.label is not None:
             state.label = event.label
-        start = _time.perf_counter()
-        self.classifier.observe(
-            state, (event.src, event.dst, event.time), event.node_features
-        )
-        self.metrics.observe_step(_time.perf_counter() - start)
+        with telemetry.span("serve_apply"):
+            start = _time.perf_counter()
+            self.classifier.observe(
+                state, (event.src, event.dst, event.time), event.node_features
+            )
+            self.metrics.observe_step(_time.perf_counter() - start)
 
     def ingest_many(self, feed: Iterable[StreamEvent]) -> int:
         """Ingest a whole feed; returns total session updates applied."""
@@ -163,7 +165,8 @@ class StreamingEngine:
         state = self.router.get(session_id)
         if state is None:
             raise KeyError(f"unknown session {session_id!r} (never seen or evicted)")
-        probability = self.classifier.predict_proba(state, mode=mode)
+        with telemetry.span("serve_predict"):
+            probability = self.classifier.predict_proba(state, mode=mode)
         self.metrics.predictions_served += 1
         return probability
 
@@ -183,7 +186,8 @@ class StreamingEngine:
             if state is None:
                 raise KeyError(f"unknown session {session_id!r} (never seen or evicted)")
             states.append(state)
-        logits = self.classifier.logits_online(states)
+        with telemetry.span("serve_predict_many"):
+            logits = self.classifier.logits_online(states)
         self.metrics.predictions_served += len(ids)
         probabilities = 1.0 / (1.0 + np.exp(-logits))
         return dict(zip(ids, (float(p) for p in probabilities)))

@@ -1,74 +1,102 @@
-"""Serving metrics: counters and step-latency percentiles.
+"""Serving metrics: a thin facade over :mod:`repro.telemetry`.
 
-A deliberately small, dependency-free counter block modelled on what a
-real inference service exports: ingest/drop/eviction counters plus a
-fixed-size latency reservoir from which p50/p99 are computed.  The
-engine updates it on every event; ``repro serve`` prints the summary
-after a replay.
+The counters and the step-latency distribution of the streaming engine
+live in a :class:`~repro.telemetry.MetricRegistry` (private per engine
+by default; pass a shared registry to aggregate several engines into
+one export).  The original attribute API — ``metrics.events_ingested``,
+``metrics.step_latency.percentile(99)`` — is preserved exactly, so the
+engine, its checkpoints and existing callers are unchanged.
+
+:class:`LatencyReservoir` is kept only as a deprecated alias of the
+shared :class:`~repro.telemetry.Histogram`; the bespoke ring-buffer and
+quantile code it used to carry now has a single implementation in
+:mod:`repro.telemetry.registry`.
 """
 
 from __future__ import annotations
 
-import numpy as np
+from repro.telemetry import Histogram, MetricRegistry
+
+#: Lifecycle counters exported by the engine, in render order.
+_COUNTER_NAMES = (
+    "events_ingested",
+    "events_applied",
+    "events_dropped",
+    "events_late_dropped",
+    "sessions_started",
+    "sessions_evicted",
+    "predictions_served",
+)
 
 
-class LatencyReservoir:
-    """Fixed-size ring buffer of the most recent latency samples.
+class LatencyReservoir(Histogram):
+    """Deprecated: use :class:`repro.telemetry.Histogram`.
 
-    Keeps serving-time memory bounded no matter how long the engine
-    runs; percentiles therefore describe *recent* behaviour, which is
-    what an operator watches.
+    The serving layer's original fixed-size latency ring buffer is now
+    the telemetry histogram (same ``record``/``values``/``percentile``
+    surface plus exact running aggregates); this alias remains for
+    import compatibility only.
     """
 
-    def __init__(self, capacity: int = 4096):
-        if capacity <= 0:
-            raise ValueError(f"capacity must be positive, got {capacity}")
-        self.capacity = capacity
-        self._samples = np.zeros(capacity)
-        self._next = 0
-        self.count = 0
 
-    def record(self, seconds: float) -> None:
-        """Add one latency sample (seconds)."""
-        self._samples[self._next] = seconds
-        self._next = (self._next + 1) % self.capacity
-        self.count += 1
+def _counter_property(name: str) -> property:
+    """Attribute-style access to one registry counter."""
 
-    def values(self) -> np.ndarray:
-        """The retained samples (at most ``capacity``), unordered."""
-        return self._samples[: min(self.count, self.capacity)].copy()
+    def getter(self: "ServeMetrics") -> int:
+        return self._counters[name].value
 
-    def percentile(self, q: float) -> float:
-        """The ``q``-th percentile of retained samples (0 when empty)."""
-        values = self.values()
-        return float(np.percentile(values, q)) if values.size else 0.0
+    def setter(self: "ServeMetrics", value: int) -> None:
+        self._counters[name].set(int(value))
+
+    getter.__name__ = name
+    return property(getter, setter, doc=f"Count of {name.replace('_', ' ')}.")
 
 
 class ServeMetrics:
-    """Counter block for the streaming engine.
+    """Counter block for the streaming engine, registry-backed.
 
     Attributes mirror the lifecycle of an event: it is *ingested*, then
     either *applied* (stepping some session), *dropped* (out-of-order),
     or *late-dropped* (missed the buffer watermark); sessions are
     *started* and possibly *evicted*; reads are *predictions served*.
+
+    Parameters
+    ----------
+    latency_capacity:
+        Ring-buffer size of the step-latency histogram.
+    registry:
+        Optional shared :class:`~repro.telemetry.MetricRegistry`; a
+        private one is created otherwise so concurrent engines never
+        collide on series names.
     """
 
-    def __init__(self, latency_capacity: int = 4096):
-        self.events_ingested = 0
-        self.events_applied = 0
-        self.events_dropped = 0
-        self.events_late_dropped = 0
-        self.sessions_started = 0
-        self.sessions_evicted = 0
-        self.predictions_served = 0
-        self.step_latency = LatencyReservoir(latency_capacity)
+    def __init__(
+        self,
+        latency_capacity: int = 4096,
+        registry: MetricRegistry | None = None,
+    ):
+        self.registry = registry if registry is not None else MetricRegistry()
+        self._counters = {
+            name: self.registry.counter(f"serve/{name}") for name in _COUNTER_NAMES
+        }
+        self.step_latency: Histogram = self.registry.histogram(
+            "serve/step_latency_seconds", capacity=latency_capacity
+        )
+
+    events_ingested = _counter_property("events_ingested")
+    events_applied = _counter_property("events_applied")
+    events_dropped = _counter_property("events_dropped")
+    events_late_dropped = _counter_property("events_late_dropped")
+    sessions_started = _counter_property("sessions_started")
+    sessions_evicted = _counter_property("sessions_evicted")
+    predictions_served = _counter_property("predictions_served")
 
     # ------------------------------------------------------------------
     # Recording
     # ------------------------------------------------------------------
     def observe_step(self, seconds: float) -> None:
         """Record one applied event and its step latency."""
-        self.events_applied += 1
+        self._counters["events_applied"].inc()
         self.step_latency.record(seconds)
 
     # ------------------------------------------------------------------
@@ -76,21 +104,13 @@ class ServeMetrics:
     # ------------------------------------------------------------------
     def counters(self) -> dict[str, int]:
         """The integer counters as a plain dict (checkpointed as-is)."""
-        return {
-            "events_ingested": self.events_ingested,
-            "events_applied": self.events_applied,
-            "events_dropped": self.events_dropped,
-            "events_late_dropped": self.events_late_dropped,
-            "sessions_started": self.sessions_started,
-            "sessions_evicted": self.sessions_evicted,
-            "predictions_served": self.predictions_served,
-        }
+        return {name: self._counters[name].value for name in _COUNTER_NAMES}
 
     def load_counters(self, counters: dict[str, int]) -> None:
         """Restore counters written by :meth:`counters`."""
         for key, value in counters.items():
-            if hasattr(self, key):
-                setattr(self, key, int(value))
+            if key in self._counters:
+                self._counters[key].set(int(value))
 
     def summary(self) -> dict[str, float]:
         """Counters plus latency percentiles (milliseconds)."""

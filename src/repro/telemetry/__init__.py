@@ -1,0 +1,172 @@
+"""Unified observability: metrics, span tracing, op-level profiling.
+
+One subsystem answers "where does the time go?" across the whole stack:
+
+* :mod:`repro.telemetry.registry` — counters, gauges and streaming
+  histograms in a thread-safe, labeled :class:`MetricRegistry` (the
+  serving layer's :class:`~repro.serve.metrics.ServeMetrics` is a thin
+  facade over it).
+* :mod:`repro.telemetry.tracing` — a hierarchical span
+  :class:`Tracer` (``with telemetry.span("epoch")``) producing a tree
+  of wall-time/call-count nodes, a text flame report and JSONL export.
+  The trainer emits ``train/epoch/batch/forward|backward`` spans.
+* :mod:`repro.telemetry.profiler` — an :class:`OpProfiler` that
+  patches :mod:`repro.tensor.ops` dispatch to attribute forward and
+  backward time (and output bytes) per op kind.
+
+The process-global tracer and registry start **disabled**/empty and the
+instrumented hot paths are written so the disabled cost is negligible
+(a guard test enforces it).  Turn everything on for one region with
+:func:`capture`::
+
+    from repro import telemetry
+
+    with telemetry.capture(profile=True) as cap:
+        train_model(model, data, config)
+    print(cap.flame())        # span tree
+    print(cap.top_ops())      # per-op table
+    cap.write_jsonl(stream)   # spans + ops + metrics as JSON lines
+
+``repro profile`` and ``repro bench --profile`` drive this from the
+CLI; the parallel experiment runner persists each trial's capture as a
+``telemetry.jsonl`` next to its cache entry.  See OBSERVABILITY.md.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+from typing import IO
+
+from repro.telemetry.profiler import (
+    OpProfiler,
+    OpStat,
+    aggregate_op_rows,
+    is_profiling,
+    profile_ops,
+    render_op_rows,
+)
+from repro.telemetry.registry import (
+    DEFAULT_HISTOGRAM_CAPACITY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+)
+from repro.telemetry.tracing import SpanNode, Tracer
+
+#: Process-global tracer (disabled by default) and metric registry.
+#: Instrumented modules fetch these through :func:`get_tracer` /
+#: :func:`get_registry` so :func:`capture` can swap in fresh ones.
+_tracer = Tracer(enabled=False)
+_registry = MetricRegistry()
+
+
+def get_tracer() -> Tracer:
+    """The currently active tracer."""
+    return _tracer
+
+
+def get_registry() -> MetricRegistry:
+    """The currently active metric registry."""
+    return _registry
+
+
+def span(name: str):
+    """Open a span on the active tracer (no-op while tracing is off)."""
+    return _tracer.span(name)
+
+
+def enabled() -> bool:
+    """Whether the active tracer records spans.
+
+    Hot paths gate optional metric recording on this, so a disabled
+    process pays neither the span bookkeeping nor the histogram writes.
+    """
+    return _tracer.enabled
+
+
+class Capture:
+    """The artifacts of one :func:`capture` region."""
+
+    def __init__(
+        self,
+        tracer: Tracer,
+        registry: MetricRegistry,
+        profiler: OpProfiler | None,
+    ):
+        self.tracer = tracer
+        self.registry = registry
+        self.profiler = profiler
+
+    # Convenience renderers --------------------------------------------
+    def flame(self, min_fraction: float = 0.0) -> str:
+        """Text flame report of the captured span tree."""
+        return self.tracer.flame(min_fraction=min_fraction)
+
+    def top_ops(self, k: int = 10) -> str:
+        """Text table of the most expensive op kinds (empty if not profiled)."""
+        return self.profiler.render(k) if self.profiler is not None else ""
+
+    def to_rows(self) -> list[dict]:
+        """Every captured record as tagged JSON-serialisable rows."""
+        rows = [{"kind": "span", **row} for row in self.tracer.to_rows()]
+        if self.profiler is not None:
+            rows += [{"kind": "op", **row} for row in self.profiler.to_rows()]
+        rows += [{"kind": "metric", **row} for row in self.registry.snapshot()]
+        return rows
+
+    def write_jsonl(self, stream: IO[str]) -> int:
+        """Write :meth:`to_rows` as JSON lines; returns rows written."""
+        rows = self.to_rows()
+        for row in rows:
+            stream.write(json.dumps(row, sort_keys=True) + "\n")
+        return len(rows)
+
+
+@contextlib.contextmanager
+def capture(profile: bool = False):
+    """Enable telemetry for one region; yields a :class:`Capture`.
+
+    Swaps a fresh, enabled tracer and a fresh registry into the
+    process-global slots (restored on exit, so nesting and surrounding
+    state are preserved) and, with ``profile=True``, activates the
+    op-level autograd profiler for the region.
+    """
+    global _tracer, _registry
+    previous = (_tracer, _registry)
+    tracer = Tracer(enabled=True)
+    registry = MetricRegistry()
+    _tracer, _registry = tracer, registry
+    profiler = profile_ops() if profile else None
+    try:
+        if profiler is not None:
+            with profiler:
+                yield Capture(tracer, registry, profiler)
+        else:
+            yield Capture(tracer, registry, profiler)
+    finally:
+        _tracer, _registry = previous
+
+
+__all__ = [
+    "Capture",
+    "Counter",
+    "DEFAULT_HISTOGRAM_CAPACITY",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "OpProfiler",
+    "OpStat",
+    "SpanNode",
+    "Tracer",
+    "aggregate_op_rows",
+    "capture",
+    "enabled",
+    "get_registry",
+    "get_tracer",
+    "is_profiling",
+    "profile_ops",
+    "render_op_rows",
+    "span",
+]

@@ -1,0 +1,309 @@
+"""Metric primitives and the labeled metric registry.
+
+Three instrument kinds cover everything the repo measures:
+
+* :class:`Counter` — a monotonically increasing integer (events
+  ingested, sessions evicted, optimizer steps skipped).
+* :class:`Gauge` — a point-in-time value (live sessions, current
+  learning rate).
+* :class:`Histogram` — a streaming distribution: a fixed-capacity ring
+  buffer of the most recent samples (quantiles describe *recent*
+  behaviour, which is what an operator watches) plus exact running
+  aggregates (count / sum / min / max) over *every* sample ever
+  recorded.
+
+:class:`MetricRegistry` stores labeled series of these instruments
+under ``(name, labels)`` keys and hands out the same instance on
+repeated registration, so independent call sites accumulate into one
+series.  All instruments and the registry are thread-safe: the
+parallel experiment runner's in-process reporters and the streaming
+engine's callers may record concurrently.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import IO, Iterator
+
+import numpy as np
+
+#: Default ring-buffer capacity for histograms (matches the previous
+#: serving latency reservoir).
+DEFAULT_HISTOGRAM_CAPACITY = 4096
+
+
+class Counter:
+    """A thread-safe monotonic counter."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self) -> None:
+        self._value = 0
+        self._lock = threading.Lock()
+
+    @property
+    def value(self) -> int:
+        """Current count."""
+        return self._value
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counters only increase; got increment {amount}")
+        with self._lock:
+            self._value += int(amount)
+
+    def set(self, value: int) -> None:
+        """Overwrite the count (checkpoint restore only)."""
+        with self._lock:
+            self._value = int(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Counter(value={self._value})"
+
+
+class Gauge:
+    """A thread-safe point-in-time value."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    @property
+    def value(self) -> float:
+        """Last value set."""
+        return self._value
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        with self._lock:
+            self._value = float(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Gauge(value={self._value})"
+
+
+class Histogram:
+    """Streaming distribution: recent-sample ring buffer + exact totals.
+
+    Quantiles are computed over the retained window (the most recent
+    ``capacity`` samples); ``count``/``sum``/``min``/``max`` are exact
+    over the full stream, so memory stays bounded no matter how long a
+    process records.
+    """
+
+    __slots__ = (
+        "capacity", "_samples", "_next", "_filled", "count",
+        "_sum", "_min", "_max", "_lock",
+    )
+
+    def __init__(self, capacity: int = DEFAULT_HISTOGRAM_CAPACITY):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._samples = np.zeros(capacity)
+        self._next = 0
+        self._filled = 0
+        self.count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(self, value: float) -> None:
+        """Add one sample."""
+        value = float(value)
+        with self._lock:
+            self._samples[self._next] = value
+            self._next = (self._next + 1) % self.capacity
+            if self._filled < self.capacity:
+                self._filled += 1
+            self.count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def values(self) -> np.ndarray:
+        """The retained samples (at most ``capacity``), unordered."""
+        return self._samples[: self._filled].copy()
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0-100) of retained samples (0 when empty)."""
+        values = self.values()
+        return float(np.percentile(values, q)) if values.size else 0.0
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-th quantile (0-1) of retained samples (0 when empty)."""
+        return self.percentile(100.0 * q)
+
+    @property
+    def sum(self) -> float:
+        """Exact sum of every sample ever recorded."""
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        """Exact mean over the full stream (0 when empty)."""
+        return self._sum / self.count if self.count else 0.0
+
+    @property
+    def min(self) -> float:
+        """Exact minimum over the full stream (0 when empty)."""
+        return self._min if self.count else 0.0
+
+    @property
+    def max(self) -> float:
+        """Exact maximum over the full stream (0 when empty)."""
+        return self._max if self.count else 0.0
+
+    def summary(self) -> dict[str, float]:
+        """Count, exact aggregates and p50/p90/p99 of the retained window."""
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+    # ------------------------------------------------------------------
+    # Merging
+    # ------------------------------------------------------------------
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Combine two histograms into a new one.
+
+        Exact aggregates add; the retained window keeps the newest
+        samples of each operand (``self``'s first when truncating), so
+        the merged window is a sub-multiset of the operands' windows.
+        Capacity is the larger of the two.
+        """
+        merged = Histogram(capacity=max(self.capacity, other.capacity))
+        retained = np.concatenate([self.values(), other.values()])
+        keep = retained[-merged.capacity:] if retained.size > merged.capacity else retained
+        merged._samples[: keep.size] = keep
+        merged._next = keep.size % merged.capacity
+        merged._filled = keep.size
+        merged.count = self.count + other.count
+        merged._sum = self._sum + other._sum
+        merged._min = min(self._min, other._min)
+        merged._max = max(self._max, other._max)
+        return merged
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Histogram(count={self.count}, capacity={self.capacity})"
+
+
+#: Instrument constructors by type tag (used by snapshot/registration).
+_INSTRUMENTS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+#: A registry key: (name, sorted label items).
+_Key = tuple[str, tuple[tuple[str, str], ...]]
+
+
+class MetricRegistry:
+    """Thread-safe store of labeled metric series.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: the first
+    call registers the series, later calls (from any thread or module)
+    return the same instrument, so distant call sites share series by
+    name.  Registering the same ``(name, labels)`` under a different
+    instrument type raises.
+    """
+
+    def __init__(self) -> None:
+        self._series: dict[_Key, tuple[str, object]] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _key(name: str, labels: dict[str, str]) -> _Key:
+        return (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+
+    def _get_or_create(self, kind: str, name: str, labels: dict[str, str], **kwargs):
+        key = self._key(name, labels)
+        with self._lock:
+            entry = self._series.get(key)
+            if entry is not None:
+                existing_kind, instrument = entry
+                if existing_kind != kind:
+                    raise ValueError(
+                        f"metric {name!r} with labels {dict(key[1])} is already "
+                        f"registered as a {existing_kind}, not a {kind}"
+                    )
+                return instrument
+            instrument = _INSTRUMENTS[kind](**kwargs)
+            self._series[key] = (kind, instrument)
+            return instrument
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        """Get or create the counter ``name`` with ``labels``."""
+        return self._get_or_create("counter", name, labels)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        """Get or create the gauge ``name`` with ``labels``."""
+        return self._get_or_create("gauge", name, labels)
+
+    def histogram(
+        self, name: str, capacity: int = DEFAULT_HISTOGRAM_CAPACITY, **labels: str
+    ) -> Histogram:
+        """Get or create the histogram ``name`` with ``labels``."""
+        return self._get_or_create("histogram", name, labels, capacity=capacity)
+
+    # ------------------------------------------------------------------
+    # Reading / export
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def __iter__(self) -> Iterator[tuple[str, dict[str, str], str, object]]:
+        """Yield ``(name, labels, kind, instrument)`` per series."""
+        with self._lock:
+            items = list(self._series.items())
+        for (name, labels), (kind, instrument) in items:
+            yield name, dict(labels), kind, instrument
+
+    def snapshot(self) -> list[dict]:
+        """One JSON-serialisable row per series.
+
+        Counters/gauges report ``value``; histograms report their
+        :meth:`Histogram.summary` fields inline.
+        """
+        rows = []
+        for name, labels, kind, instrument in self:
+            row: dict = {"metric": name, "type": kind}
+            if labels:
+                row["labels"] = labels
+            if kind == "histogram":
+                row.update(instrument.summary())
+            else:
+                row["value"] = instrument.value
+            rows.append(row)
+        return rows
+
+    def to_jsonl(self, stream: IO[str]) -> int:
+        """Write :meth:`snapshot` as JSON lines; returns rows written."""
+        rows = self.snapshot()
+        for row in rows:
+            stream.write(json.dumps(row, sort_keys=True) + "\n")
+        return len(rows)
+
+    def reset(self) -> None:
+        """Drop every registered series."""
+        with self._lock:
+            self._series.clear()

@@ -23,6 +23,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.base import GraphClassifierBase
 from repro.graph.dataset import GraphDataset
 from repro.nn import bce_with_logits
@@ -162,6 +163,11 @@ def train_model(
     archive is written every ``checkpoint_every`` epochs; if the file
     already exists the run restores it and continues from the recorded
     epoch, reproducing the uninterrupted trajectory bit-for-bit.
+
+    When telemetry is enabled (see :func:`repro.telemetry.capture`),
+    the loop emits ``train/epoch/batch/forward|backward`` spans and
+    records per-batch loss and per-step gradient-norm histograms; when
+    disabled (the default) the instrumentation is a near-free no-op.
     """
     if checkpoint_every < 1:
         raise ValueError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
@@ -171,49 +177,73 @@ def train_model(
     if checkpoint_path is not None and Path(checkpoint_path).exists():
         result = load_train_state(checkpoint_path, model, optimizer, config, rng)
     model.train()
+    instrumented = telemetry.enabled()
+    if instrumented:
+        registry = telemetry.get_registry()
+        loss_hist = registry.histogram("train/batch_loss")
+        grad_hist = registry.histogram("train/grad_norm")
+        epoch_hist = registry.histogram("train/epoch_loss")
     start = time.perf_counter()
-    for _ in range(result.epochs_run, config.epochs):
-        indices = (
-            rng.permutation(len(train_data))
-            if config.shuffle_graphs
-            else np.arange(len(train_data))
-        )
-        epoch_loss = 0.0
-        pending = 0
-        optimizer.zero_grad()
-        for position, index in enumerate(indices):
-            graph = train_data[int(index)]
-            tie_rng = rng if config.shuffle_ties else None
-            logit = model(graph, rng=tie_rng)
-            loss = bce_with_logits(logit, np.array([float(graph.label)]))
-            loss.backward()
-            epoch_loss += loss.item()
-            pending += 1
-            last = position == len(indices) - 1
-            if pending >= config.batch_size or last:
-                if pending > 1:
-                    for param in model.parameters():
-                        if param.grad is not None:
-                            param.grad /= pending
-                norm = clip_grad_norm(model.parameters(), config.grad_clip)
-                if np.isfinite(norm):
-                    optimizer.step()
-                else:
-                    result.nonfinite_batches += 1
-                optimizer.zero_grad()
+    with telemetry.span("train"):
+        for _ in range(result.epochs_run, config.epochs):
+            with telemetry.span("epoch"):
+                indices = (
+                    rng.permutation(len(train_data))
+                    if config.shuffle_graphs
+                    else np.arange(len(train_data))
+                )
+                epoch_loss = 0.0
                 pending = 0
-        result.losses.append(epoch_loss / max(1, len(indices)))
-        result.epochs_run += 1
-        if (
-            checkpoint_path is not None
-            and (result.epochs_run % checkpoint_every == 0
-                 or result.epochs_run == config.epochs)
-        ):
-            result.train_seconds += time.perf_counter() - start
-            start = time.perf_counter()
-            save_train_state(
-                checkpoint_path, model, optimizer, config, result, rng
-            )
+                optimizer.zero_grad()
+                for position, index in enumerate(indices):
+                    with telemetry.span("batch"):
+                        graph = train_data[int(index)]
+                        tie_rng = rng if config.shuffle_ties else None
+                        with telemetry.span("forward"):
+                            logit = model(graph, rng=tie_rng)
+                            loss = bce_with_logits(
+                                logit, np.array([float(graph.label)])
+                            )
+                        with telemetry.span("backward"):
+                            loss.backward()
+                        batch_loss = loss.item()
+                        epoch_loss += batch_loss
+                        if instrumented:
+                            loss_hist.record(batch_loss)
+                        pending += 1
+                        last = position == len(indices) - 1
+                        if pending >= config.batch_size or last:
+                            with telemetry.span("optimizer_step"):
+                                if pending > 1:
+                                    for param in model.parameters():
+                                        if param.grad is not None:
+                                            param.grad /= pending
+                                norm = clip_grad_norm(
+                                    model.parameters(), config.grad_clip
+                                )
+                                if np.isfinite(norm):
+                                    optimizer.step()
+                                else:
+                                    result.nonfinite_batches += 1
+                                optimizer.zero_grad()
+                            if instrumented and np.isfinite(norm):
+                                grad_hist.record(float(norm))
+                            pending = 0
+                result.losses.append(epoch_loss / max(1, len(indices)))
+                result.epochs_run += 1
+                if instrumented:
+                    epoch_hist.record(result.losses[-1])
+            if (
+                checkpoint_path is not None
+                and (result.epochs_run % checkpoint_every == 0
+                     or result.epochs_run == config.epochs)
+            ):
+                result.train_seconds += time.perf_counter() - start
+                start = time.perf_counter()
+                with telemetry.span("checkpoint"):
+                    save_train_state(
+                        checkpoint_path, model, optimizer, config, result, rng
+                    )
     result.train_seconds += time.perf_counter() - start
     return result
 

@@ -115,3 +115,54 @@ class TestBenchExecution:
         assert main(self.BENCH + ["--no-cache"]) == 0
         out = capsys.readouterr().out
         assert "1 trial(s) executed, 0 served from cache, 0 failed" in out
+
+    def test_profile_flag_prints_sweep_ops(self, capsys, tmp_path):
+        args = self.BENCH + ["--cache-dir", str(tmp_path), "--profile", "--top", "3"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "top ops" in out
+        # The telemetry sidecar landed next to the cached result.
+        assert list(tmp_path.glob("*.telemetry.jsonl"))
+
+
+class TestProfileParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["profile"])
+        assert args.command == "profile"
+        assert args.dataset == "HDFS"
+        assert args.model == "TP-GNN-SUM"
+        assert args.top == 10
+        assert not args.no_ops
+        assert args.jsonl is None
+
+    def test_model_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["profile", "--model", "AlexNet"])
+
+
+@pytest.mark.telemetry
+class TestProfileExecution:
+    PROFILE = [
+        "profile", "--dataset", "HDFS", "--model", "GCN",
+        "--preset", "smoke", "--num-graphs", "8", "--scale", "0.1",
+        "--epochs", "1", "--hidden-size", "4",
+    ]
+
+    def test_flame_and_ops_emitted(self, capsys, tmp_path):
+        import json
+
+        jsonl = tmp_path / "telemetry.jsonl"
+        assert main(self.PROFILE + ["--jsonl", str(jsonl)]) == 0
+        out = capsys.readouterr().out
+        assert "flame report" in out
+        assert "train" in out and "epoch" in out and "batch" in out
+        assert "top ops" in out
+        assert "op time" in out and "traced wall" in out
+        rows = [json.loads(line) for line in jsonl.read_text().splitlines()]
+        assert {row["kind"] for row in rows} == {"span", "op", "metric"}
+
+    def test_no_ops_skips_profiler(self, capsys):
+        assert main(self.PROFILE + ["--no-ops"]) == 0
+        out = capsys.readouterr().out
+        assert "flame report" in out
+        assert "top ops" not in out

@@ -97,6 +97,13 @@ def _flaky_worker(spec, checkpoint_path, checkpoint_every, conn):
     conn.close()
 
 
+def _telemetry_worker(spec, checkpoint_path, checkpoint_every, conn):
+    rows = [{"kind": "span", "span": "train", "count": 1,
+             "total_seconds": 0.25, "self_seconds": 0.0}]
+    conn.send(("ok", make_outcome(f1=float(spec.run_index)).to_json(), rows))
+    conn.close()
+
+
 class TestCacheKey:
     def test_deterministic(self):
         assert trial_cache_key(make_spec()) == trial_cache_key(make_spec())
@@ -281,6 +288,77 @@ class TestParallelRunner:
         events.clear()
         runner.run(specs)
         assert events[-1].cached == 3
+
+
+@pytest.mark.telemetry
+class TestTrialTelemetry:
+    def test_cache_round_trips_telemetry_rows(self, tmp_path):
+        cache = TrialCache(tmp_path)
+        spec = make_spec()
+        key = trial_cache_key(spec)
+        rows = [{"kind": "op", "op": "matmul", "calls": 3, "total_seconds": 0.1}]
+        cache.put(key, spec, make_outcome(), telemetry_rows=rows)
+        assert cache.telemetry_path(key).exists()
+        assert cache.get_telemetry(key) == rows
+
+    def test_no_rows_means_no_sidecar(self, tmp_path):
+        cache = TrialCache(tmp_path)
+        spec = make_spec()
+        key = trial_cache_key(spec)
+        cache.put(key, spec, make_outcome())
+        assert not cache.telemetry_path(key).exists()
+        assert cache.get_telemetry(key) is None
+
+    def test_clear_removes_sidecars(self, tmp_path):
+        cache = TrialCache(tmp_path)
+        spec = make_spec()
+        key = trial_cache_key(spec)
+        cache.put(key, spec, make_outcome(), telemetry_rows=[{"kind": "trial"}])
+        cache.clear()
+        assert not cache.telemetry_path(key).exists()
+
+    @pytest.mark.cache
+    def test_runner_persists_and_reserves_telemetry(self, tmp_path):
+        specs = [make_spec(run_index=i) for i in range(2)]
+        cache = TrialCache(tmp_path)
+        runner = ParallelRunner(cache=cache, jobs=2, worker=_telemetry_worker)
+        cold = runner.run(specs)
+        assert all(r.telemetry is not None for r in cold)
+        assert all(r.seconds > 0 for r in cold)
+        for result in cold:
+            assert cache.get_telemetry(result.key) == result.telemetry
+        # A warm rerun serves the persisted rows alongside the outcome.
+        warm = ParallelRunner(cache=cache, jobs=2, worker=_crash_worker).run(specs)
+        assert all(r.status == "cached" for r in warm)
+        assert [r.telemetry for r in warm] == [r.telemetry for r in cold]
+
+    @pytest.mark.cache
+    def test_run_trial_instrumented_collects_spans(self):
+        from repro.experiments.parallel import run_trial_instrumented
+
+        outcome, rows = run_trial_instrumented(make_spec())
+        assert outcome.epochs_run == 1
+        assert rows is not None
+        header = rows[0]
+        assert header["kind"] == "trial" and header["cell"] == "HDFS/GCN#run0"
+        spans = {row["span"] for row in rows if row["kind"] == "span"}
+        assert {"train", "train/epoch", "train/epoch/batch"} <= spans
+        metrics = {row["metric"] for row in rows if row["kind"] == "metric"}
+        assert "train/batch_loss" in metrics
+
+    def test_aggregate_telemetry_filters_by_kind(self):
+        from repro.experiments.parallel import aggregate_telemetry
+
+        results = [
+            TrialResult(spec=make_spec(), key="a", status="completed",
+                        outcome=make_outcome(), attempts=1,
+                        telemetry=[{"kind": "op", "op": "add"},
+                                   {"kind": "span", "span": "train"}]),
+            TrialResult(spec=make_spec(run_index=1), key="b", status="failed",
+                        error="boom", attempts=1),
+        ]
+        groups = aggregate_telemetry(results, kind="op")
+        assert groups == [[{"kind": "op", "op": "add"}]]
 
 
 class TestSummaries:

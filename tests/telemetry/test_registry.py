@@ -1,0 +1,212 @@
+"""Tests for the metric registry: counters, gauges, streaming histograms.
+
+The histogram invariants (quantile bounds, ring-buffer boundedness,
+merge semantics) are property-based: hypothesis drives arbitrary sample
+streams through small-capacity histograms so the wrap-around paths are
+exercised constantly.
+"""
+
+import io
+import json
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.telemetry import Counter, Gauge, Histogram, MetricRegistry
+
+pytestmark = pytest.mark.telemetry
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+sample_lists = st.lists(finite_floats, min_size=1, max_size=64)
+capacities = st.integers(min_value=1, max_value=16)
+
+
+def fill(samples, capacity=8):
+    histogram = Histogram(capacity=capacity)
+    for value in samples:
+        histogram.record(value)
+    return histogram
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter()
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_set_overwrites(self):
+        counter = Counter()
+        counter.inc(3)
+        counter.set(10)
+        assert counter.value == 10
+
+    def test_concurrent_increments_are_not_lost(self):
+        counter = Counter()
+
+        def bump():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 4000
+
+
+class TestGauge:
+    def test_set_and_read(self):
+        gauge = Gauge()
+        assert gauge.value == 0.0
+        gauge.set(2.5)
+        assert gauge.value == 2.5
+
+
+class TestHistogram:
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Histogram(capacity=0)
+
+    def test_empty_reads_are_zero(self):
+        histogram = Histogram(capacity=4)
+        assert histogram.count == 0
+        assert histogram.percentile(50) == 0.0
+        assert histogram.mean == 0.0
+        assert histogram.min == 0.0
+        assert histogram.max == 0.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(sample_lists, capacities)
+    def test_ring_is_bounded_and_aggregates_exact(self, samples, capacity):
+        histogram = fill(samples, capacity=capacity)
+        assert histogram.values().size == min(len(samples), capacity)
+        assert histogram.count == len(samples)
+        assert histogram.sum == pytest.approx(sum(samples), rel=1e-9, abs=1e-9)
+        assert histogram.min == min(samples)
+        assert histogram.max == max(samples)
+
+    @settings(max_examples=50, deadline=None)
+    @given(sample_lists, capacities)
+    def test_retained_window_is_newest_samples(self, samples, capacity):
+        histogram = fill(samples, capacity=capacity)
+        expected = samples[-capacity:]
+        assert sorted(histogram.values()) == pytest.approx(sorted(expected))
+
+    @settings(max_examples=50, deadline=None)
+    @given(sample_lists, st.floats(min_value=0.0, max_value=100.0))
+    def test_quantile_within_retained_bounds(self, samples, q):
+        histogram = fill(samples, capacity=8)
+        retained = histogram.values()
+        value = histogram.percentile(q)
+        assert retained.min() <= value <= retained.max()
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(finite_floats, min_size=1, max_size=8))
+    def test_quantile_matches_numpy_below_capacity(self, samples):
+        histogram = fill(samples, capacity=8)
+        for q in (0, 25, 50, 90, 100):
+            assert histogram.percentile(q) == pytest.approx(
+                float(np.percentile(samples, q))
+            )
+
+    def test_quantile_is_percentile_over_100(self):
+        histogram = fill([1.0, 2.0, 3.0, 4.0])
+        assert histogram.quantile(0.5) == histogram.percentile(50)
+
+    def test_summary_keys(self):
+        summary = fill([1.0, 2.0]).summary()
+        assert set(summary) == {"count", "sum", "mean", "min", "max", "p50", "p90", "p99"}
+
+    @settings(max_examples=50, deadline=None)
+    @given(sample_lists, sample_lists, capacities, capacities)
+    def test_merge_invariants(self, left_samples, right_samples, left_cap, right_cap):
+        left = fill(left_samples, capacity=left_cap)
+        right = fill(right_samples, capacity=right_cap)
+        merged = left.merge(right)
+
+        # Exact aggregates add; extrema combine.
+        assert merged.count == left.count + right.count
+        assert merged.sum == pytest.approx(left.sum + right.sum, rel=1e-9, abs=1e-9)
+        assert merged.min == min(left.min, right.min)
+        assert merged.max == max(left.max, right.max)
+        assert merged.capacity == max(left_cap, right_cap)
+
+        # The merged window is a sub-multiset of the operands' windows.
+        pool = sorted(np.concatenate([left.values(), right.values()]).tolist())
+        kept = sorted(merged.values().tolist())
+        assert len(kept) == min(len(pool), merged.capacity)
+        for value in kept:
+            assert value in pool
+            pool.remove(value)
+
+        # Quantiles of the merged window stay within its own bounds.
+        window = merged.values()
+        assert window.min() <= merged.percentile(50) <= window.max()
+
+
+class TestMetricRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        registry = MetricRegistry()
+        assert registry.counter("events") is registry.counter("events")
+        assert registry.histogram("latency") is registry.histogram("latency")
+
+    def test_labels_distinguish_series(self):
+        registry = MetricRegistry()
+        a = registry.counter("events", dataset="HDFS")
+        b = registry.counter("events", dataset="BGL")
+        assert a is not b
+        # Label order is irrelevant to identity.
+        c = registry.gauge("load", host="x", port="1")
+        assert c is registry.gauge("load", port="1", host="x")
+
+    def test_type_conflict_raises(self):
+        registry = MetricRegistry()
+        registry.counter("events")
+        with pytest.raises(ValueError, match="already"):
+            registry.histogram("events")
+
+    def test_len_and_iter(self):
+        registry = MetricRegistry()
+        registry.counter("a")
+        registry.gauge("b")
+        registry.histogram("c", capacity=4)
+        assert len(registry) == 3
+        kinds = {name: kind for name, _, kind, _ in registry}
+        assert kinds == {"a": "counter", "b": "gauge", "c": "histogram"}
+
+    def test_snapshot_rows(self):
+        registry = MetricRegistry()
+        registry.counter("events", stage="train").inc(2)
+        registry.histogram("latency").record(0.5)
+        rows = {row["metric"]: row for row in registry.snapshot()}
+        assert rows["events"]["value"] == 2
+        assert rows["events"]["labels"] == {"stage": "train"}
+        assert rows["latency"]["count"] == 1
+        assert rows["latency"]["p50"] == 0.5
+
+    def test_to_jsonl_round_trips(self):
+        registry = MetricRegistry()
+        registry.counter("events").inc()
+        stream = io.StringIO()
+        assert registry.to_jsonl(stream) == 1
+        row = json.loads(stream.getvalue())
+        assert row["metric"] == "events" and row["value"] == 1
+
+    def test_reset(self):
+        registry = MetricRegistry()
+        registry.counter("events").inc()
+        registry.reset()
+        assert len(registry) == 0
+        assert registry.counter("events").value == 0

@@ -1,0 +1,203 @@
+"""Tests for the hierarchical span tracer: nesting, safety, export."""
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import Tracer
+from repro.telemetry.tracing import _NULL_SPAN
+
+pytestmark = pytest.mark.telemetry
+
+
+def paths(tracer):
+    return {path: node for path, node in tracer.walk()}
+
+
+class TestNesting:
+    def test_spans_aggregate_by_tree_position(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("epoch"):
+            for _ in range(3):
+                with tracer.span("batch"):
+                    with tracer.span("forward"):
+                        pass
+        tree = paths(tracer)
+        assert set(tree) == {"epoch", "epoch/batch", "epoch/batch/forward"}
+        assert tree["epoch"].count == 1
+        assert tree["epoch/batch"].count == 3
+        assert tree["epoch/batch/forward"].count == 3
+
+    def test_same_name_at_different_depths_is_distinct(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("work"):
+            with tracer.span("work"):
+                pass
+        assert set(paths(tracer)) == {"work", "work/work"}
+
+    def test_total_and_self_seconds(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        tree = paths(tracer)
+        outer, inner = tree["outer"], tree["outer/inner"]
+        assert outer.total_seconds >= inner.total_seconds
+        assert outer.self_seconds == pytest.approx(
+            outer.total_seconds - inner.total_seconds
+        )
+        assert tracer.total_seconds == outer.total_seconds
+
+    def test_sequential_top_level_spans_sum(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        tree = paths(tracer)
+        assert tracer.total_seconds == pytest.approx(
+            tree["a"].total_seconds + tree["b"].total_seconds
+        )
+
+
+class TestSafety:
+    def test_exception_still_records_and_propagates(self):
+        tracer = Tracer(enabled=True)
+        with pytest.raises(RuntimeError, match="boom"):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RuntimeError("boom")
+        tree = paths(tracer)
+        assert tree["outer"].count == 1
+        assert tree["outer/inner"].count == 1
+        # The stack unwound fully: the next span is top-level again.
+        with tracer.span("after"):
+            pass
+        assert "after" in paths(tracer)
+
+    def test_leaked_inner_span_does_not_corrupt_stack(self):
+        tracer = Tracer(enabled=True)
+        outer = tracer.span("outer")
+        outer.__enter__()
+        tracer.span("inner").__enter__()  # never exited (abandoned generator)
+        outer.__exit__(None, None, None)
+        assert paths(tracer)["outer"].count == 1
+        with tracer.span("next"):
+            pass
+        assert "next" in paths(tracer)  # top-level, not nested under the leak
+
+    def test_threads_get_independent_stacks(self):
+        tracer = Tracer(enabled=True)
+
+        def work():
+            for _ in range(50):
+                with tracer.span("thread_work"):
+                    pass
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert paths(tracer)["thread_work"].count == 200
+
+
+class TestDisabled:
+    def test_disabled_span_is_shared_noop(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.span("x") is _NULL_SPAN
+        assert tracer.span("y") is tracer.span("z")
+        with tracer.span("x"):
+            pass
+        assert paths(tracer) == {}
+
+    def test_enable_disable_toggle(self):
+        tracer = Tracer(enabled=False)
+        tracer.enable()
+        with tracer.span("on"):
+            pass
+        tracer.disable()
+        with tracer.span("off"):
+            pass
+        assert set(paths(tracer)) == {"on"}
+
+    def test_global_tracer_disabled_by_default(self):
+        assert not telemetry.enabled()
+        assert telemetry.span("anything") is _NULL_SPAN
+
+
+class TestExport:
+    def test_reset_drops_tree(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("a"):
+            pass
+        tracer.reset()
+        assert paths(tracer) == {}
+        assert tracer.total_seconds == 0.0
+
+    def test_rows_and_jsonl(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("epoch"):
+            with tracer.span("batch"):
+                pass
+        rows = {row["span"]: row for row in tracer.to_rows()}
+        assert set(rows) == {"epoch", "epoch/batch"}
+        assert rows["epoch"]["count"] == 1
+        assert rows["epoch"]["total_seconds"] >= rows["epoch"]["self_seconds"]
+        stream = io.StringIO()
+        assert tracer.to_jsonl(stream) == 2
+        parsed = [json.loads(line) for line in stream.getvalue().splitlines()]
+        assert {row["span"] for row in parsed} == {"epoch", "epoch/batch"}
+
+    def test_flame_report(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("epoch"):
+            with tracer.span("batch"):
+                pass
+        report = tracer.flame()
+        assert "flame report" in report
+        assert "epoch" in report and "batch" in report
+        # batch is indented deeper than epoch.
+        epoch_line = next(line for line in report.splitlines() if "epoch" in line)
+        batch_line = next(line for line in report.splitlines() if "batch" in line)
+        indent = lambda s: len(s) - len(s.lstrip())  # noqa: E731
+        assert indent(batch_line) > indent(epoch_line)
+
+    def test_flame_empty(self):
+        assert "(no spans recorded)" in Tracer(enabled=True).flame()
+
+
+class TestCapture:
+    def test_capture_swaps_and_restores_globals(self):
+        before_tracer = telemetry.get_tracer()
+        before_registry = telemetry.get_registry()
+        with telemetry.capture() as cap:
+            assert telemetry.get_tracer() is cap.tracer
+            assert telemetry.get_registry() is cap.registry
+            assert telemetry.enabled()
+            with telemetry.span("inside"):
+                pass
+        assert telemetry.get_tracer() is before_tracer
+        assert telemetry.get_registry() is before_registry
+        assert not telemetry.enabled()
+        assert "inside" in {row["span"] for row in cap.tracer.to_rows()}
+
+    def test_capture_restores_on_exception(self):
+        before = telemetry.get_tracer()
+        with pytest.raises(RuntimeError):
+            with telemetry.capture():
+                raise RuntimeError("boom")
+        assert telemetry.get_tracer() is before
+
+    def test_capture_rows_are_kind_tagged(self):
+        with telemetry.capture() as cap:
+            with telemetry.span("region"):
+                pass
+            telemetry.get_registry().counter("events").inc()
+        kinds = {row["kind"] for row in cap.to_rows()}
+        assert kinds == {"span", "metric"}
+        stream = io.StringIO()
+        assert cap.write_jsonl(stream) == len(cap.to_rows())
