@@ -1,0 +1,105 @@
+"""Propagation throughput: wave-scheduled kernels vs the per-edge fold.
+
+The wave engine batches every independent chronological run of edges
+into one gather → update → scatter kernel (see :mod:`repro.graph.plan`),
+so on wide graphs — many concurrent sessions of activity, the shape of
+the paper's datasets — it amortises the per-op autograd overhead over
+whole waves.  This benchmark measures edges/second for both engines on
+a wide synthetic CTDN and requires the wave engine to be at least 3x
+faster; the numbers are recorded in ``BENCH_propagation.json`` at the
+repo root for tracking across commits.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_block
+from repro.core.propagation import (
+    TemporalPropagationGRU,
+    TemporalPropagationSum,
+)
+from repro.graph import CTDN
+
+# The benchmark suite is minutes-scale; `pytest -m "not slow"` skips it.
+pytestmark = pytest.mark.slow
+
+NUM_NODES = 300
+NUM_EDGES = 2400
+HIDDEN_SIZE = 16
+TIME_DIM = 4
+REQUIRED_SPEEDUP = 3.0
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_propagation.json"
+
+
+def wide_graph(seed: int = 0) -> CTDN:
+    """A wide CTDN: many nodes interacting concurrently, tied timestamps.
+
+    Random endpoints over a large node set give long independent runs
+    (big waves); four edges share each timestamp so tie groups exist.
+    """
+    rng = np.random.default_rng(seed)
+    edges = []
+    for i in range(NUM_EDGES):
+        u, v = rng.choice(NUM_NODES, size=2, replace=False)
+        edges.append((int(u), int(v), float(i // 4)))
+    return CTDN(NUM_NODES, rng.normal(size=(NUM_NODES, 8)), edges, label=1)
+
+
+def build(updater: str):
+    rng = np.random.default_rng(3)
+    if updater == "sum":
+        return TemporalPropagationSum(8, HIDDEN_SIZE, time_dim=TIME_DIM, rng=rng)
+    return TemporalPropagationGRU(8, HIDDEN_SIZE, time_dim=TIME_DIM, rng=rng)
+
+
+def best_of(callable_, repeats: int) -> float:
+    elapsed = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        callable_()
+        elapsed.append(time.perf_counter() - start)
+    return min(elapsed)
+
+
+def measure(updater: str, graph: CTDN) -> dict:
+    prop = build(updater)
+    plan = graph.propagation_plan()
+    # Warm both paths once (fills plan/edge caches, touches BLAS).
+    prop(graph, plan=plan, engine="wave")
+    prop(graph, plan=plan, engine="per-edge")
+    wave_seconds = best_of(lambda: prop(graph, plan=plan, engine="wave"), repeats=3)
+    fold_seconds = best_of(lambda: prop(graph, plan=plan, engine="per-edge"), repeats=1)
+    return {
+        "updater": updater,
+        "edges": graph.num_edges,
+        "waves": plan.num_waves,
+        "wave_edges_per_sec": graph.num_edges / wave_seconds,
+        "per_edge_edges_per_sec": graph.num_edges / fold_seconds,
+        "speedup": fold_seconds / wave_seconds,
+    }
+
+
+class TestPropagationThroughput:
+    def test_wave_engine_beats_per_edge_fold(self):
+        graph = wide_graph()
+        results = [measure(updater, graph) for updater in ("sum", "gru")]
+        lines = [
+            f"wave-scheduled propagation, {NUM_EDGES} edges over {NUM_NODES} nodes "
+            f"({results[0]['waves']} waves)"
+        ]
+        for row in results:
+            lines.append(
+                f"  {row['updater'].upper():4s} per-edge {row['per_edge_edges_per_sec']:9.0f} edges/s"
+                f"   wave {row['wave_edges_per_sec']:9.0f} edges/s"
+                f"   speedup {row['speedup']:6.1f}x (required >= {REQUIRED_SPEEDUP}x)"
+            )
+        print_block("\n".join(lines))
+        RESULT_PATH.write_text(json.dumps({"results": results}, indent=2) + "\n")
+        for row in results:
+            assert row["speedup"] >= REQUIRED_SPEEDUP, row

@@ -205,6 +205,9 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--dataset", choices=DATASET_NAMES, default="HDFS")
     profile.add_argument("--model", choices=ALL_MODELS + PLUS_G_MODELS,
                          default="TP-GNN-SUM")
+    profile.add_argument("--engine", choices=("wave", "per-edge"), default=None,
+                         help="propagation engine to profile (default: the "
+                              "model's own, i.e. the wave scheduler)")
     profile.add_argument("--top", type=int, default=10,
                          help="rows in the top-ops table")
     profile.add_argument("--no-ops", dest="no_ops", action="store_true",
@@ -462,6 +465,14 @@ def _run_profile(args) -> None:
         time_dim=config.time_dim,
         snapshot_size=snapshot_size_for(args.dataset),
     )
+    engine = getattr(args, "engine", None)
+    if engine is not None:
+        propagation = getattr(model, "propagation", None)
+        if propagation is None or not hasattr(propagation, "engine"):
+            print(f"--engine ignored: {args.model} has no propagation engine",
+                  file=sys.stderr)
+        else:
+            propagation.engine = engine
     print(
         f"profiling {args.model} on {args.dataset} "
         f"({len(train_data)} train graphs, {config.epochs} epoch(s))",

@@ -71,10 +71,9 @@ class TPGNNWithoutTemporalPropagation(GraphClassifierBase):
         """Feed raw (encoded) node features through the edge-sequence GRU."""
         if graph.num_edges == 0:
             raise ValueError("variant requires at least one temporal edge per graph")
-        if rng is not None:
-            graph = graph.with_edges(graph.edges_sorted(rng=rng))
+        plan = graph.propagation_plan(rng=rng)
         encoded = self.encoder(Tensor(graph.features)).tanh()
-        return self.extractor(encoded, graph)
+        return self.extractor(encoded, graph, plan=plan)
 
 
 class TPGNNTempVariant(GraphClassifierBase):

@@ -23,6 +23,7 @@ import numpy as np
 from repro.core.edge_agg import EDGE_AGGREGATORS, edge_dim
 from repro.graph.ctdn import CTDN
 from repro.graph.edge import TemporalEdge
+from repro.graph.plan import PropagationPlan
 from repro.nn import GRU, Module
 from repro.tensor import Tensor, ops
 
@@ -80,9 +81,17 @@ class GlobalTemporalExtractor(Module):
             raise ValueError("cannot embed a graph with no edges")
         src = np.array([e.src for e in edges], dtype=np.int64)
         dst = np.array([e.dst for e in edges], dtype=np.int64)
+        return self._edge_matrix(node_embeddings, src, dst)
+
+    def _edge_matrix(
+        self, node_embeddings: Tensor, src: np.ndarray, dst: np.ndarray
+    ) -> Tensor:
+        """Aggregate endpoint rows given the endpoint index arrays."""
         if self.aggregator_name == "average":
-            # Fast path for the paper's default: one fancy-indexing op.
-            return (node_embeddings[src] + node_embeddings[dst]) * 0.5
+            # Fast path for the paper's default: two row gathers.
+            return (
+                ops.index_rows(node_embeddings, src) + ops.index_rows(node_embeddings, dst)
+            ) * 0.5
         rows = [
             self._aggregate(node_embeddings[int(u)], node_embeddings[int(v)])
             for u, v in zip(src, dst)
@@ -135,19 +144,23 @@ class GlobalTemporalExtractor(Module):
         node_embeddings: Tensor,
         graph: CTDN,
         rng: np.random.Generator | None = None,
+        plan: PropagationPlan | None = None,
     ) -> Tensor:
         """Return the graph embedding ``g`` of shape (hidden_size,).
 
         Edges are fed to the GRU in chronological order (ties shuffled
-        when ``rng`` is provided, mirroring training-time tie handling);
-        the final hidden state carries the full evolution history.  The
-        loop is a fold of :meth:`step`, the same recurrence the
-        streaming engine advances one event at a time.
+        when ``rng`` is provided, mirroring training-time tie handling;
+        pass ``plan`` to reuse an already-built order — the model does
+        so to keep propagation and extraction on one evolution
+        sequence).  The scan runs through the fused
+        :func:`~repro.tensor.ops.gru_sequence` kernel, which matches
+        folding :meth:`step` — the streaming engine's recurrence — to
+        machine precision.
         """
-        edges = graph.edges_sorted(rng=rng)
-        sequence = self.edge_embeddings(node_embeddings, edges)
-        state = self.init_state()
-        width = sequence.shape[1]
-        for index in range(len(edges)):
-            self.step(state, sequence[index].reshape(1, width))
-        return self.graph_embedding(state)
+        if plan is None:
+            plan = graph.propagation_plan(rng=rng)
+        if plan.num_edges == 0:
+            raise ValueError("cannot embed a graph with no edges")
+        sequence = self._edge_matrix(node_embeddings, plan.src, plan.dst)
+        _, final = self.gru(sequence)
+        return final.reshape(self.hidden_size)

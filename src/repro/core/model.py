@@ -100,10 +100,9 @@ class TPGNN(GraphClassifierBase):
         """
         if graph.num_edges == 0:
             raise ValueError("TPGNN requires at least one temporal edge per graph")
-        if rng is not None:
-            # Fix one tie-shuffled chronological order and use it for both
-            # components, so propagation and the extractor see the same
-            # evolution sequence.
-            graph = graph.with_edges(graph.edges_sorted(rng=rng))
-        local = self.node_embeddings(graph)
-        return self.extractor(local, graph)
+        # One plan (tie-shuffled when rng is given) drives both components,
+        # so propagation and the extractor see the same evolution sequence;
+        # the deterministic plan is cached on the graph across epochs.
+        plan = graph.propagation_plan(rng=rng)
+        local = self.propagation(graph, plan=plan)
+        return self.extractor(local, graph, plan=plan)

@@ -12,6 +12,20 @@ Theorem 1).  Two updaters are provided, matching Algorithm 1:
 Both touch each edge exactly once (O(m) updates), which the test suite
 asserts via :attr:`TemporalPropagationBase.last_update_count`.
 
+Two execution engines share the recurrence:
+
+* ``"wave"`` (default) — the edge list is partitioned into *waves*
+  (see :mod:`repro.graph.plan`): maximal chronological runs in which no
+  edge reads a node row written earlier in the same wave and no two
+  edges write the same target.  Each wave executes as one batched
+  gather → update → scatter kernel over the ``(n, q)`` node-state
+  matrix, with all edge-time embeddings computed in a single Time2Vec
+  call up front.  Within a wave every edge sees exactly the states the
+  per-edge recurrence would have shown it, so the result matches the
+  fold to machine precision (property-tested).
+* ``"per-edge"`` — the literal fold of :meth:`step` over the
+  chronological edges: the reference semantics and the streaming path.
+
 Both updaters are *recurrences over the edge sequence*, so each exposes
 an incremental API used by the online-serving engine
 (:mod:`repro.serve`):
@@ -26,19 +40,21 @@ an incremental API used by the online-serving engine
   :meth:`~TemporalPropagationBase.restore_state` — checkpointable
   array form of the state.
 
-The batch :meth:`forward` is literally a fold of :meth:`step` over the
-chronological edge list, so streaming and batch inference share one
-code path and agree to machine precision.
+State lives in a single ``(n, q)`` matrix tensor per session (not one
+tensor per node): reads are row gathers, writes are in-place row
+assignments when no tape is recording and functional
+:func:`~repro.tensor.ops.scatter_rows` nodes when gradients are needed.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.graph.ctdn import CTDN
 from repro.graph.edge import TemporalEdge
+from repro.graph.plan import PropagationPlan
 from repro.nn import FeatureEncoder, GRUCell, Module, Time2Vec
 from repro.tensor import Tensor, ops
 
@@ -47,32 +63,41 @@ from repro.tensor import Tensor, ops
 class PropagationState:
     """Per-session propagation state shared by both updaters.
 
-    ``node_state`` holds one tensor per node (the updater defines its
-    shape); ``origin`` is the session's first edge time (time encoding
-    is session-relative, see :meth:`TemporalPropagationBase._encode_time`)
-    and ``updates`` counts the edges consumed.
+    ``node_state`` is the ``(n, q)`` node-state matrix (the updater
+    defines its width); ``origin`` is the session's first edge time
+    (time encoding is session-relative, see
+    :meth:`TemporalPropagationBase._encode_time`) and ``updates``
+    counts the edges consumed.
     """
 
-    node_state: list[Tensor]
+    node_state: Tensor
     origin: float | None = None
     updates: int = 0
 
     @property
     def num_nodes(self) -> int:
         """Number of nodes tracked by this state."""
-        return len(self.node_state)
+        return int(self.node_state.shape[0])
 
 
 @dataclass
 class SumPropagationState(PropagationState):
-    """SUM-updater state: encoded features plus additive time memory."""
+    """SUM-updater state: encoded features plus additive time memory.
 
-    time_state: list[Tensor | None] = field(default_factory=list)
+    ``time_state`` is the ``(n, d_t)`` temporal-memory matrix (``None``
+    when the updater has no time encoder); ``time_touched`` marks which
+    rows have absorbed at least one time embedding.  Untouched rows are
+    exactly zero, so the memory matrix needs no masking in the forward
+    math — the flag only preserves the checkpoint format.
+    """
+
+    time_state: Tensor | None = None
+    time_touched: np.ndarray | None = None
 
 
 @dataclass
 class GruPropagationState(PropagationState):
-    """GRU-updater state: one ``(1, hidden)`` GRU hidden row per node."""
+    """GRU-updater state: the ``(n, hidden)`` GRU hidden-state matrix."""
 
 
 class TemporalPropagationBase(Module):
@@ -91,6 +116,8 @@ class TemporalPropagationBase(Module):
         Generator for parameter initialisation.
     """
 
+    ENGINES = ("wave", "per-edge")
+
     def __init__(
         self,
         in_features: int,
@@ -106,6 +133,7 @@ class TemporalPropagationBase(Module):
         self.encoder = FeatureEncoder(in_features, hidden_size, rng=rng)
         self.time_encoder = Time2Vec(time_dim, rng=rng) if time_dim > 0 else None
         self.last_update_count = 0
+        self.engine = "wave"
 
     @property
     def output_dim(self) -> int:
@@ -168,6 +196,55 @@ class TemporalPropagationBase(Module):
         """Rebuild a state from :meth:`snapshot_state` output."""
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # Batch engines
+    # ------------------------------------------------------------------
+    def _run_waves(self, state: PropagationState, plan: PropagationPlan) -> None:
+        """Advance ``state`` by every edge of ``plan``, one wave at a time."""
+        raise NotImplementedError
+
+    def forward(
+        self,
+        graph: CTDN,
+        rng: np.random.Generator | None = None,
+        plan: PropagationPlan | None = None,
+        engine: str | None = None,
+    ) -> Tensor:
+        """Compute the local node embedding matrix ``H`` of shape ``(n, k)``.
+
+        Parameters
+        ----------
+        graph:
+            The dynamic network to embed.
+        rng:
+            When given, edges sharing a timestamp are shuffled (the
+            paper applies this during training).  Ignored when ``plan``
+            is supplied.
+        plan:
+            Pre-built execution plan; by default the graph's cached
+            :meth:`~repro.graph.ctdn.CTDN.propagation_plan` is used.
+        engine:
+            ``"wave"`` for the batched kernels, ``"per-edge"`` for the
+            reference fold of :meth:`step`.  Defaults to
+            :attr:`engine` (``"wave"``).
+        """
+        engine = engine if engine is not None else self.engine
+        if engine not in self.ENGINES:
+            raise KeyError(f"unknown engine {engine!r}; choose from {self.ENGINES}")
+        if plan is None:
+            plan = graph.propagation_plan(rng=rng)
+        state = self.init_state(graph.features)
+        if engine == "per-edge":
+            for edge in plan.edges():
+                self.step(state, edge)
+        else:
+            self._run_waves(state, plan)
+        self.last_update_count = state.updates
+        return self.finalize(state)
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
     def _encode_features(self, features: np.ndarray) -> Tensor:
         """Encode raw features into the hidden space (paper Eq. 1)."""
         features = np.atleast_2d(np.asarray(features, dtype=np.float64))
@@ -176,6 +253,33 @@ class TemporalPropagationBase(Module):
                 f"expected features of width {self.in_features}, got {features.shape[1]}"
             )
         return self.encoder(Tensor(features))
+
+    @staticmethod
+    def _write_rows(matrix: Tensor, indices, rows: Tensor) -> Tensor:
+        """Overwrite ``matrix[indices]`` with ``rows``, preserving gradients.
+
+        On the tape (training / gradient checks) this is a functional
+        :func:`~repro.tensor.ops.scatter_rows` node; off the tape
+        (serving, ``no_grad`` inference) it mutates the backing array
+        in place — O(rows) instead of O(n).
+        """
+        if matrix.requires_grad or rows.requires_grad:
+            idx = np.atleast_1d(np.asarray(indices, dtype=np.int64))
+            return ops.scatter_rows(
+                matrix, idx, rows.reshape(idx.shape[0], matrix.shape[1])
+            )
+        matrix.data[indices] = rows.data
+        return matrix
+
+    def _batched_time_encodings(self, plan: PropagationPlan, origin: float) -> Tensor | None:
+        """All edge-time embeddings of ``plan`` in one Time2Vec call.
+
+        Time2Vec is purely elementwise, so the ``(m, d_t)`` batch is
+        bit-identical to ``m`` scalar calls — each wave slices its rows.
+        """
+        if self.time_encoder is None:
+            return None
+        return self.time_encoder(plan.times - origin)
 
     def _common_snapshot(self, state: PropagationState) -> dict[str, np.ndarray]:
         """Origin/update-count arrays shared by both updaters."""
@@ -240,41 +344,59 @@ class TemporalPropagationSum(TemporalPropagationBase):
         """Encoded features concatenated with the temporal memory."""
         return self.hidden_size + self.time_dim
 
+    def _stabilize(self, merged: Tensor) -> Tensor:
+        """Apply the configured stabilizer to a merged feature update."""
+        if self.stabilizer == "bounded":
+            return ops.tanh(merged)
+        if self.stabilizer == "average":
+            return merged * 0.5
+        return merged
+
     # ------------------------------------------------------------------
     # Incremental API
     # ------------------------------------------------------------------
     def init_state(self, features: np.ndarray) -> SumPropagationState:
-        """Fresh SUM state: encoded features, empty time memories."""
+        """Fresh SUM state: encoded features, all-zero time memories."""
         encoded = self._encode_features(features)
         n = encoded.shape[0]
+        time_state = (
+            Tensor(np.zeros((n, self.time_dim))) if self.time_encoder is not None else None
+        )
         return SumPropagationState(
-            node_state=[encoded[i] for i in range(n)],
-            time_state=[None] * n,
+            node_state=encoded,
+            time_state=time_state,
+            time_touched=np.zeros(n, dtype=bool),
         )
 
     def add_nodes(self, state: SumPropagationState, features: np.ndarray) -> None:
         """Append newly-observed nodes to a SUM state."""
         encoded = self._encode_features(features)
-        for i in range(encoded.shape[0]):
-            state.node_state.append(encoded[i])
-            state.time_state.append(None)
+        added = encoded.shape[0]
+        state.node_state = ops.concat([state.node_state, encoded], axis=0)
+        if state.time_state is not None:
+            state.time_state = ops.concat(
+                [state.time_state, Tensor(np.zeros((added, self.time_dim)))], axis=0
+            )
+        state.time_touched = np.concatenate(
+            [state.time_touched, np.zeros(added, dtype=bool)]
+        )
 
     def set_node(self, state: SumPropagationState, node: int, features: np.ndarray) -> None:
         """Overwrite one node's SUM state with freshly-encoded features."""
         encoded = self._encode_features(features)
-        state.node_state[node] = encoded[0]
-        state.time_state[node] = None
+        state.node_state = self._write_rows(state.node_state, node, encoded[0])
+        if state.time_state is not None:
+            state.time_state = self._write_rows(
+                state.time_state, node, Tensor(np.zeros(self.time_dim))
+            )
+        state.time_touched[node] = False
 
     def step(self, state: SumPropagationState, edge: TemporalEdge) -> None:
         """One SUM update (Eqs. 3-4) along ``edge``."""
         if state.origin is None:
             state.origin = edge.time
-        merged = state.node_state[edge.src] + state.node_state[edge.dst]
-        if self.stabilizer == "bounded":
-            merged = ops.tanh(merged)
-        elif self.stabilizer == "average":
-            merged = merged * 0.5
-        state.node_state[edge.dst] = merged
+        merged = self._stabilize(state.node_state[edge.src] + state.node_state[edge.dst])
+        state.node_state = self._write_rows(state.node_state, edge.dst, merged)
         if self.time_encoder is not None:
             # Eq. 4 verbatim: the temporal memory is a plain running
             # sum of time embeddings.  Unlike the feature update it
@@ -282,81 +404,78 @@ class TemporalPropagationSum(TemporalPropagationBase):
             # stabilisation — and the raw sum is the per-node
             # arrival-time signature that separates shuffled orders.
             f_t = self._encode_time(edge.time, state.origin).reshape(self.time_dim)
-            previous = state.time_state[edge.dst]
-            state.time_state[edge.dst] = f_t if previous is None else f_t + previous
+            state.time_state = self._write_rows(
+                state.time_state, edge.dst, f_t + state.time_state[edge.dst]
+            )
+            state.time_touched[edge.dst] = True
         state.updates += 1
+
+    def _run_waves(self, state: SumPropagationState, plan: PropagationPlan) -> None:
+        """Batched SUM kernel: gather both endpoints, merge, scatter."""
+        if plan.num_edges == 0:
+            return
+        if state.origin is None:
+            state.origin = float(plan.times[0])
+        encodings = self._batched_time_encodings(plan, state.origin)
+        features = state.node_state
+        memory = state.time_state
+        for start, end in plan.waves():
+            src = plan.src[start:end]
+            dst = plan.dst[start:end]
+            merged = self._stabilize(
+                ops.index_rows(features, src) + ops.index_rows(features, dst)
+            )
+            features = self._write_rows(features, dst, merged)
+            if encodings is not None:
+                memory = self._write_rows(
+                    memory, dst, encodings[start:end] + ops.index_rows(memory, dst)
+                )
+        state.node_state = features
+        if encodings is not None:
+            state.time_state = memory
+            state.time_touched[plan.dst] = True
+        state.updates += plan.num_edges
 
     def node_embedding(self, state: SumPropagationState, node: int) -> Tensor:
         """Single-node view of :meth:`finalize` (same math, shape ``(k,)``)."""
         features = state.node_state[node]
         if self.time_encoder is None:
             return ops.tanh(features)
-        memory = state.time_state[node]
-        if memory is None:
-            memory = Tensor(np.zeros(self.time_dim))
-        return ops.tanh(ops.concat([features, memory], axis=0))
+        return ops.tanh(ops.concat([features, state.time_state[node]], axis=0))
 
     def finalize(self, state: SumPropagationState) -> Tensor:
         """Node embedding matrix ``tanh(X ⊕ M)`` of shape ``(n, k)``."""
-        feature_matrix = ops.stack(state.node_state, axis=0)
         if self.time_encoder is None:
-            return ops.tanh(feature_matrix)
-        zero_memory = Tensor(np.zeros(self.time_dim))
-        memory_rows = [
-            row if row is not None else zero_memory for row in state.time_state
-        ]
-        memory_matrix = ops.stack(memory_rows, axis=0)
-        return ops.tanh(ops.concat([feature_matrix, memory_matrix], axis=1))
+            return ops.tanh(state.node_state)
+        return ops.tanh(ops.concat([state.node_state, state.time_state], axis=1))
 
     def snapshot_state(self, state: SumPropagationState) -> dict[str, np.ndarray]:
         """Arrays capturing the full SUM state."""
         arrays = self._common_snapshot(state)
-        arrays["node_state"] = np.stack(
-            [row.data for row in state.node_state], axis=0
-        ) if state.node_state else np.zeros((0, self.hidden_size))
-        time_dim = max(self.time_dim, 1)
-        memory = np.zeros((state.num_nodes, time_dim))
-        mask = np.zeros(state.num_nodes, dtype=np.int64)
-        for i, row in enumerate(state.time_state):
-            if row is not None:
-                memory[i] = row.data
-                mask[i] = 1
+        arrays["node_state"] = state.node_state.data.copy()
+        memory = np.zeros((state.num_nodes, max(self.time_dim, 1)))
+        if state.time_state is not None:
+            memory[:, : self.time_dim] = state.time_state.data
         arrays["time_state"] = memory
-        arrays["time_mask"] = mask
+        arrays["time_mask"] = state.time_touched.astype(np.int64)
         return arrays
 
     def restore_state(self, arrays: dict[str, np.ndarray]) -> SumPropagationState:
         """Rebuild a SUM state from :meth:`snapshot_state` arrays."""
         origin, updates = self._restore_common(arrays)
-        node_state = [Tensor(row.copy()) for row in arrays["node_state"]]
-        time_state: list[Tensor | None] = [
-            Tensor(row[: self.time_dim].copy()) if flag else None
-            for row, flag in zip(arrays["time_state"], arrays["time_mask"])
-        ]
+        mask = arrays["time_mask"].astype(bool)
+        time_state = None
+        if self.time_encoder is not None:
+            memory = arrays["time_state"][:, : self.time_dim].copy()
+            memory[~mask] = 0.0
+            time_state = Tensor(memory)
         return SumPropagationState(
-            node_state=node_state, origin=origin, updates=updates, time_state=time_state
+            node_state=Tensor(arrays["node_state"].copy()),
+            origin=origin,
+            updates=updates,
+            time_state=time_state,
+            time_touched=mask.copy(),
         )
-
-    def forward(self, graph: CTDN, rng: np.random.Generator | None = None) -> Tensor:
-        """Compute the local node embedding matrix ``H`` of shape (n, k).
-
-        A fold of :meth:`step` over the chronological edge list — the
-        same recurrence the streaming engine advances one event at a
-        time.
-
-        Parameters
-        ----------
-        graph:
-            The dynamic network to embed.
-        rng:
-            When given, edges sharing a timestamp are shuffled (the
-            paper applies this during training).
-        """
-        state = self.init_state(graph.features)
-        for edge in self._ordered_edges(graph, rng):
-            self.step(state, edge)
-        self.last_update_count = state.updates
-        return self.finalize(state)
 
 
 class TemporalPropagationGRU(TemporalPropagationBase):
@@ -365,7 +484,8 @@ class TemporalPropagationGRU(TemporalPropagationBase):
     Each edge gates the concatenation of the source embedding and the
     edge-time embedding into the target's hidden state, letting the
     model selectively retain information from influential nodes across
-    long interaction sequences.
+    long interaction sequences.  The wave engine feeds a whole wave of
+    messages through :class:`~repro.nn.GRUCell` as one batch.
     """
 
     def __init__(
@@ -388,75 +508,77 @@ class TemporalPropagationGRU(TemporalPropagationBase):
     # Incremental API
     # ------------------------------------------------------------------
     def init_state(self, features: np.ndarray) -> GruPropagationState:
-        """Fresh GRU state: one encoded ``(1, q)`` row per node."""
-        encoded = self._encode_features(features)
-        n = encoded.shape[0]
-        return GruPropagationState(
-            node_state=[encoded[i].reshape(1, self.hidden_size) for i in range(n)]
-        )
+        """Fresh GRU state: the encoded ``(n, q)`` feature matrix."""
+        return GruPropagationState(node_state=self._encode_features(features))
 
     def add_nodes(self, state: GruPropagationState, features: np.ndarray) -> None:
         """Append newly-observed nodes to a GRU state."""
         encoded = self._encode_features(features)
-        for i in range(encoded.shape[0]):
-            state.node_state.append(encoded[i].reshape(1, self.hidden_size))
+        state.node_state = ops.concat([state.node_state, encoded], axis=0)
 
     def set_node(self, state: GruPropagationState, node: int, features: np.ndarray) -> None:
         """Overwrite one node's GRU state with freshly-encoded features."""
         encoded = self._encode_features(features)
-        state.node_state[node] = encoded[0].reshape(1, self.hidden_size)
+        state.node_state = self._write_rows(state.node_state, node, encoded[0])
 
     def step(self, state: GruPropagationState, edge: TemporalEdge) -> None:
         """One GRU update (Eq. 6) along ``edge``."""
         if state.origin is None:
             state.origin = edge.time
+        source = state.node_state[edge.src].reshape(1, self.hidden_size)
         if self.time_encoder is not None:
             message = ops.concat(
-                [state.node_state[edge.src], self._encode_time(edge.time, state.origin)],
-                axis=1,
+                [source, self._encode_time(edge.time, state.origin)], axis=1
             )
         else:
-            message = state.node_state[edge.src]
-        state.node_state[edge.dst] = self.cell(message, state.node_state[edge.dst])
+            message = source
+        target = state.node_state[edge.dst].reshape(1, self.hidden_size)
+        state.node_state = self._write_rows(
+            state.node_state, edge.dst, self.cell(message, target)
+        )
         state.updates += 1
+
+    def _run_waves(self, state: GruPropagationState, plan: PropagationPlan) -> None:
+        """Batched GRU kernel: one cell invocation per wave."""
+        if plan.num_edges == 0:
+            return
+        if state.origin is None:
+            state.origin = float(plan.times[0])
+        encodings = self._batched_time_encodings(plan, state.origin)
+        hidden = state.node_state
+        for start, end in plan.waves():
+            message = ops.index_rows(hidden, plan.src[start:end])
+            if encodings is not None:
+                message = ops.concat([message, encodings[start:end]], axis=1)
+            target = ops.index_rows(hidden, plan.dst[start:end])
+            hidden = self._write_rows(
+                hidden, plan.dst[start:end], self.cell(message, target)
+            )
+        state.node_state = hidden
+        state.updates += plan.num_edges
 
     def node_embedding(self, state: GruPropagationState, node: int) -> Tensor:
         """Single-node view of :meth:`finalize` (shape ``(q,)``)."""
-        return ops.tanh(state.node_state[node].reshape(self.hidden_size))
+        return ops.tanh(state.node_state[node])
 
     def finalize(self, state: GruPropagationState) -> Tensor:
         """Node embedding matrix ``tanh(H)`` of shape ``(n, q)``."""
-        rows = [row.reshape(self.hidden_size) for row in state.node_state]
-        return ops.tanh(ops.stack(rows, axis=0))
+        return ops.tanh(state.node_state)
 
     def snapshot_state(self, state: GruPropagationState) -> dict[str, np.ndarray]:
         """Arrays capturing the full GRU state."""
         arrays = self._common_snapshot(state)
-        arrays["node_state"] = np.stack(
-            [row.data.reshape(self.hidden_size) for row in state.node_state], axis=0
-        ) if state.node_state else np.zeros((0, self.hidden_size))
+        arrays["node_state"] = state.node_state.data.copy()
         return arrays
 
     def restore_state(self, arrays: dict[str, np.ndarray]) -> GruPropagationState:
         """Rebuild a GRU state from :meth:`snapshot_state` arrays."""
         origin, updates = self._restore_common(arrays)
-        node_state = [
-            Tensor(row.copy().reshape(1, self.hidden_size))
-            for row in arrays["node_state"]
-        ]
-        return GruPropagationState(node_state=node_state, origin=origin, updates=updates)
-
-    def forward(self, graph: CTDN, rng: np.random.Generator | None = None) -> Tensor:
-        """Compute the local node embedding matrix ``H`` of shape (n, q).
-
-        Like the SUM updater, this is a fold of :meth:`step` over the
-        chronological edges.
-        """
-        state = self.init_state(graph.features)
-        for edge in self._ordered_edges(graph, rng):
-            self.step(state, edge)
-        self.last_update_count = state.updates
-        return self.finalize(state)
+        return GruPropagationState(
+            node_state=Tensor(arrays["node_state"].copy()),
+            origin=origin,
+            updates=updates,
+        )
 
 
 class RandomAggregation(TemporalPropagationBase):
@@ -485,23 +607,34 @@ class RandomAggregation(TemporalPropagationBase):
         return self.hidden_size
 
     def forward(self, graph: CTDN, rng: np.random.Generator | None = None) -> Tensor:
-        """Aggregate random neighbours, disregarding time."""
+        """Aggregate random neighbours, disregarding time.
+
+        The per-node draws are accumulated as one gather plus one
+        segment-sum over the encoded feature matrix instead of a tensor
+        op per sampled neighbour; the rng stream (one ``choice`` per
+        non-isolated node, in node order) is unchanged.
+        """
         sampler = rng if rng is not None else np.random.default_rng(0)
         encoded = self.encoder(Tensor(graph.features))
         neighbours: list[set[int]] = [set() for _ in range(graph.num_nodes)]
         for edge in graph.edges:
             neighbours[edge.src].add(edge.dst)
             neighbours[edge.dst].add(edge.src)
-        rows = []
-        self.last_update_count = 0
+        picked_nodes: list[int] = []
+        targets: list[int] = []
         for node in range(graph.num_nodes):
             candidates = sorted(neighbours[node])
-            state = encoded[node]
-            if candidates:
-                count = min(self.num_samples, len(candidates))
-                picked = sampler.choice(len(candidates), size=count, replace=False)
-                for index in picked:
-                    state = state + encoded[candidates[int(index)]]
-                    self.last_update_count += 1
-            rows.append(state)
-        return ops.tanh(ops.stack(rows, axis=0))
+            if not candidates:
+                continue
+            count = min(self.num_samples, len(candidates))
+            picked = sampler.choice(len(candidates), size=count, replace=False)
+            picked_nodes.extend(candidates[int(index)] for index in picked)
+            targets.extend([node] * count)
+        self.last_update_count = len(picked_nodes)
+        out = encoded
+        if picked_nodes:
+            gathered = ops.index_rows(encoded, np.asarray(picked_nodes, dtype=np.int64))
+            out = out + ops.segment_sum(
+                gathered, np.asarray(targets, dtype=np.int64), graph.num_nodes
+            )
+        return ops.tanh(out)

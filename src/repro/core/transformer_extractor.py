@@ -78,20 +78,25 @@ class GlobalTemporalTransformer(Module):
         node_embeddings: Tensor,
         graph: CTDN,
         rng: np.random.Generator | None = None,
+        plan=None,
     ) -> Tensor:
         """Return the graph embedding ``g`` of shape (hidden_size,).
 
         Unlike the GRU extractor, order enters through the positional
         encodings; the attention itself sees the whole sequence at once,
         which is the "longer dependencies" benefit the paper alludes to.
+        ``plan`` reuses an already-built chronological order, as in
+        :meth:`GlobalTemporalExtractor.forward`.
         """
-        edges = graph.edges_sorted(rng=rng)
-        if not edges:
+        if plan is None:
+            plan = graph.propagation_plan(rng=rng)
+        if plan.num_edges == 0:
             raise ValueError("cannot embed a graph with no edges")
-        src = np.array([e.src for e in edges], dtype=np.int64)
-        dst = np.array([e.dst for e in edges], dtype=np.int64)
+        src, dst = plan.src, plan.dst
         if self.aggregator_name == "average":
-            sequence = (node_embeddings[src] + node_embeddings[dst]) * 0.5
+            sequence = (
+                ops.index_rows(node_embeddings, src) + ops.index_rows(node_embeddings, dst)
+            ) * 0.5
         else:
             rows = [
                 self._aggregate(node_embeddings[int(u)], node_embeddings[int(v)])
@@ -99,7 +104,7 @@ class GlobalTemporalTransformer(Module):
             ]
             sequence = ops.stack(rows, axis=0)
         tokens = self.input_proj(sequence)
-        indices = np.minimum(np.arange(len(edges)), self.max_edges - 1)
+        indices = np.minimum(np.arange(plan.num_edges), self.max_edges - 1)
         tokens = tokens + ops.embedding_lookup(self.positions, indices)
         attended = self.norm1(tokens + self.attention(tokens, tokens, tokens))
         encoded = self.norm2(attended + self.ffn2(ops.relu(self.ffn1(attended))))

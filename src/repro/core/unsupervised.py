@@ -88,18 +88,17 @@ class UnsupervisedTPGNN(Module):
         """
         if graph.num_edges == 0:
             raise ValueError("cannot score a graph with no edges")
-        if rng is not None:
-            graph = graph.with_edges(graph.edges_sorted(rng=rng))
-        node_embeddings = self.propagation(graph)
-        edges = graph.edges_sorted()
-        sequence = self.extractor.edge_embeddings(node_embeddings, edges)
-        if len(edges) < 2:
+        plan = graph.propagation_plan(rng=rng)
+        node_embeddings = self.propagation(graph, plan=plan)
+        sequence = self.extractor._edge_matrix(node_embeddings, plan.src, plan.dst)
+        num_edges = plan.num_edges
+        if num_edges < 2:
             return Tensor(np.zeros(1), requires_grad=False).sum()
         states, _ = self.extractor.gru(
-            sequence.reshape(len(edges), 1, sequence.shape[1])
+            sequence.reshape(num_edges, 1, sequence.shape[1])
         )
-        states = states.reshape(len(edges), self.extractor.hidden_size)
-        predicted = self.predictor(states[: len(edges) - 1])
+        states = states.reshape(num_edges, self.extractor.hidden_size)
+        predicted = self.predictor(states[: num_edges - 1])
         target = sequence[1:].detach()
         difference = predicted - target
         return (difference * difference).mean()

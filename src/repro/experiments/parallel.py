@@ -63,7 +63,7 @@ from repro.training.trainer import (
 #: Cache-key version tag.  Bump whenever a code change alters what a
 #: trial computes (training loop semantics, model construction,
 #: dataset generation), so stale cached cells are never reused.
-CODE_VERSION = "trial-v1"
+CODE_VERSION = "trial-v2"
 
 #: Default on-disk cache location, relative to the working directory.
 DEFAULT_CACHE_DIR = Path("results") / "cache"

@@ -2,6 +2,7 @@
 
 from repro.graph.edge import TemporalEdge
 from repro.graph.ctdn import CTDN
+from repro.graph.plan import PropagationPlan
 from repro.graph.dataset import DatasetStatistics, GraphDataset
 from repro.graph.static import (
     adjacency_matrix,
@@ -25,6 +26,7 @@ from repro.graph.reachability import (
 __all__ = [
     "TemporalEdge",
     "CTDN",
+    "PropagationPlan",
     "GraphDataset",
     "DatasetStatistics",
     "adjacency_matrix",

@@ -35,7 +35,15 @@ class CTDN:
         Optional identifier (session/trace/user id) for traceability.
     """
 
-    __slots__ = ("num_nodes", "features", "edges", "label", "graph_id")
+    __slots__ = (
+        "num_nodes",
+        "features",
+        "edges",
+        "label",
+        "graph_id",
+        "_sorted_cache",
+        "_plan_cache",
+    )
 
     def __init__(
         self,
@@ -63,6 +71,11 @@ class CTDN:
         self.edges: list[TemporalEdge] = edge_list
         self.label = label
         self.graph_id = graph_id
+        # Memoized chronological views; graphs are immutable after
+        # construction (derived graphs are fresh CTDN instances), so
+        # both caches stay valid for the object's lifetime.
+        self._sorted_cache: list[TemporalEdge] | None = None
+        self._plan_cache = None
 
     # ------------------------------------------------------------------
     # Basic views
@@ -92,12 +105,39 @@ class CTDN:
         among themselves before the (stable) sort — the paper shuffles
         ties before each training epoch to remove order artifacts within
         a timestamp.
+
+        The deterministic (no-rng) order is memoized: propagation,
+        snapshots and reachability all request it repeatedly, and the
+        edge list never changes after construction.  A fresh list is
+        returned each call so callers may reorder it freely.
         """
-        edges = list(self.edges)
         if rng is not None:
+            edges = list(self.edges)
             order = rng.permutation(len(edges))
             edges = [edges[i] for i in order]
-        return sorted(edges, key=lambda e: e.time)
+            return sorted(edges, key=lambda e: e.time)
+        if self._sorted_cache is None:
+            self._sorted_cache = sorted(self.edges, key=lambda e: e.time)
+        return list(self._sorted_cache)
+
+    def propagation_plan(self, rng: np.random.Generator | None = None):
+        """The wave-scheduled execution plan for this graph's edges.
+
+        The deterministic plan (sorted order, wave boundaries, endpoint
+        index arrays, timestamps) is computed once and cached — it is
+        what the vectorized propagation engine replays every epoch.
+        With an ``rng``, a fresh plan is derived from the cached one by
+        re-permuting only the timestamp tie groups (the paper's
+        per-epoch tie shuffle) and recomputing wave boundaries; the
+        expensive sort is never repeated.
+        """
+        from repro.graph.plan import PropagationPlan
+
+        if self._plan_cache is None:
+            self._plan_cache = PropagationPlan.from_edges(self.edges)
+        if rng is None:
+            return self._plan_cache
+        return self._plan_cache.tie_shuffled(rng)
 
     def timestamps(self) -> np.ndarray:
         """All edge timestamps in storage order."""

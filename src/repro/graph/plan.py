@@ -1,0 +1,179 @@
+"""Propagation plans: wave-scheduled execution order for temporal edges.
+
+Temporal propagation (paper Algorithm 1) is a strict recurrence over the
+chronological edge list: each edge reads the *current* states of its
+endpoints and overwrites the target's state.  Executing it edge by edge
+costs dozens of tiny autograd nodes per edge, so the engine instead
+partitions the sequence into **waves** — maximal chronological runs in
+which
+
+* no edge reads a node row written earlier in the same wave (every
+  source, and every target that is read before being overwritten, is
+  untouched so far within the wave), and
+* no two edges write the same target row.
+
+Within such a run every edge sees exactly the node states that the
+per-edge recurrence would have shown it, so the whole wave can execute
+as one batched gather → update → scatter kernel with identical
+semantics.  Dependency chains (``a→b`` then ``b→c``) still split into
+separate waves, preserving Algorithm 1's ordering and therefore
+Theorem 1's influence guarantees.
+
+A :class:`PropagationPlan` packages everything the vectorized engine
+needs — the chronological ``src``/``dst``/``times`` arrays, the wave
+boundaries, and the tie-group structure.  Plans are cached per
+:class:`~repro.graph.ctdn.CTDN` (graphs are immutable after
+construction) and reused across training epochs; when an rng shuffles
+timestamp ties, only the tie groups are re-permuted and the wave
+boundaries recomputed, instead of re-sorting and re-validating the
+whole edge list.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.graph.edge import TemporalEdge
+
+
+class PropagationPlan:
+    """An execution schedule for one graph's chronological edge list.
+
+    Attributes
+    ----------
+    src, dst:
+        ``(m,)`` int64 arrays of edge endpoints in chronological order.
+    times:
+        ``(m,)`` float64 array of edge timestamps (ascending).
+    wave_bounds:
+        ``(w + 1,)`` int64 boundaries: wave ``i`` covers the half-open
+        slice ``[wave_bounds[i], wave_bounds[i + 1])``.
+    order:
+        ``(m,)`` int64 permutation mapping chronological position to
+        the edge's index in the graph's storage order.
+    """
+
+    __slots__ = ("src", "dst", "times", "wave_bounds", "order", "_tie_bounds", "_edges")
+
+    def __init__(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        times: np.ndarray,
+        order: np.ndarray,
+        tie_bounds: np.ndarray | None = None,
+    ):
+        self.src = src
+        self.dst = dst
+        self.times = times
+        self.order = order
+        self.wave_bounds = _wave_bounds(src, dst)
+        self._tie_bounds = tie_bounds
+        self._edges: list[TemporalEdge] | None = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(cls, edges: Sequence[TemporalEdge]) -> "PropagationPlan":
+        """Build the deterministic (no tie shuffling) plan for ``edges``.
+
+        The stable sort keeps storage order among equal timestamps,
+        matching :meth:`CTDN.edges_sorted` without an rng.
+        """
+        m = len(edges)
+        times_raw = np.fromiter((e.time for e in edges), dtype=np.float64, count=m)
+        order = np.argsort(times_raw, kind="stable")
+        src = np.fromiter((edges[i].src for i in order), dtype=np.int64, count=m)
+        dst = np.fromiter((edges[i].dst for i in order), dtype=np.int64, count=m)
+        return cls(src, dst, times_raw[order], order)
+
+    def tie_shuffled(self, rng: np.random.Generator) -> "PropagationPlan":
+        """A fresh plan with each timestamp tie group independently permuted.
+
+        The paper shuffles same-timestamp edges before each training
+        epoch to remove order artifacts within a tie.  Reusing this
+        plan's sort means only the tie groups are touched: the sorted
+        times, the tie structure and the storage mapping are shared,
+        and just the wave boundaries are recomputed for the new order.
+        """
+        src = self.src.copy()
+        dst = self.dst.copy()
+        order = self.order.copy()
+        for start, end in zip(self.tie_bounds[:-1], self.tie_bounds[1:]):
+            if end - start > 1:
+                perm = rng.permutation(end - start)
+                src[start:end] = src[start:end][perm]
+                dst[start:end] = dst[start:end][perm]
+                order[start:end] = order[start:end][perm]
+        return PropagationPlan(src, dst, self.times, order, tie_bounds=self.tie_bounds)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        """Number of scheduled edges ``m``."""
+        return int(self.src.shape[0])
+
+    @property
+    def num_waves(self) -> int:
+        """Number of batched kernel launches the schedule needs."""
+        return max(0, int(self.wave_bounds.shape[0]) - 1)
+
+    @property
+    def tie_bounds(self) -> np.ndarray:
+        """Boundaries of equal-timestamp runs (computed once, shared)."""
+        if self._tie_bounds is None:
+            if self.num_edges == 0:
+                self._tie_bounds = np.zeros(1, dtype=np.int64)
+            else:
+                breaks = np.flatnonzero(np.diff(self.times)) + 1
+                self._tie_bounds = np.concatenate(
+                    [[0], breaks, [self.num_edges]]
+                ).astype(np.int64)
+        return self._tie_bounds
+
+    def waves(self) -> Iterator[tuple[int, int]]:
+        """Yield each wave as a half-open ``(start, end)`` slice."""
+        bounds = self.wave_bounds
+        for i in range(len(bounds) - 1):
+            yield int(bounds[i]), int(bounds[i + 1])
+
+    def edges(self) -> list[TemporalEdge]:
+        """The scheduled order as :class:`TemporalEdge` objects (cached)."""
+        if self._edges is None:
+            self._edges = [
+                TemporalEdge(int(s), int(d), float(t))
+                for s, d, t in zip(self.src, self.dst, self.times)
+            ]
+        return self._edges
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PropagationPlan(edges={self.num_edges}, waves={self.num_waves})"
+
+
+def _wave_bounds(src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+    """Greedy maximal wave partition of a chronological edge order.
+
+    Scans once, keeping the set of node rows written by the current
+    wave; an edge that reads (src or dst) or rewrites (dst) any of them
+    closes the wave.  A self-loop is fine within a wave — the per-edge
+    recurrence reads both endpoints *before* writing — but a repeated
+    destination is not.
+    """
+    m = int(src.shape[0])
+    if m == 0:
+        return np.zeros(1, dtype=np.int64)
+    bounds = [0]
+    written: set[int] = set()
+    for i, (s, d) in enumerate(zip(src.tolist(), dst.tolist())):
+        if s in written or d in written:
+            bounds.append(i)
+            written = {d}
+        else:
+            written.add(d)
+    bounds.append(m)
+    return np.asarray(bounds, dtype=np.int64)

@@ -23,8 +23,13 @@ def add(a: Tensor, b: Tensor) -> Tensor:
     """Elementwise addition with broadcasting."""
     data = a.data + b.data
 
-    def backward(grad):
-        return (_unbroadcast(grad, a.shape), _unbroadcast(grad, b.shape))
+    if data.shape == a.shape == b.shape:
+        # No broadcasting happened: the gradient passes through as-is.
+        def backward(grad):
+            return (grad, grad)
+    else:
+        def backward(grad):
+            return (_unbroadcast(grad, a.shape), _unbroadcast(grad, b.shape))
 
     return Tensor.from_op(data, (a, b), backward)
 
@@ -33,8 +38,12 @@ def sub(a: Tensor, b: Tensor) -> Tensor:
     """Elementwise subtraction with broadcasting."""
     data = a.data - b.data
 
-    def backward(grad):
-        return (_unbroadcast(grad, a.shape), _unbroadcast(-grad, b.shape))
+    if data.shape == a.shape == b.shape:
+        def backward(grad):
+            return (grad, -grad)
+    else:
+        def backward(grad):
+            return (_unbroadcast(grad, a.shape), _unbroadcast(-grad, b.shape))
 
     return Tensor.from_op(data, (a, b), backward)
 
@@ -43,11 +52,15 @@ def mul(a: Tensor, b: Tensor) -> Tensor:
     """Elementwise (Hadamard) product with broadcasting."""
     data = a.data * b.data
 
-    def backward(grad):
-        return (
-            _unbroadcast(grad * b.data, a.shape),
-            _unbroadcast(grad * a.data, b.shape),
-        )
+    if data.shape == a.shape == b.shape:
+        def backward(grad):
+            return (grad * b.data, grad * a.data)
+    else:
+        def backward(grad):
+            return (
+                _unbroadcast(grad * b.data, a.shape),
+                _unbroadcast(grad * a.data, b.shape),
+            )
 
     return Tensor.from_op(data, (a, b), backward)
 
@@ -148,9 +161,9 @@ def tanh(a: Tensor) -> Tensor:
 
 def sigmoid(a: Tensor) -> Tensor:
     """Numerically stable logistic sigmoid."""
-    # Stable piecewise formulation avoids overflow for large |x|.
-    x = a.data
-    data = np.where(x >= 0, 1.0 / (1.0 + np.exp(-np.abs(x))), np.exp(-np.abs(x)) / (1.0 + np.exp(-np.abs(x))))
+    # Stable piecewise formulation avoids overflow for large |x|; the
+    # decay term is computed once and shared by both branches.
+    data = _stable_sigmoid(a.data)
 
     def backward(grad):
         return (grad * data * (1.0 - data),)
@@ -388,6 +401,164 @@ def embedding_lookup(weight: Tensor, indices: np.ndarray) -> Tensor:
         return (out,)
 
     return Tensor.from_op(data, (weight,), backward)
+
+
+def index_rows(a: Tensor, indices: np.ndarray) -> Tensor:
+    """Gather rows ``a[indices]`` with scatter-add backward.
+
+    The wave-scheduled propagation engine's read kernel: one call pulls
+    every source/target row of a wave out of the ``(n, q)`` node-state
+    matrix.  ``indices`` is a constant integer array; duplicate indices
+    accumulate gradient into the same row.
+    """
+    idx = np.asarray(indices, dtype=np.int64)
+    data = a.data[idx]
+
+    def backward(grad):
+        out = np.zeros_like(a.data)
+        np.add.at(out, idx, grad)
+        return (out,)
+
+    return Tensor.from_op(data, (a,), backward)
+
+
+def scatter_rows(a: Tensor, indices: np.ndarray, rows: Tensor) -> Tensor:
+    """Out-of-place row write: a copy of ``a`` with ``result[indices] = rows``.
+
+    The wave-scheduled propagation engine's write kernel.  ``indices``
+    must be unique — the wave scheduler guarantees no two edges of a
+    wave write the same destination, and duplicate writes would make
+    the backward pass ill-defined (last-write-wins has no gradient for
+    the overwritten rows).
+
+    Backward: the written rows' upstream gradient flows to ``rows``;
+    the remaining rows' gradient flows through to ``a``.
+    """
+    idx = np.asarray(indices, dtype=np.int64)
+    if idx.size != np.unique(idx).size:
+        raise ValueError("scatter_rows requires unique row indices (got duplicates)")
+    rows = _ensure_tensor(rows)
+    data = a.data.copy()
+    data[idx] = rows.data
+
+    def backward(grad):
+        grad_a = grad.copy()
+        grad_a[idx] = 0.0
+        return (grad_a, grad[idx].reshape(rows.shape))
+
+    return Tensor.from_op(data, (a, rows), backward)
+
+
+def segment_sum(a: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Sum rows of ``a`` into ``num_segments`` buckets given by ``segment_ids``.
+
+    ``segment_ids`` is a constant ``(m,)`` integer array; row ``i`` of
+    ``a`` is added into output row ``segment_ids[i]``.  Backward is a
+    row gather of the upstream gradient.
+    """
+    ids = np.asarray(segment_ids, dtype=np.int64)
+    out = np.zeros((num_segments,) + a.shape[1:], dtype=a.data.dtype)
+    np.add.at(out, ids, a.data)
+
+    def backward(grad):
+        return (grad[ids],)
+
+    return Tensor.from_op(out, (a,), backward)
+
+
+def gru_sequence(
+    sequence: Tensor,
+    h0: Tensor,
+    weight_ih: Tensor,
+    weight_hh: Tensor,
+    bias: Tensor,
+) -> Tensor:
+    """Run a full GRU scan ``(steps, batch, in) -> (steps, batch, hidden)``
+    as ONE autograd node.
+
+    Computes exactly the :class:`repro.nn.GRUCell` recurrence
+
+        z = sigmoid(x W_z + h U_z + b_z)
+        r = sigmoid(x W_r + h U_r + b_r)
+        n = tanh(x W_n + (r * h) U_n + b_n)
+        h' = z * h + (1 - z) * n
+
+    with the input projection ``x W + b`` batched over all steps and the
+    backward pass as a hand-written BPTT loop.  Replacing the ~20 tape
+    nodes per step of the op-by-op cell with a single node is what makes
+    the global extractor's per-edge GRU affordable on long sequences.
+
+    Gate layout matches ``GRUCell``: columns ``[z | r | n]`` in the
+    fused ``(·, 3H)`` weight matrices.
+    """
+    steps, batch, in_size = sequence.shape
+    hidden = weight_hh.shape[0]
+    H = hidden
+    x = sequence.data
+    W, U, b = weight_ih.data, weight_hh.data, bias.data
+
+    # Input projection for every step at once.
+    gates_x = (x.reshape(steps * batch, in_size) @ W + b).reshape(steps, batch, 3 * H)
+
+    h = h0.data
+    outputs = np.empty((steps, batch, H))
+    # Saved activations for BPTT.
+    h_prev = np.empty((steps, batch, H))
+    z_all = np.empty((steps, batch, H))
+    r_all = np.empty((steps, batch, H))
+    n_all = np.empty((steps, batch, H))
+    ghn_all = np.empty((steps, batch, H))
+    for t in range(steps):
+        gh = h @ U
+        gx = gates_x[t]
+        z = _stable_sigmoid(gx[:, 0:H] + gh[:, 0:H])
+        r = _stable_sigmoid(gx[:, H : 2 * H] + gh[:, H : 2 * H])
+        ghn = gh[:, 2 * H : 3 * H]
+        n = np.tanh(gx[:, 2 * H : 3 * H] + r * ghn)
+        h_prev[t] = h
+        z_all[t], r_all[t], n_all[t], ghn_all[t] = z, r, n, ghn
+        h = z * h + (1.0 - z) * n
+        outputs[t] = h
+
+    def backward(grad):
+        d_gx = np.empty((steps, batch, 3 * H))
+        dU = np.zeros_like(U)
+        carry = np.zeros((batch, H))
+        for t in range(steps - 1, -1, -1):
+            dh = grad[t] + carry
+            z, r, n, ghn, hp = z_all[t], r_all[t], n_all[t], ghn_all[t], h_prev[t]
+            dz = dh * (hp - n)
+            dn_pre = dh * (1.0 - z) * (1.0 - n**2)
+            dr = dn_pre * ghn
+            dghn = dn_pre * r
+            dz_pre = dz * z * (1.0 - z)
+            dr_pre = dr * r * (1.0 - r)
+            d_gx[t, :, 0:H] = dz_pre
+            d_gx[t, :, H : 2 * H] = dr_pre
+            d_gx[t, :, 2 * H : 3 * H] = dn_pre
+            d_gh = np.concatenate([dz_pre, dr_pre, dghn], axis=1)
+            dU += hp.T @ d_gh
+            carry = dh * z + d_gh @ U.T
+        d_gx_flat = d_gx.reshape(steps * batch, 3 * H)
+        x_flat = x.reshape(steps * batch, in_size)
+        return (
+            (d_gx_flat @ W.T).reshape(steps, batch, in_size),
+            carry,
+            x_flat.T @ d_gx_flat,
+            dU,
+            d_gx_flat.sum(axis=0),
+        )
+
+    return Tensor.from_op(
+        outputs, (sequence, h0, weight_ih, weight_hh, bias), backward
+    )
+
+
+def _stable_sigmoid(x: np.ndarray) -> np.ndarray:
+    """Raw-array version of :func:`sigmoid`'s stable formulation."""
+    decay = np.exp(-np.abs(x))
+    norm = 1.0 + decay
+    return np.where(x >= 0, 1.0 / norm, decay / norm)
 
 
 def dropout(a: Tensor, rate: float, rng: np.random.Generator) -> Tensor:

@@ -1,0 +1,133 @@
+"""Tests for the wave-scheduled propagation plan (repro.graph.plan)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import CTDN, PropagationPlan, TemporalEdge
+
+
+def plan_for(edges, num_nodes=6):
+    return PropagationPlan.from_edges(
+        [TemporalEdge(s, d, t) for s, d, t in edges]
+    )
+
+
+def assert_valid_waves(plan):
+    """Every wave must satisfy the scheduler's read/write contract."""
+    covered = []
+    for start, end in plan.waves():
+        written: set[int] = set()
+        for i in range(start, end):
+            s, d = int(plan.src[i]), int(plan.dst[i])
+            # No edge reads a row written earlier in the wave, and no
+            # two edges write the same destination.
+            assert s not in written
+            assert d not in written
+            written.add(d)
+        covered.extend(range(start, end))
+    assert covered == list(range(plan.num_edges))
+
+
+class TestWavePartition:
+    def test_chain_degenerates_to_singleton_waves(self):
+        plan = plan_for([(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0)])
+        assert plan.num_waves == 3
+        assert_valid_waves(plan)
+
+    def test_star_fans_out_in_one_wave(self):
+        plan = plan_for([(0, i, 1.0) for i in range(1, 6)])
+        assert plan.num_waves == 1
+        assert_valid_waves(plan)
+
+    def test_repeated_destination_breaks_wave(self):
+        plan = plan_for([(1, 0, 1.0), (2, 0, 1.0)])
+        assert plan.num_waves == 2
+
+    def test_read_after_write_breaks_wave(self):
+        # Second edge reads node 1, which the first edge wrote.
+        plan = plan_for([(0, 1, 1.0), (1, 2, 1.0)])
+        assert plan.num_waves == 2
+
+    def test_self_loop_stays_in_wave(self):
+        plan = plan_for([(0, 0, 1.0), (1, 2, 1.0)])
+        assert plan.num_waves == 1
+        assert_valid_waves(plan)
+
+    def test_empty_plan(self):
+        plan = plan_for([])
+        assert plan.num_edges == 0
+        assert plan.num_waves == 0
+        assert list(plan.waves()) == []
+
+    def test_times_sorted_and_order_matches_edges_sorted(self):
+        edges = [(0, 1, 3.0), (1, 2, 1.0), (2, 3, 2.0), (3, 4, 1.0)]
+        g = CTDN(5, np.eye(5), edges)
+        plan = g.propagation_plan()
+        assert np.all(np.diff(plan.times) >= 0)
+        expected = g.edges_sorted()
+        assert plan.edges() == expected
+
+
+class TestPlanCaching:
+    def test_deterministic_plan_is_cached(self):
+        g = CTDN(3, np.eye(3), [(0, 1, 1.0), (1, 2, 2.0)])
+        assert g.propagation_plan() is g.propagation_plan()
+
+    def test_edges_sorted_memoized_but_fresh_list(self):
+        g = CTDN(3, np.eye(3), [(1, 2, 2.0), (0, 1, 1.0)])
+        first = g.edges_sorted()
+        second = g.edges_sorted()
+        assert first == second
+        assert first is not second  # callers may reorder freely
+
+    def test_rng_plan_is_fresh_and_shares_times(self):
+        g = CTDN(4, np.eye(4), [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)])
+        base = g.propagation_plan()
+        shuffled = g.propagation_plan(rng=np.random.default_rng(0))
+        assert shuffled is not base
+        assert shuffled.times is base.times  # sorted times are shared
+
+    def test_tie_shuffle_permutes_within_groups_only(self):
+        edges = [(i, (i + 1) % 5, float(t)) for t in range(3) for i in range(5)]
+        g = CTDN(5, np.eye(5), edges)
+        base = g.propagation_plan()
+        shuffled = g.propagation_plan(rng=np.random.default_rng(7))
+        assert np.all(np.diff(shuffled.times) >= 0)
+        for start, end in zip(base.tie_bounds[:-1], base.tie_bounds[1:]):
+            base_pairs = {
+                (int(s), int(d))
+                for s, d in zip(base.src[start:end], base.dst[start:end])
+            }
+            shuf_pairs = {
+                (int(s), int(d))
+                for s, d in zip(shuffled.src[start:end], shuffled.dst[start:end])
+            }
+            assert base_pairs == shuf_pairs
+        assert_valid_waves(shuffled)
+
+
+@st.composite
+def edge_lists(draw):
+    n = draw(st.integers(min_value=2, max_value=6))
+    m = draw(st.integers(min_value=0, max_value=30))
+    edges = [
+        (
+            draw(st.integers(0, n - 1)),
+            draw(st.integers(0, n - 1)),
+            float(draw(st.integers(0, 4))),
+        )
+        for _ in range(m)
+    ]
+    return n, edges
+
+
+@settings(max_examples=50, deadline=None)
+@given(edge_lists())
+def test_wave_partition_invariants(data):
+    n, edges = data
+    plan = plan_for(edges, num_nodes=n)
+    assert np.all(np.diff(plan.times) >= 0)
+    assert sorted(plan.order.tolist()) == list(range(len(edges)))
+    assert_valid_waves(plan)

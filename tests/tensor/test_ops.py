@@ -294,3 +294,122 @@ class TestDropout:
         out.sum().backward()
         # Gradient is exactly the forward mask.
         assert np.allclose(a.grad, out.data)
+
+
+class TestRowKernels:
+    """The wave-scheduler's gather/scatter/segment primitives."""
+
+    def test_index_rows_forward(self):
+        a = Tensor(np.arange(12.0).reshape(4, 3), requires_grad=True)
+        out = ops.index_rows(a, np.array([3, 1, 1]))
+        assert np.allclose(out.data, [[9, 10, 11], [3, 4, 5], [3, 4, 5]])
+
+    def test_index_rows_duplicate_gradient_accumulates(self):
+        a = Tensor(np.zeros((3, 2)), requires_grad=True)
+        ops.index_rows(a, np.array([1, 1, 2])).sum().backward()
+        assert np.allclose(a.grad, [[0, 0], [2, 2], [1, 1]])
+
+    def test_index_rows_gradcheck(self):
+        a = make((4, 3), 1)
+        idx = np.array([0, 2, 2, 3])
+        check_gradients(lambda: (ops.index_rows(a, idx) ** 2.0).sum(), [a])
+
+    def test_scatter_rows_forward(self):
+        a = Tensor(np.zeros((3, 2)), requires_grad=True)
+        rows = Tensor(np.array([[1.0, 2.0], [3.0, 4.0]]), requires_grad=True)
+        out = ops.scatter_rows(a, np.array([2, 0]), rows)
+        assert np.allclose(out.data, [[3, 4], [0, 0], [1, 2]])
+        assert np.allclose(a.data, 0.0)  # out-of-place
+
+    def test_scatter_rows_rejects_duplicate_indices(self):
+        a = make((3, 2), 0)
+        rows = make((2, 2), 1)
+        with pytest.raises(ValueError, match="unique"):
+            ops.scatter_rows(a, np.array([1, 1]), rows)
+
+    def test_scatter_rows_gradcheck(self):
+        a = make((4, 3), 2)
+        rows = make((2, 3), 3)
+        idx = np.array([1, 3])
+        check_gradients(
+            lambda: (ops.scatter_rows(a, idx, rows) ** 2.0).sum(), [a, rows]
+        )
+
+    def test_scatter_rows_overwritten_rows_get_no_gradient(self):
+        a = make((3, 2), 4)
+        rows = make((1, 2), 5)
+        ops.scatter_rows(a, np.array([1]), rows).sum().backward()
+        assert np.allclose(a.grad[1], 0.0)
+        assert np.allclose(a.grad[[0, 2]], 1.0)
+        assert np.allclose(rows.grad, 1.0)
+
+    def test_segment_sum_forward(self):
+        a = Tensor(np.array([[1.0], [2.0], [4.0]]), requires_grad=True)
+        out = ops.segment_sum(a, np.array([0, 2, 0]), 3)
+        assert np.allclose(out.data, [[5.0], [0.0], [2.0]])
+
+    def test_segment_sum_gradcheck(self):
+        a = make((5, 2), 6)
+        ids = np.array([0, 1, 1, 3, 0])
+        check_gradients(lambda: (ops.segment_sum(a, ids, 4) ** 2.0).sum(), [a])
+
+
+class TestGruSequenceOp:
+    """The fused GRU scan against the op-by-op cell recurrence."""
+
+    def _params(self, in_size, hidden, seed):
+        rng = np.random.default_rng(seed)
+        W = Tensor(rng.normal(size=(in_size, 3 * hidden)) * 0.4, requires_grad=True)
+        U = Tensor(rng.normal(size=(hidden, 3 * hidden)) * 0.4, requires_grad=True)
+        b = Tensor(rng.normal(size=(3 * hidden,)) * 0.1, requires_grad=True)
+        return W, U, b
+
+    @staticmethod
+    def _cell_scan(x, h, W, U, b):
+        H = h.shape[1]
+        outs = []
+        for t in range(x.shape[0]):
+            gx = x[t] @ W + b
+            gh = h @ U
+            z = ops.sigmoid(gx[:, 0:H] + gh[:, 0:H])
+            r = ops.sigmoid(gx[:, H : 2 * H] + gh[:, H : 2 * H])
+            n = ops.tanh(gx[:, 2 * H : 3 * H] + r * gh[:, 2 * H : 3 * H])
+            h = z * h + (1.0 - z) * n
+            outs.append(h)
+        return ops.stack(outs, axis=0)
+
+    def test_matches_cell_recurrence(self):
+        W, U, b = self._params(3, 4, 0)
+        x = make((6, 2, 3), 1)
+        h0 = make((2, 4), 2)
+        fused = ops.gru_sequence(x, h0, W, U, b)
+        manual = self._cell_scan(x, h0, W, U, b)
+        assert np.max(np.abs(fused.data - manual.data)) < 1e-12
+
+    def test_backward_matches_cell_recurrence(self):
+        W, U, b = self._params(3, 4, 3)
+        x = make((5, 2, 3), 4)
+        h0 = make((2, 4), 5)
+        (ops.gru_sequence(x, h0, W, U, b) ** 2.0).sum().backward()
+        fused_grads = [t.grad.copy() for t in (x, h0, W, U, b)]
+        for t in (x, h0, W, U, b):
+            t.zero_grad()
+        (self._cell_scan(x, h0, W, U, b) ** 2.0).sum().backward()
+        for fused, tensor in zip(fused_grads, (x, h0, W, U, b)):
+            assert np.max(np.abs(fused - tensor.grad)) < 1e-10
+
+    def test_gradcheck_all_parents(self):
+        W, U, b = self._params(2, 3, 6)
+        x = make((4, 1, 2), 7)
+        h0 = make((1, 3), 8)
+        check_gradients(
+            lambda: (ops.gru_sequence(x, h0, W, U, b) ** 2.0).sum(),
+            [x, h0, W, U, b],
+        )
+
+    def test_empty_sequence(self):
+        W, U, b = self._params(2, 3, 9)
+        x = Tensor(np.zeros((0, 1, 2)), requires_grad=True)
+        h0 = make((1, 3), 10)
+        out = ops.gru_sequence(x, h0, W, U, b)
+        assert out.shape == (0, 1, 3)
