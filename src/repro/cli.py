@@ -215,6 +215,20 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--jsonl",
                          help="also write every telemetry row (spans, ops, "
                               "metrics) to this JSONL file")
+
+    chaos = add_command(
+        "chaos",
+        "run the fault-injection scenario suite and print a survival report",
+    )
+    chaos.add_argument("--quick", action="store_true",
+                       help="in-process scenarios only (skips the ones that "
+                            "spawn worker processes)")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="seed for every fault plan and corruption helper")
+    chaos.add_argument("--scenarios", nargs="+", metavar="NAME",
+                       help="run only these scenarios (see --list)")
+    chaos.add_argument("--list", dest="list_scenarios", action="store_true",
+                       help="list scenarios and exit")
     return parser
 
 
@@ -498,11 +512,32 @@ def _run_profile(args) -> None:
         print(f"{count} telemetry rows written to {args.jsonl}", file=sys.stderr)
 
 
+def _run_chaos(args) -> int:
+    from repro.resilience.chaos import (
+        render_report,
+        run_scenarios,
+        scenario_description,
+        scenario_names,
+    )
+
+    if args.list_scenarios:
+        quick_set = set(scenario_names(quick=True))
+        for name in scenario_names():
+            tag = "" if name in quick_set else "  [full only]"
+            print(f"  {name:<22} {scenario_description(name)}{tag}")
+        return 0
+    results = run_scenarios(
+        names=args.scenarios, quick=args.quick, seed=args.seed
+    )
+    print(render_report(results))
+    return 0 if all(result.survived for result in results) else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     config = (
         _config_from_args(args)
-        if args.command not in ("bench", "train", "serve", "profile")
+        if args.command not in ("bench", "train", "serve", "profile", "chaos")
         else None
     )
 
@@ -535,6 +570,8 @@ def main(argv: list[str] | None = None) -> int:
         _run_serve(args)
     elif args.command == "profile":
         _run_profile(args)
+    elif args.command == "chaos":
+        return _run_chaos(args)
     return 0
 
 

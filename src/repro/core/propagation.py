@@ -48,6 +48,7 @@ assignments when no tape is recording and functional
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 
 import numpy as np
@@ -56,7 +57,10 @@ from repro.graph.ctdn import CTDN
 from repro.graph.edge import TemporalEdge
 from repro.graph.plan import PropagationPlan
 from repro.nn import FeatureEncoder, GRUCell, Module, Time2Vec
+from repro.resilience.faults import inject
 from repro.tensor import Tensor, ops
+
+_log = logging.getLogger("repro.resilience")
 
 
 @dataclass
@@ -134,6 +138,9 @@ class TemporalPropagationBase(Module):
         self.time_encoder = Time2Vec(time_dim, rng=rng) if time_dim > 0 else None
         self.last_update_count = 0
         self.engine = "wave"
+        #: True when the most recent :meth:`forward` had to abandon the
+        #: wave engine (or plan construction) and replay per edge.
+        self.fallback = False
 
     @property
     def output_dim(self) -> int:
@@ -227,20 +234,61 @@ class TemporalPropagationBase(Module):
             ``"wave"`` for the batched kernels, ``"per-edge"`` for the
             reference fold of :meth:`step`.  Defaults to
             :attr:`engine` (``"wave"``).
+
+        Degraded mode
+        -------------
+        The per-edge fold is the reference semantics, so it doubles as
+        the recovery path: if plan construction fails, the chronological
+        edge list is folded directly; if the wave kernel fails mid-run,
+        the state is re-initialised and the plan's edge order replayed
+        per edge (identical order ⇒ identical result).  Either fallback
+        sets :attr:`fallback`, logs a warning, and bumps the
+        ``resilience/fallback_engine_activations`` telemetry counter.
         """
         engine = engine if engine is not None else self.engine
         if engine not in self.ENGINES:
             raise KeyError(f"unknown engine {engine!r}; choose from {self.ENGINES}")
+        self.fallback = False
         if plan is None:
-            plan = graph.propagation_plan(rng=rng)
+            try:
+                plan = graph.propagation_plan(rng=rng)
+            except Exception as error:
+                self._activate_fallback("plan", error)
+                state = self.init_state(graph.features)
+                for edge in self._ordered_edges(graph, rng):
+                    self.step(state, edge)
+                self.last_update_count = state.updates
+                return self.finalize(state)
         state = self.init_state(graph.features)
         if engine == "per-edge":
             for edge in plan.edges():
                 self.step(state, edge)
         else:
-            self._run_waves(state, plan)
+            try:
+                inject("propagation.wave")
+                self._run_waves(state, plan)
+            except Exception as error:
+                self._activate_fallback("wave", error)
+                state = self.init_state(graph.features)
+                for edge in plan.edges():
+                    self.step(state, edge)
         self.last_update_count = state.updates
         return self.finalize(state)
+
+    def _activate_fallback(self, stage: str, error: BaseException) -> None:
+        """Record a wave→per-edge engine downgrade (log + telemetry)."""
+        self.fallback = True
+        _log.warning(
+            "%s failed (%s: %s); falling back to per-edge propagation",
+            "plan construction" if stage == "plan" else "wave kernel",
+            type(error).__name__,
+            error,
+        )
+        from repro import telemetry
+
+        telemetry.get_registry().counter(
+            "resilience/fallback_engine_activations", stage=stage
+        ).inc()
 
     # ------------------------------------------------------------------
     # Shared helpers

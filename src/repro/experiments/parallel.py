@@ -48,10 +48,13 @@ from multiprocessing.connection import wait as connection_wait
 from pathlib import Path
 from typing import Callable
 
+import numpy as np
+
 from repro import telemetry
 from repro.baselines.registry import make_model
 from repro.experiments.config import ExperimentConfig, snapshot_size_for
 from repro.experiments.runner import dataset_for
+from repro.resilience.retry import RetryPolicy
 from repro.training.metrics import Metrics, MetricSummary
 from repro.training.trainer import (
     TrainConfig,
@@ -192,6 +195,13 @@ class TrialResult:
 # ----------------------------------------------------------------------
 # On-disk cache
 # ----------------------------------------------------------------------
+def _entry_digest(payload: dict) -> str:
+    """SHA-256 of a cache entry's canonical JSON (minus its own digest)."""
+    body = {key: value for key, value in payload.items() if key != "sha256"}
+    blob = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
 class TrialCache:
     """Content-keyed trial store under ``root`` (one JSON file per cell).
 
@@ -209,6 +219,10 @@ class TrialCache:
         """Cache-entry file for ``key``."""
         return self.root / f"{key}.json"
 
+    def quarantine_path(self, key: str) -> Path:
+        """Where a corrupt entry for ``key`` is moved for post-mortem."""
+        return self.root / "quarantine" / f"{key}.json"
+
     def checkpoint_path(self, key: str) -> Path:
         """Mid-training checkpoint file for an in-flight ``key``."""
         return self.root / "checkpoints" / f"{key}.npz"
@@ -218,18 +232,47 @@ class TrialCache:
         return self.root / f"{key}.telemetry.jsonl"
 
     def get(self, key: str) -> TrialOutcome | None:
-        """Cached outcome for ``key``, or None on miss/corruption."""
+        """Verified cached outcome for ``key``, or None.
+
+        A miss and a *stale* entry (older ``CODE_VERSION``) both return
+        None silently.  A *damaged* entry — unparseable JSON, a SHA-256
+        digest mismatch, or a payload that no longer deserialises — is
+        quarantined: moved to ``root/quarantine/`` for post-mortem,
+        counted on the ``resilience/cache_quarantined`` telemetry
+        counter, and reported as a miss so the scheduler recomputes the
+        cell instead of crashing or trusting corrupt metrics.
+        """
         path = self.path(key)
         try:
-            payload = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, json.JSONDecodeError):
-            return None
-        if payload.get("key") != key or payload.get("version") != CODE_VERSION:
+            raw = path.read_bytes()
+        except OSError:
             return None
         try:
+            # Decoding inside the guard: corruption can break the UTF-8
+            # framing itself (UnicodeDecodeError is a ValueError).
+            payload = json.loads(raw.decode("utf-8"))
+            if not isinstance(payload, dict):
+                raise ValueError(f"entry root is {type(payload).__name__}, not object")
+            digest = payload.get("sha256")
+            if digest is not None and digest != _entry_digest(payload):
+                raise ValueError("sha256 digest mismatch")
+            if payload.get("key") != key or payload.get("version") != CODE_VERSION:
+                return None  # stale or foreign entry, not corruption
             return TrialOutcome.from_json(payload["outcome"])
-        except (KeyError, TypeError, ValueError):
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as error:
+            self._quarantine(key, path, error)
             return None
+
+    def _quarantine(self, key: str, path: Path, error: Exception) -> None:
+        destination = self.quarantine_path(key)
+        destination.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            os.replace(path, destination)
+        except OSError:  # pragma: no cover - lost the race with another reader
+            pass
+        telemetry.get_registry().counter(
+            "resilience/cache_quarantined", reason=type(error).__name__
+        ).inc()
 
     def put(
         self,
@@ -252,6 +295,7 @@ class TrialCache:
             "spec": asdict(spec),
             "outcome": outcome.to_json(),
         }
+        payload["sha256"] = _entry_digest(payload)
         path = self.path(key)
         temporary = path.with_name(f".{path.name}.{os.getpid()}.tmp")
         temporary.write_text(
@@ -285,8 +329,8 @@ class TrialCache:
         return len(list(self.root.glob("*.json")))
 
     def clear(self) -> int:
-        """Delete every cache entry, telemetry file and checkpoint;
-        returns result entries removed."""
+        """Delete every cache entry, telemetry file, checkpoint and
+        quarantined entry; returns result entries removed."""
         removed = 0
         for entry in self.root.glob("*.json"):
             entry.unlink()
@@ -295,6 +339,8 @@ class TrialCache:
             telemetry_file.unlink()
         for checkpoint in self.root.glob("checkpoints/*.npz"):
             checkpoint.unlink()
+        for quarantined in self.root.glob("quarantine/*.json"):
+            quarantined.unlink()
         return removed
 
 
@@ -463,7 +509,14 @@ class ParallelRunner:
     retries:
         Extra attempts per cell after the first failure; a cell is
         reported failed only when all ``retries + 1`` attempts are
-        exhausted.
+        exhausted.  Shorthand for ``retry=RetryPolicy(attempts=retries
+        + 1)``.
+    retry:
+        Full :class:`~repro.resilience.RetryPolicy` (attempts, backoff
+        + seeded jitter between attempts, per-cell wall-clock
+        deadline).  Overrides ``retries`` when given; a retried cell is
+        re-queued with a ``ready_at`` timestamp so backoff never blocks
+        other cells.
     trial_timeout:
         Per-attempt wall-clock budget in seconds; an expired worker is
         terminated (its checkpoint survives) and the attempt counts as
@@ -486,6 +539,7 @@ class ParallelRunner:
         cache: TrialCache | None = None,
         jobs: int | None = None,
         retries: int = 1,
+        retry: RetryPolicy | None = None,
         trial_timeout: float | None = None,
         checkpoint_every: int = 1,
         progress: Callable[[SweepProgress], None] | None = None,
@@ -501,12 +555,14 @@ class ParallelRunner:
             worker = _profiled_trial_worker
         self.cache = cache
         self.jobs = max(1, jobs if jobs is not None else os.cpu_count() or 1)
-        self.retries = retries
+        self.retry = retry if retry is not None else RetryPolicy(attempts=retries + 1)
+        self.retries = self.retry.retries
         self.trial_timeout = trial_timeout
         self.checkpoint_every = checkpoint_every
         self.progress = progress
         self.worker = worker
         self._ctx = multiprocessing.get_context(start_method)
+        self._retry_rng = np.random.default_rng(0)
 
     # -- public API ----------------------------------------------------
     def run(self, specs: list[TrialSpec]) -> list[TrialResult]:
@@ -519,7 +575,10 @@ class ParallelRunner:
         results: list[TrialResult | None] = [None] * total
         stats = {"completed": 0, "cached": 0, "failed": 0}
         started = time.monotonic()
-        pending: deque[tuple[int, TrialSpec, str, int, float]] = deque()
+        # Pending entries are (index, spec, key, attempt, prior_seconds,
+        # ready_at): retried cells carry a backoff timestamp and are
+        # skipped (rotated past) until it passes.
+        pending: deque[tuple[int, TrialSpec, str, int, float, float]] = deque()
         for index, spec in enumerate(specs):
             key = trial_cache_key(spec)
             outcome = self.cache.get(key) if self.cache is not None else None
@@ -531,16 +590,28 @@ class ParallelRunner:
                 stats["cached"] += 1
                 self._report(stats, total, 0, started, f"{spec.cell()} cached")
             else:
-                pending.append((index, spec, key, 1, 0.0))
+                pending.append((index, spec, key, 1, 0.0, 0.0))
         active: dict[int, _ActiveTrial] = {}
         try:
             while pending or active:
-                while pending and len(active) < self.jobs:
-                    self._launch(*pending.popleft(), active=active)
+                now = time.monotonic()
+                considered = 0
+                while pending and len(active) < self.jobs and considered < len(pending):
+                    if pending[0][5] > now:
+                        pending.rotate(-1)
+                        considered += 1
+                        continue
+                    self._launch(*pending.popleft()[:5], active=active)
                     self._report(
                         stats, total, len(active), started,
                         f"{len(active)} worker(s) running",
                     )
+                if not active and pending:
+                    # Everything left is backing off; nap until the
+                    # earliest becomes ready (bounded to stay responsive).
+                    earliest = min(entry[5] for entry in pending)
+                    time.sleep(max(0.0, min(earliest - time.monotonic(), 0.05)))
+                    continue
                 self._poll(active, pending, results, stats, total, started)
         finally:
             for trial in active.values():
@@ -640,9 +711,15 @@ class ParallelRunner:
     def _attempt_failed(
         self, trial, pending, results, stats, total, started, error: str
     ) -> None:
-        if trial.attempt <= self.retries:
+        elapsed = trial.elapsed()
+        delay = self.retry.delay_for(trial.attempt + 1, rng=self._retry_rng)
+        budget_left = (
+            self.retry.deadline is None or elapsed + delay < self.retry.deadline
+        )
+        if trial.attempt <= self.retries and budget_left:
             pending.append((trial.index, trial.spec, trial.key,
-                            trial.attempt + 1, trial.elapsed()))
+                            trial.attempt + 1, elapsed,
+                            time.monotonic() + delay))
             self._report(
                 stats, total, 0, started,
                 f"{trial.spec.cell()} failed (attempt {trial.attempt}), retrying",
@@ -750,6 +827,7 @@ def run_table_parallel(
     cache: TrialCache | None = None,
     jobs: int | None = None,
     retries: int = 1,
+    retry: RetryPolicy | None = None,
     trial_timeout: float | None = None,
     progress: Callable[[SweepProgress], None] | None = None,
     profile: bool = False,
@@ -772,6 +850,7 @@ def run_table_parallel(
         cache=cache,
         jobs=jobs,
         retries=retries,
+        retry=retry,
         trial_timeout=trial_timeout,
         progress=progress,
         profile=profile,

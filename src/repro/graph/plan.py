@@ -36,6 +36,7 @@ from typing import Iterator, Sequence
 import numpy as np
 
 from repro.graph.edge import TemporalEdge
+from repro.resilience.faults import inject
 
 
 class PropagationPlan:
@@ -83,6 +84,7 @@ class PropagationPlan:
         The stable sort keeps storage order among equal timestamps,
         matching :meth:`CTDN.edges_sorted` without an rng.
         """
+        inject("plan.build")
         m = len(edges)
         times_raw = np.fromiter((e.time for e in edges), dtype=np.float64, count=m)
         order = np.argsort(times_raw, kind="stable")
@@ -99,6 +101,7 @@ class PropagationPlan:
         times, the tie structure and the storage mapping are shared,
         and just the wave boundaries are recomputed for the new order.
         """
+        inject("plan.build")
         src = self.src.copy()
         dst = self.dst.copy()
         order = self.order.copy()

@@ -16,6 +16,7 @@ Two layers are exposed:
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from pathlib import Path
@@ -23,9 +24,21 @@ from pathlib import Path
 import numpy as np
 
 from repro.nn.module import Module
+from repro.resilience.errors import IntegrityError
 
 _META_KEY = "__repro_meta__"
 _FORMAT_VERSION = 1
+_ENVELOPE_KEY = "__archive__"
+_CHECKSUM_ALGORITHM = "sha256"
+
+
+def _digest(array: np.ndarray) -> str:
+    """Content hash of one entry: dtype + shape + raw bytes."""
+    hasher = hashlib.sha256()
+    hasher.update(str(array.dtype).encode("utf-8"))
+    hasher.update(repr(tuple(array.shape)).encode("utf-8"))
+    hasher.update(np.ascontiguousarray(array).tobytes())
+    return hasher.hexdigest()
 
 
 def _normalize(path: str | Path) -> Path:
@@ -40,39 +53,116 @@ def write_archive(
 
     Returns the resolved path (``.npz`` suffix enforced).  Array names
     must not collide with the reserved metadata key.  The archive is
-    written to a temp file and atomically renamed into place, so a
-    writer killed mid-checkpoint (e.g. a timed-out trial worker) can
-    never publish a torn file.
+    self-verifying: every entry's SHA-256 is recorded in the metadata
+    envelope and re-checked by :func:`read_archive`.  The archive is
+    written to a temp file, fsynced, and atomically renamed into place
+    (then the directory is fsynced), so a writer killed mid-checkpoint
+    (e.g. a timed-out trial worker) can never publish a torn or
+    half-visible file.
     """
     path = _normalize(path)
     if _META_KEY in arrays:
         raise ValueError(
             f"array name {_META_KEY!r} is reserved for checkpoint metadata"
         )
+    envelope = {
+        _ENVELOPE_KEY: {
+            "checksum_algorithm": _CHECKSUM_ALGORITHM,
+            "checksums": {name: _digest(np.asarray(value)) for name, value in arrays.items()},
+        },
+        "meta": meta,
+    }
     payload = dict(arrays)
     payload[_META_KEY] = np.frombuffer(
-        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+        json.dumps(envelope).encode("utf-8"), dtype=np.uint8
     )
     path.parent.mkdir(parents=True, exist_ok=True)
     # savez appends ".npz" unless the name already ends with it.
     temporary = path.with_name(f".{path.stem}.{os.getpid()}.tmp.npz")
     try:
-        np.savez_compressed(temporary, **payload)
+        with open(temporary, "wb") as handle:
+            np.savez_compressed(handle, **payload)
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(temporary, path)
+        _fsync_directory(path.parent)
     finally:
         temporary.unlink(missing_ok=True)
     return path
 
 
-def read_archive(path: str | Path) -> tuple[dict[str, np.ndarray], dict]:
-    """Read back ``(arrays, meta)`` written by :func:`write_archive`."""
+def _fsync_directory(directory: Path) -> None:
+    """Flush a directory entry so a rename survives power loss.
+
+    Best-effort: some filesystems (and all of Windows) refuse to open
+    directories, which only loses the durability of the *rename*, not
+    the atomicity.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+def read_archive(path: str | Path, verify: bool = True) -> tuple[dict[str, np.ndarray], dict]:
+    """Read back ``(arrays, meta)`` written by :func:`write_archive`.
+
+    Every failure mode of a damaged file — truncation, a corrupt zip
+    member, unparseable metadata, a checksum mismatch — raises
+    :class:`~repro.resilience.errors.IntegrityError` (a ``ValueError``
+    subclass) instead of leaking numpy/zipfile internals or, worse,
+    silently returning garbage.  ``verify=False`` skips only the
+    per-entry SHA-256 re-hash (zip CRCs are still enforced).  Archives
+    written before checksums existed load without verification.
+    """
     path = _normalize(path)
-    with np.load(path) as archive:
-        if _META_KEY not in archive:
-            raise ValueError(f"{path} is not a repro checkpoint (missing metadata)")
-        meta = json.loads(bytes(archive[_META_KEY].tobytes()).decode("utf-8"))
-        arrays = {key: archive[key] for key in archive.files if key != _META_KEY}
+    try:
+        with np.load(path) as archive:
+            if _META_KEY not in archive:
+                raise IntegrityError(
+                    f"{path} is not a repro checkpoint (missing metadata)"
+                )
+            blob = json.loads(bytes(archive[_META_KEY].tobytes()).decode("utf-8"))
+            arrays = {key: archive[key] for key in archive.files if key != _META_KEY}
+    except (FileNotFoundError, IntegrityError):
+        raise
+    except Exception as error:
+        raise IntegrityError(f"{path} is corrupt or truncated: {error}") from error
+    if not isinstance(blob, dict):
+        raise IntegrityError(f"{path} carries malformed metadata: {type(blob).__name__}")
+    if _ENVELOPE_KEY not in blob:
+        return arrays, blob  # pre-checksum archive: accepted, unverified
+    envelope = blob[_ENVELOPE_KEY]
+    meta = blob.get("meta", {})
+    if verify:
+        _verify_checksums(path, arrays, envelope)
     return arrays, meta
+
+
+def _verify_checksums(path: Path, arrays: dict[str, np.ndarray], envelope) -> None:
+    if not isinstance(envelope, dict) or not isinstance(envelope.get("checksums"), dict):
+        raise IntegrityError(f"{path} carries a malformed checksum envelope")
+    checksums = envelope["checksums"]
+    if set(checksums) != set(arrays):
+        missing = sorted(set(checksums) - set(arrays))
+        extra = sorted(set(arrays) - set(checksums))
+        raise IntegrityError(
+            f"{path} entry manifest mismatch "
+            f"(missing entries: {missing}, unchecksummed entries: {extra})"
+        )
+    for name, expected in checksums.items():
+        actual = _digest(np.asarray(arrays[name]))
+        if actual != expected:
+            raise IntegrityError(
+                f"{path} entry {name!r} failed {_CHECKSUM_ALGORITHM} verification "
+                f"(expected {expected[:12]}…, got {actual[:12]}…)"
+            )
 
 
 _NAMESPACE_SEP = "/"

@@ -1,0 +1,86 @@
+"""Resilience layer: fault injection and the hardening it exercises.
+
+The package has two halves that deliberately live together:
+
+* **Harness** — :mod:`repro.resilience.faults` provides seeded,
+  replayable :class:`FaultPlan`\\ s fired at named ``inject(...)`` points
+  scattered through the codebase (no-ops unless a plan is active), plus
+  file/feed corruption helpers.  :mod:`repro.resilience.chaos` (not
+  imported here; pulled in lazily by the ``repro chaos`` CLI verb and
+  the chaos tests) runs the scenario suite that proves the recovery
+  paths work.
+* **Hardening** — typed errors (:mod:`~repro.resilience.errors`), the
+  shared :class:`RetryPolicy`, the serving-path
+  :class:`CircuitBreaker`/deadline guard, and serve-side
+  :class:`EventValidator` admission control.
+
+:class:`EventValidator` is re-exported lazily (PEP 562): its module
+imports :mod:`repro.serve`, which itself imports this package, and the
+eager modules below must stay importable from inside that cycle.
+
+See ``RELIABILITY.md`` for the failure-mode → detection → recovery
+catalog.
+"""
+
+from repro.resilience.breaker import (
+    BreakerStats,
+    CircuitBreaker,
+    Deadline,
+    call_with_deadline,
+)
+from repro.resilience.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    EventValidationError,
+    FaultInjected,
+    IntegrityError,
+)
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    activate,
+    active,
+    corrupt_file,
+    enabled,
+    inject,
+    perturb_feed,
+    truncate_file,
+)
+from repro.resilience.retry import RetryPolicy
+
+_LAZY = {"EventValidator", "VALIDATION_POLICIES"}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        from repro.resilience import validation
+
+        return getattr(validation, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "FAULT_KINDS",
+    "VALIDATION_POLICIES",
+    "BreakerStats",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "Deadline",
+    "DeadlineExceededError",
+    "EventValidationError",
+    "EventValidator",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultSpec",
+    "IntegrityError",
+    "RetryPolicy",
+    "activate",
+    "active",
+    "call_with_deadline",
+    "corrupt_file",
+    "enabled",
+    "inject",
+    "perturb_feed",
+    "truncate_file",
+]

@@ -1,0 +1,166 @@
+"""Circuit breaker + deadline guard for the serving hot path.
+
+A :class:`CircuitBreaker` tracks consecutive failures of a guarded
+operation and, once a threshold is crossed, *opens*: further calls are
+rejected instantly with :class:`CircuitOpenError` instead of hammering
+a failing dependency.  After a cooldown it lets one probe call through
+(*half-open*); success closes the circuit, failure re-opens it.
+
+The :class:`Deadline` helper implements the cooperative flavour of
+timeouts that fits a pure-Python, CPU-bound engine: the call is not
+preempted, but a breach is detected the moment it returns, counted,
+and surfaced as :class:`DeadlineExceededError` so callers (and the
+breaker) treat the slow path as a failure.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.resilience.errors import CircuitOpenError, DeadlineExceededError
+
+#: Breaker states.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+@dataclass
+class BreakerStats:
+    """Lifetime accounting for one breaker."""
+
+    failures: int = 0
+    successes: int = 0
+    rejections: int = 0
+    opens: int = 0
+
+
+class CircuitBreaker:
+    """Classic three-state (closed / open / half-open) circuit breaker.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures that trip the circuit open.
+    cooldown:
+        Seconds the circuit stays open before admitting a probe call.
+    clock:
+        Injectable monotonic clock (tests drive it manually).
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        cooldown: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError(f"failure_threshold must be >= 1, got {failure_threshold}")
+        if cooldown < 0:
+            raise ValueError(f"cooldown must be >= 0, got {cooldown}")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self.stats = BreakerStats()
+
+    @property
+    def state(self) -> str:
+        """Current state, advancing ``open`` → ``half_open`` lazily."""
+        if self._state == OPEN and self._clock() - self._opened_at >= self.cooldown:
+            self._state = HALF_OPEN
+        return self._state
+
+    def allow(self) -> bool:
+        """Whether a call may proceed right now (counts rejections)."""
+        state = self.state
+        if state == OPEN:
+            self.stats.rejections += 1
+            return False
+        return True
+
+    def record_success(self) -> None:
+        self.stats.successes += 1
+        self._consecutive_failures = 0
+        self._state = CLOSED
+
+    def record_failure(self) -> None:
+        self.stats.failures += 1
+        self._consecutive_failures += 1
+        if self._state == HALF_OPEN or self._consecutive_failures >= self.failure_threshold:
+            if self._state != OPEN:
+                self.stats.opens += 1
+            self._state = OPEN
+            self._opened_at = self._clock()
+
+    def call(self, fn: Callable, *args, **kwargs):
+        """Run ``fn`` under the breaker: reject when open, record the
+        outcome otherwise."""
+        if not self.allow():
+            raise CircuitOpenError(
+                f"circuit open after {self._consecutive_failures} consecutive failures"
+            )
+        try:
+            result = fn(*args, **kwargs)
+        except Exception:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result
+
+
+@dataclass
+class Deadline:
+    """A wall-clock budget for one operation (cooperative).
+
+    ``expired()`` / ``remaining()`` let long loops poll; ``guard``-style
+    wrapping happens in :func:`call_with_deadline`.
+    """
+
+    seconds: float
+    clock: Callable[[], float] = time.monotonic
+    started: float = field(default=0.0)
+
+    def __post_init__(self):
+        if self.seconds <= 0:
+            raise ValueError(f"deadline must be positive, got {self.seconds}")
+        if not self.started:
+            self.started = self.clock()
+
+    def elapsed(self) -> float:
+        return self.clock() - self.started
+
+    def remaining(self) -> float:
+        return self.seconds - self.elapsed()
+
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+
+def call_with_deadline(
+    fn: Callable,
+    seconds: float,
+    *args,
+    clock: Callable[[], float] = time.monotonic,
+    **kwargs,
+):
+    """Run ``fn`` and raise :class:`DeadlineExceededError` if it took
+    longer than ``seconds``.
+
+    The call is not interrupted mid-flight (pure-Python CPU work cannot
+    be safely preempted); the breach is detected on return, which is
+    enough for the breaker to treat the dependency as unhealthy and for
+    telemetry to count the violation.  Returns ``(result, elapsed)``.
+    """
+    deadline = Deadline(seconds=seconds, clock=clock)
+    result = fn(*args, **kwargs)
+    elapsed = deadline.elapsed()
+    if elapsed > seconds:
+        raise DeadlineExceededError(
+            f"call took {elapsed:.3f}s, exceeding the {seconds:.3f}s deadline"
+        )
+    return result, elapsed

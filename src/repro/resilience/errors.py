@@ -1,0 +1,43 @@
+"""Typed failures raised by the resilience layer.
+
+Every degraded path in the repo signals through one of these types, so
+callers can distinguish "the data is bad" (:class:`IntegrityError`,
+:class:`EventValidationError`) from "the system is protecting itself"
+(:class:`CircuitOpenError`, :class:`DeadlineExceededError`) from "a
+test injected this on purpose" (:class:`FaultInjected`).
+"""
+
+from __future__ import annotations
+
+
+class IntegrityError(ValueError):
+    """Persisted state (archive, checkpoint, cache entry) failed
+    verification: corrupt, truncated, or checksum-mismatched.
+
+    Subclasses :class:`ValueError` so pre-existing handlers written
+    against the old untyped archive errors keep working.
+    """
+
+
+class FaultInjected(RuntimeError):
+    """The deterministic fault harness fired at an injection point.
+
+    Only ever raised while a :class:`~repro.resilience.faults.FaultPlan`
+    is active; production code never constructs it.
+    """
+
+
+class CircuitOpenError(RuntimeError):
+    """A circuit breaker rejected the call without attempting it."""
+
+
+class DeadlineExceededError(TimeoutError):
+    """A guarded call finished (or was abandoned) past its deadline."""
+
+
+class EventValidationError(ValueError):
+    """A stream event failed validation under the ``strict`` policy."""
+
+    def __init__(self, message: str, violations: list[str] | None = None):
+        super().__init__(message)
+        self.violations = list(violations or [])

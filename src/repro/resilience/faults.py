@@ -1,0 +1,326 @@
+"""Deterministic fault injection: seeded plans fired at named points.
+
+Production code is sprinkled with cheap named hooks::
+
+    from repro.resilience.faults import inject
+    ...
+    inject("serve.apply")
+
+While no plan is active (the default, and the only state production
+processes ever see) :func:`inject` is a single global load plus a
+``None`` check — effectively compiled out.  Tests and the ``repro
+chaos`` CLI activate a :class:`FaultPlan` for a region::
+
+    plan = FaultPlan(seed=7).add("serve.apply", kind="raise", at=(3,))
+    with activate(plan):
+        engine.ingest_many(feed)          # 4th apply raises FaultInjected
+    assert plan.injected == 1
+
+Everything a plan does is a pure function of its seed and the sequence
+of :func:`inject` calls, so a chaos scenario replays identically.
+
+Besides the in-process hooks, this module carries the seeded
+*state-corruption* helpers the chaos suite uses against on-disk and
+on-wire artifacts: :func:`corrupt_file`, :func:`truncate_file` and
+:func:`perturb_feed`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.resilience.errors import FaultInjected
+
+#: Supported fault kinds, in rough order of destructiveness.
+FAULT_KINDS = ("raise", "timeout", "delay", "nan", "inf", "call")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault: *where* it fires, *when*, and *what* it does.
+
+    Parameters
+    ----------
+    point:
+        Injection-point name (see RELIABILITY.md for the catalog).
+    kind:
+        One of :data:`FAULT_KINDS`:
+
+        - ``"raise"`` — raise ``exception`` (default
+          :class:`FaultInjected`);
+        - ``"timeout"`` — raise :class:`TimeoutError`;
+        - ``"delay"`` — sleep ``seconds`` (latency injection);
+        - ``"nan"`` / ``"inf"`` — poison one seeded element of every
+          array in the call's context (parameters, gradients);
+        - ``"call"`` — invoke ``action(context)`` (escape hatch).
+    at:
+        Fire only on these 0-based call indices of the point.  ``None``
+        fires on every call (subject to ``probability``/``times``).
+    probability:
+        Seeded per-call coin; ``None`` means always (when ``at`` allows).
+    times:
+        Stop after this many firings (``None`` = unlimited).
+    """
+
+    point: str
+    kind: str = "raise"
+    at: tuple[int, ...] | None = None
+    probability: float | None = None
+    times: int | None = None
+    message: str = ""
+    exception: type[BaseException] = FaultInjected
+    seconds: float = 0.0
+    action: Callable | None = None
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; choose from {FAULT_KINDS}")
+        if self.probability is not None and not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {self.probability}")
+        if self.times is not None and self.times < 1:
+            raise ValueError(f"times must be >= 1, got {self.times}")
+        if self.kind == "call" and self.action is None:
+            raise ValueError("kind='call' needs an action callable")
+
+
+@dataclass
+class FiredFault:
+    """Journal entry for one fault that actually fired."""
+
+    point: str
+    kind: str
+    call_index: int
+
+
+class FaultPlan:
+    """A seeded, replayable set of :class:`FaultSpec` entries.
+
+    The plan owns a private RNG (probability coins, poison positions),
+    a per-point call counter and a journal of fired faults, so the same
+    plan against the same call sequence injects the same faults.
+    """
+
+    def __init__(self, specs: Sequence[FaultSpec] = (), seed: int = 0):
+        self.specs: list[FaultSpec] = list(specs)
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        self._calls: dict[str, int] = {}
+        self._fired_per_spec: dict[int, int] = {}
+        self.journal: list[FiredFault] = []
+
+    # -- construction --------------------------------------------------
+    def add(self, point: str, kind: str = "raise", **kwargs) -> "FaultPlan":
+        """Append a spec (builder style); returns ``self``."""
+        self.specs.append(FaultSpec(point=point, kind=kind, **kwargs))
+        return self
+
+    # -- introspection -------------------------------------------------
+    @property
+    def injected(self) -> int:
+        """Total faults fired so far."""
+        return len(self.journal)
+
+    def calls(self, point: str) -> int:
+        """How many times ``point`` has been reached."""
+        return self._calls.get(point, 0)
+
+    def fired(self, point: str | None = None) -> int:
+        """Faults fired at ``point`` (all points when ``None``)."""
+        if point is None:
+            return len(self.journal)
+        return sum(1 for entry in self.journal if entry.point == point)
+
+    # -- firing --------------------------------------------------------
+    def fire(self, point: str, context=None) -> None:
+        """Account one call of ``point`` and execute any due faults."""
+        index = self._calls.get(point, 0)
+        self._calls[point] = index + 1
+        for spec_id, spec in enumerate(self.specs):
+            if spec.point != point:
+                continue
+            if spec.at is not None and index not in spec.at:
+                continue
+            fired = self._fired_per_spec.get(spec_id, 0)
+            if spec.times is not None and fired >= spec.times:
+                continue
+            if spec.probability is not None and self._rng.random() >= spec.probability:
+                continue
+            self._fired_per_spec[spec_id] = fired + 1
+            self.journal.append(FiredFault(point=point, kind=spec.kind, call_index=index))
+            _count_injected(point)
+            self._execute(spec, point, context)
+
+    def _execute(self, spec: FaultSpec, point: str, context) -> None:
+        if spec.kind == "raise":
+            raise spec.exception(spec.message or f"injected fault at {point!r}")
+        if spec.kind == "timeout":
+            raise TimeoutError(spec.message or f"injected timeout at {point!r}")
+        if spec.kind == "delay":
+            time.sleep(spec.seconds)
+            return
+        if spec.kind in ("nan", "inf"):
+            value = float("nan") if spec.kind == "nan" else float("inf")
+            for array in _context_arrays(context):
+                if array.size:
+                    flat = array.reshape(-1)
+                    flat[int(self._rng.integers(flat.shape[0]))] = value
+            return
+        spec.action(context)
+
+
+def _count_injected(point: str) -> None:
+    """Record the firing on the active telemetry registry."""
+    from repro import telemetry
+
+    telemetry.get_registry().counter("resilience/faults_injected", point=point).inc()
+
+
+def _context_arrays(context) -> list[np.ndarray]:
+    """Resolve an injection context to the ndarrays it exposes.
+
+    Accepts ``None``, an ndarray, anything with a ``.data`` ndarray
+    (tensors, parameters), an iterable of those, or a zero-argument
+    callable returning any of the above (evaluated lazily, only when a
+    fault actually fires).
+    """
+    if context is None:
+        return []
+    if callable(context) and not isinstance(context, np.ndarray):
+        context = context()
+    if context is None:
+        return []
+    if isinstance(context, np.ndarray):
+        return [context]
+    data = getattr(context, "data", None)
+    if isinstance(data, np.ndarray):
+        return [data]
+    if isinstance(context, Iterable):
+        arrays: list[np.ndarray] = []
+        for item in context:
+            arrays.extend(_context_arrays(item))
+        return arrays
+    return []
+
+
+# ----------------------------------------------------------------------
+# Global activation
+# ----------------------------------------------------------------------
+_active: FaultPlan | None = None
+
+
+def active() -> FaultPlan | None:
+    """The plan currently receiving :func:`inject` calls (or ``None``)."""
+    return _active
+
+
+def enabled() -> bool:
+    """Whether any fault plan is active."""
+    return _active is not None
+
+
+def inject(point: str, context=None) -> None:
+    """Fire ``point`` on the active plan; a near-free no-op otherwise.
+
+    ``context`` may be a zero-argument callable so hot paths pay
+    nothing to describe their poisonable state unless a fault fires.
+    """
+    plan = _active
+    if plan is None:
+        return
+    plan.fire(point, context)
+
+
+@contextlib.contextmanager
+def activate(plan: FaultPlan):
+    """Make ``plan`` the active plan for the ``with`` region (reentrant:
+    the previous plan, if any, is restored on exit)."""
+    global _active
+    previous = _active
+    _active = plan
+    try:
+        yield plan
+    finally:
+        _active = previous
+
+
+# ----------------------------------------------------------------------
+# State-corruption helpers (on-disk artifacts)
+# ----------------------------------------------------------------------
+def corrupt_file(
+    path: str | Path,
+    rng: np.random.Generator | int = 0,
+    nbytes: int = 1,
+) -> list[int]:
+    """Flip ``nbytes`` seeded random bytes of ``path`` in place.
+
+    Each chosen byte is XORed with a random non-zero mask, so the file
+    is guaranteed to differ at every returned offset.  Returns the
+    corrupted offsets (sorted).
+    """
+    if isinstance(rng, (int, np.integer)):
+        rng = np.random.default_rng(int(rng))
+    path = Path(path)
+    blob = bytearray(path.read_bytes())
+    if not blob:
+        raise ValueError(f"{path} is empty; nothing to corrupt")
+    count = min(nbytes, len(blob))
+    offsets = sorted(int(i) for i in rng.choice(len(blob), size=count, replace=False))
+    for offset in offsets:
+        blob[offset] ^= int(rng.integers(1, 256))
+    path.write_bytes(bytes(blob))
+    return offsets
+
+
+def truncate_file(path: str | Path, keep_fraction: float = 0.5) -> int:
+    """Truncate ``path`` to ``keep_fraction`` of its size; returns the
+    new size in bytes (at least 1 so the file stays non-empty)."""
+    if not 0.0 <= keep_fraction < 1.0:
+        raise ValueError(f"keep_fraction must be in [0, 1), got {keep_fraction}")
+    path = Path(path)
+    size = path.stat().st_size
+    keep = max(1, int(size * keep_fraction))
+    with open(path, "rb+") as handle:
+        handle.truncate(keep)
+    return keep
+
+
+# ----------------------------------------------------------------------
+# Event-stream perturbation (on-wire artifacts)
+# ----------------------------------------------------------------------
+def perturb_feed(
+    feed: Sequence,
+    rng: np.random.Generator | int = 0,
+    drop: float = 0.0,
+    duplicate: float = 0.0,
+    swap: float = 0.0,
+) -> list:
+    """A seeded, disorder-injected copy of an event feed.
+
+    Per event: with probability ``drop`` it vanishes, with probability
+    ``duplicate`` it appears twice.  Afterwards, a ``swap`` fraction of
+    adjacent pairs is exchanged (local reordering — the shape real
+    multi-source ingestion skew takes).  The input is untouched.
+    """
+    for name, p in (("drop", drop), ("duplicate", duplicate), ("swap", swap)):
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"{name} must be in [0, 1], got {p}")
+    if isinstance(rng, (int, np.integer)):
+        rng = np.random.default_rng(int(rng))
+    out = []
+    for event in feed:
+        roll = rng.random()
+        if roll < drop:
+            continue
+        out.append(event)
+        if roll < drop + duplicate:
+            out.append(event)
+    for i in range(len(out) - 1):
+        if rng.random() < swap:
+            out[i], out[i + 1] = out[i + 1], out[i]
+    return out

@@ -1,0 +1,121 @@
+"""One retry policy for the whole repo: backoff + jitter + deadline.
+
+Before this module, every subsystem that retried (the parallel trial
+runner, ad-hoc test loops) carried its own attempt counting.
+:class:`RetryPolicy` is the single value object they now share: it
+describes *how many* attempts, *how long* to wait between them
+(exponential backoff with an optional seeded jitter), and the *total*
+wall-clock budget after which retrying stops even if attempts remain.
+
+The policy is a frozen dataclass so it can ride inside specs, configs
+and cache keys; execution state (attempt number, elapsed budget) lives
+in the caller or in :meth:`RetryPolicy.call`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How to retry a failing operation.
+
+    Parameters
+    ----------
+    attempts:
+        Total tries including the first (``1`` disables retrying).
+    backoff:
+        Delay before the first retry, in seconds.
+    multiplier:
+        Backoff growth factor per subsequent retry.
+    max_backoff:
+        Ceiling on any single delay.
+    jitter:
+        Fraction of each delay drawn uniformly at random and *added*
+        (``0.25`` → delays land in ``[d, 1.25 d)``).  Seeded, so a
+        chaos run's schedule is reproducible.
+    deadline:
+        Total wall-clock budget across all attempts and waits; ``None``
+        disables it.
+    """
+
+    attempts: int = 3
+    backoff: float = 0.0
+    multiplier: float = 2.0
+    max_backoff: float = 60.0
+    jitter: float = 0.0
+    deadline: float | None = None
+
+    def __post_init__(self):
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+        if self.backoff < 0:
+            raise ValueError(f"backoff must be >= 0, got {self.backoff}")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if not 0.0 <= self.jitter:
+            raise ValueError(f"jitter must be >= 0, got {self.jitter}")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {self.deadline}")
+
+    @property
+    def retries(self) -> int:
+        """Extra attempts after the first (the legacy runner knob)."""
+        return self.attempts - 1
+
+    def delay_for(self, attempt: int, rng: np.random.Generator | None = None) -> float:
+        """Seconds to wait before launching attempt ``attempt`` (2-based:
+        the first attempt never waits)."""
+        if attempt <= 1:
+            return 0.0
+        delay = min(self.backoff * self.multiplier ** (attempt - 2), self.max_backoff)
+        if self.jitter > 0.0 and rng is not None:
+            delay += delay * self.jitter * float(rng.random())
+        return delay
+
+    def delays(self, rng: np.random.Generator | None = None) -> Iterator[float]:
+        """The waits before attempts ``2 .. attempts`` in order."""
+        for attempt in range(2, self.attempts + 1):
+            yield self.delay_for(attempt, rng=rng)
+
+    def call(
+        self,
+        fn: Callable,
+        *args,
+        retry_on: tuple[type[BaseException], ...] = (Exception,),
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+        rng: np.random.Generator | None = None,
+        on_retry: Callable[[int, BaseException], None] | None = None,
+        **kwargs,
+    ):
+        """Run ``fn(*args, **kwargs)`` under this policy.
+
+        Exceptions matching ``retry_on`` are swallowed until attempts
+        (or the deadline) run out, then the last one is re-raised.
+        ``on_retry(attempt, error)`` is called before each wait, so
+        callers can log or count.
+        """
+        started = clock()
+        last: BaseException | None = None
+        for attempt in range(1, self.attempts + 1):
+            try:
+                return fn(*args, **kwargs)
+            except retry_on as error:
+                last = error
+                if attempt >= self.attempts:
+                    break
+                delay = self.delay_for(attempt + 1, rng=rng)
+                if self.deadline is not None and clock() - started + delay >= self.deadline:
+                    break
+                if on_retry is not None:
+                    on_retry(attempt, error)
+                if delay > 0.0:
+                    sleep(delay)
+        assert last is not None
+        raise last

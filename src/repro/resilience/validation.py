@@ -1,0 +1,196 @@
+"""Serve-side event validation: schema, monotonicity, node-range.
+
+Everything upstream of the serving engine is untrusted: a live feed can
+carry records that are not events at all, events with non-finite
+timestamps or features, node ids outside the deployment's range, or
+per-session time regressions.  :class:`EventValidator` sits in front of
+the :class:`~repro.serve.router.SessionRouter` and applies one of three
+policies to each arrival:
+
+- ``"strict"`` — any violation raises
+  :class:`~repro.resilience.errors.EventValidationError` (CI replays,
+  pipelines that must halt on bad data);
+- ``"skip"`` — invalid events are *quarantined*: dropped, counted per
+  session and in telemetry, never touching model state (the production
+  default);
+- ``"degrade"`` — repairable events are sanitised and admitted
+  (non-finite feature values zeroed, time regressions deferred to the
+  router's out-of-order policy); only unrepairable ones are
+  quarantined.
+
+The validator is stateful only in the cheap sense: the last timestamp
+per session (for monotonicity) and the quarantine counters.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping
+
+import numpy as np
+
+from repro.resilience.errors import EventValidationError
+from repro.serve.events import StreamEvent
+
+VALIDATION_POLICIES = ("strict", "skip", "degrade")
+
+#: Violations "degrade" can repair in place; everything else quarantines.
+_REPAIRABLE = ("nonfinite_features", "time_regression")
+
+
+class EventValidator:
+    """Admission control for one engine's event feed.
+
+    Parameters
+    ----------
+    policy:
+        One of :data:`VALIDATION_POLICIES`.
+    max_node:
+        Exclusive upper bound on session-local node ids (``None``
+        disables the range check).
+    time_tolerance:
+        Allowed per-session backwards time step before an event counts
+        as a regression (clock-skew allowance).
+    """
+
+    def __init__(
+        self,
+        policy: str = "skip",
+        max_node: int | None = None,
+        time_tolerance: float = 0.0,
+    ):
+        if policy not in VALIDATION_POLICIES:
+            raise ValueError(
+                f"unknown validation policy {policy!r}; choose from {VALIDATION_POLICIES}"
+            )
+        if max_node is not None and max_node < 1:
+            raise ValueError(f"max_node must be >= 1, got {max_node}")
+        if time_tolerance < 0:
+            raise ValueError(f"time_tolerance must be >= 0, got {time_tolerance}")
+        self.policy = policy
+        self.max_node = max_node
+        self.time_tolerance = time_tolerance
+        self.quarantined: dict[str, int] = {}
+        self._last_time: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Checks
+    # ------------------------------------------------------------------
+    def check(self, event) -> list[str]:
+        """All violations of ``event``, without admitting it."""
+        violations: list[str] = []
+        if not isinstance(event, StreamEvent):
+            return [f"schema: not a StreamEvent (got {type(event).__name__})"]
+        if not isinstance(event.session_id, str) or not event.session_id:
+            violations.append("schema: session_id must be a non-empty string")
+        for name in ("src", "dst"):
+            node = getattr(event, name)
+            if not isinstance(node, (int, np.integer)) or isinstance(node, bool):
+                violations.append(f"schema: {name} must be an integer, got {node!r}")
+            elif node < 0:
+                violations.append(f"schema: {name} must be non-negative, got {node}")
+            elif self.max_node is not None and node >= self.max_node:
+                violations.append(
+                    f"node_range: {name}={node} outside [0, {self.max_node})"
+                )
+        try:
+            time_ok = bool(np.isfinite(event.time))
+        except TypeError:
+            time_ok = False
+        if not time_ok:
+            violations.append(f"schema: time must be a finite number, got {event.time!r}")
+        violations.extend(self._check_features(event.node_features))
+        if time_ok and isinstance(event.session_id, str):
+            last = self._last_time.get(event.session_id)
+            if last is not None and event.time < last - self.time_tolerance:
+                violations.append(
+                    f"time_regression: t={event.time} after t={last} in "
+                    f"session {event.session_id!r}"
+                )
+        return violations
+
+    def _check_features(self, features) -> list[str]:
+        if features is None:
+            return []
+        if not isinstance(features, Mapping):
+            return [f"schema: node_features must be a mapping, got {type(features).__name__}"]
+        violations = []
+        for node, row in features.items():
+            array = np.asarray(row)
+            if array.dtype.kind not in "fiu":
+                violations.append(f"schema: features of node {node} are non-numeric")
+            elif not np.all(np.isfinite(array)):
+                violations.append(f"nonfinite_features: node {node} carries NaN/Inf values")
+        return violations
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def admit(self, event) -> StreamEvent | None:
+        """Validate one arrival under the configured policy.
+
+        Returns the event to route (possibly repaired under
+        ``"degrade"``) or ``None`` when it was quarantined.  Raises
+        :class:`EventValidationError` under ``"strict"``.
+        """
+        violations = self.check(event)
+        if not violations:
+            self._note_time(event)
+            return event
+        if self.policy == "strict":
+            raise EventValidationError(
+                f"event failed validation: {'; '.join(violations)}", violations
+            )
+        if self.policy == "degrade" and all(
+            v.startswith(_REPAIRABLE) for v in violations
+        ):
+            repaired = self._repair(event, violations)
+            self._note_time(repaired)
+            return repaired
+        self._quarantine(event)
+        return None
+
+    def _repair(self, event: StreamEvent, violations: list[str]) -> StreamEvent:
+        """Sanitise the repairable violations of ``event``.
+
+        Non-finite feature values become zeros (the engine's cold-start
+        vector, so downstream maths stays finite); time regressions are
+        admitted unchanged — the router's out-of-order policy owns them.
+        """
+        if not any(v.startswith("nonfinite_features") for v in violations):
+            return event
+        sanitized = {
+            node: np.nan_to_num(
+                np.asarray(row, dtype=float), nan=0.0, posinf=0.0, neginf=0.0
+            )
+            for node, row in event.node_features.items()
+        }
+        return dataclasses.replace(event, node_features=sanitized)
+
+    def _note_time(self, event: StreamEvent) -> None:
+        last = self._last_time.get(event.session_id, float("-inf"))
+        self._last_time[event.session_id] = max(last, float(event.time))
+
+    def _quarantine(self, event) -> None:
+        session_id = getattr(event, "session_id", None)
+        key = session_id if isinstance(session_id, str) else "<invalid>"
+        self.quarantined[key] = self.quarantined.get(key, 0) + 1
+        from repro import telemetry
+
+        telemetry.get_registry().counter(
+            "resilience/events_quarantined", session=key
+        ).inc()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def quarantined_total(self) -> int:
+        """Events quarantined across all sessions."""
+        return sum(self.quarantined.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"EventValidator(policy={self.policy!r}, "
+            f"quarantined={self.quarantined_total})"
+        )

@@ -30,6 +30,9 @@ import numpy as np
 from repro import telemetry
 from repro.core.model import TPGNN
 from repro.nn.serialization import read_archive, write_archive
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.errors import DeadlineExceededError
+from repro.resilience.faults import inject
 from repro.serve.events import StreamEvent
 from repro.serve.incremental import IncrementalClassifier
 from repro.serve.metrics import ServeMetrics
@@ -65,6 +68,32 @@ class StreamingEngine:
     metrics:
         Inject a :class:`ServeMetrics` (a fresh one is created
         otherwise).
+    max_buffered:
+        Per-session cap on the out-of-order buffer (see
+        :class:`SessionRouter`); overflow drops are counted in
+        ``metrics.events_overflow_dropped``.
+    validate:
+        Event admission control: ``None`` (off), a policy string
+        (``"strict"`` / ``"skip"`` / ``"degrade"``, see
+        :class:`~repro.resilience.validation.EventValidator`), or a
+        pre-built validator.  Quarantined events are counted in
+        ``metrics.events_quarantined`` and never touch model state.
+    max_node:
+        Node-range bound handed to the validator (ignored when
+        ``validate`` is a pre-built instance).
+    breaker:
+        Optional :class:`~repro.resilience.CircuitBreaker` guarding the
+        hot paths.  While open, *writes are shed* (the update is
+        skipped and ``metrics.breaker_rejections`` counted — the stream
+        keeps flowing) and *reads raise*
+        :class:`~repro.resilience.CircuitOpenError` (a caller must not
+        mistake a rejection for a prediction).
+    deadline_seconds:
+        Cooperative per-call latency budget for apply/predict.  A
+        breach is detected when the call returns: it is counted in
+        ``metrics.deadline_breaches``, recorded as a breaker failure,
+        and — on the read path only — raised as
+        :class:`~repro.resilience.DeadlineExceededError`.
     """
 
     def __init__(
@@ -76,17 +105,40 @@ class StreamingEngine:
         on_evict: Callable[[str, SessionState], None] | None = None,
         missing_features: str = "zeros",
         metrics: ServeMetrics | None = None,
+        max_buffered: int | None = 4096,
+        validate=None,
+        max_node: int | None = None,
+        breaker: CircuitBreaker | None = None,
+        deadline_seconds: float | None = None,
     ):
+        if deadline_seconds is not None and deadline_seconds <= 0:
+            raise ValueError(f"deadline_seconds must be positive, got {deadline_seconds}")
         self.classifier = IncrementalClassifier(model, missing_features=missing_features)
         self.metrics = metrics if metrics is not None else ServeMetrics()
         self._user_on_evict = on_evict
+        self.validator = self._build_validator(validate, max_node)
+        self.breaker = breaker
+        self.deadline_seconds = deadline_seconds
         self.router: SessionRouter[SessionState] = SessionRouter(
             factory=self._new_session,
             max_sessions=max_sessions,
             out_of_order=out_of_order,
             watermark_delay=watermark_delay,
+            max_buffered=max_buffered,
             on_evict=self._on_evict,
         )
+
+    @staticmethod
+    def _build_validator(validate, max_node: int | None):
+        # Imported lazily: repro.resilience.validation imports this
+        # module back (see the note in repro/resilience/__init__.py).
+        if validate is None:
+            return None
+        from repro.resilience.validation import EventValidator
+
+        if isinstance(validate, EventValidator):
+            return validate
+        return EventValidator(policy=str(validate), max_node=max_node)
 
     @property
     def model(self) -> TPGNN:
@@ -109,14 +161,26 @@ class StreamingEngine:
         """Admit one event; returns how many session updates it applied.
 
         Under the buffer policy one arrival can release several queued
-        events (or none); under drop/raise it is 0 or 1.
+        events (or none); under drop/raise it is 0 or 1.  With a
+        validator configured, a quarantined event is counted and
+        returns 0 without touching the router.
         """
         self.metrics.events_ingested += 1
+        if self.validator is not None:
+            admitted = self.validator.admit(event)
+            if admitted is None:
+                self.metrics.events_quarantined += 1
+                return 0
+            event = admitted
         before_dropped = self.router.stats.dropped
         before_late = self.router.stats.late_dropped
+        before_overflow = self.router.stats.buffer_overflow_dropped
         deliveries = self.router.route(event)
         self.metrics.events_dropped += self.router.stats.dropped - before_dropped
         self.metrics.events_late_dropped += self.router.stats.late_dropped - before_late
+        self.metrics.events_overflow_dropped += (
+            self.router.stats.buffer_overflow_dropped - before_overflow
+        )
         applied = 0
         for state, ready in deliveries:
             self._apply(state, ready)
@@ -124,14 +188,39 @@ class StreamingEngine:
         return applied
 
     def _apply(self, state: SessionState, event: StreamEvent) -> None:
+        if self.breaker is not None and not self.breaker.allow():
+            # Load shedding: while the circuit is open the stream keeps
+            # flowing, but updates are skipped and counted.
+            self.metrics.breaker_rejections += 1
+            return
         if state.label is None and event.label is not None:
             state.label = event.label
         with telemetry.span("serve_apply"):
             start = _time.perf_counter()
-            self.classifier.observe(
-                state, (event.src, event.dst, event.time), event.node_features
-            )
-            self.metrics.observe_step(_time.perf_counter() - start)
+            try:
+                inject("serve.apply")
+                self.classifier.observe(
+                    state, (event.src, event.dst, event.time), event.node_features
+                )
+            except Exception:
+                if self.breaker is not None:
+                    self.breaker.record_failure()
+                raise
+            elapsed = _time.perf_counter() - start
+            self.metrics.observe_step(elapsed)
+        if self._deadline_breached(elapsed):
+            return
+        if self.breaker is not None:
+            self.breaker.record_success()
+
+    def _deadline_breached(self, elapsed: float) -> bool:
+        """Count (and feed the breaker) a post-call deadline breach."""
+        if self.deadline_seconds is None or elapsed <= self.deadline_seconds:
+            return False
+        self.metrics.deadline_breaches += 1
+        if self.breaker is not None:
+            self.breaker.record_failure()
+        return True
 
     def ingest_many(self, feed: Iterable[StreamEvent]) -> int:
         """Ingest a whole feed; returns total session updates applied."""
@@ -165,8 +254,30 @@ class StreamingEngine:
         state = self.router.get(session_id)
         if state is None:
             raise KeyError(f"unknown session {session_id!r} (never seen or evicted)")
+        if self.breaker is not None and not self.breaker.allow():
+            self.metrics.breaker_rejections += 1
+            from repro.resilience.errors import CircuitOpenError
+
+            raise CircuitOpenError(
+                f"serving circuit open; prediction for {session_id!r} rejected"
+            )
         with telemetry.span("serve_predict"):
-            probability = self.classifier.predict_proba(state, mode=mode)
+            start = _time.perf_counter()
+            try:
+                inject("serve.predict")
+                probability = self.classifier.predict_proba(state, mode=mode)
+            except Exception:
+                if self.breaker is not None:
+                    self.breaker.record_failure()
+                raise
+            elapsed = _time.perf_counter() - start
+        if self._deadline_breached(elapsed):
+            raise DeadlineExceededError(
+                f"predict({session_id!r}) took {elapsed:.3f}s, exceeding the "
+                f"{self.deadline_seconds:.3f}s deadline"
+            )
+        if self.breaker is not None:
+            self.breaker.record_success()
         self.metrics.predictions_served += 1
         return probability
 
@@ -221,6 +332,7 @@ class StreamingEngine:
                 "max_sessions": self.router.max_sessions,
                 "out_of_order": self.router.out_of_order,
                 "watermark_delay": self.router.watermark_delay,
+                "max_buffered": self.router.max_buffered,
             },
             "metrics": self.metrics.counters(),
             "user": metadata or {},
@@ -253,11 +365,13 @@ class StreamingEngine:
         }
         model.load_state_dict(model_state)
         config = meta.get("config", {})
+        max_buffered = config.get("max_buffered", 4096)
         engine = cls(
             model,
             max_sessions=int(config.get("max_sessions", 1024)),
             out_of_order=str(config.get("out_of_order", "drop")),
             watermark_delay=float(config.get("watermark_delay", 0.0)),
+            max_buffered=None if max_buffered is None else int(max_buffered),
             on_evict=on_evict,
         )
         engine.metrics.load_counters(meta.get("metrics", {}))

@@ -23,9 +23,13 @@ _COUNTER_NAMES = (
     "events_applied",
     "events_dropped",
     "events_late_dropped",
+    "events_quarantined",
+    "events_overflow_dropped",
     "sessions_started",
     "sessions_evicted",
     "predictions_served",
+    "deadline_breaches",
+    "breaker_rejections",
 )
 
 
@@ -87,9 +91,13 @@ class ServeMetrics:
     events_applied = _counter_property("events_applied")
     events_dropped = _counter_property("events_dropped")
     events_late_dropped = _counter_property("events_late_dropped")
+    events_quarantined = _counter_property("events_quarantined")
+    events_overflow_dropped = _counter_property("events_overflow_dropped")
     sessions_started = _counter_property("sessions_started")
     sessions_evicted = _counter_property("sessions_evicted")
     predictions_served = _counter_property("predictions_served")
+    deadline_breaches = _counter_property("deadline_breaches")
+    breaker_rejections = _counter_property("breaker_rejections")
 
     # ------------------------------------------------------------------
     # Recording

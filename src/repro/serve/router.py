@@ -60,6 +60,7 @@ class RouterStats:
     dropped: int = 0
     late_dropped: int = 0
     buffered_peak: int = 0
+    buffer_overflow_dropped: int = 0
     sessions_started: int = 0
     sessions_evicted: int = 0
 
@@ -80,6 +81,13 @@ class SessionRouter(Generic[Payload]):
         Buffer window for the ``"buffer"`` policy: an event is released
         once the session has seen a timestamp ``watermark_delay`` past
         it.  ``0.0`` releases immediately (pure re-sort of ties).
+    max_buffered:
+        Hard per-session cap on the out-of-order buffer.  When an
+        arrival would exceed it, the *oldest* buffered event is dropped
+        and counted in ``stats.buffer_overflow_dropped``, so a
+        pathological stream (a stalled watermark, a flood of a single
+        timestamp) cannot grow memory without limit.  ``None`` disables
+        the cap.
     on_evict:
         Called with ``(session_id, payload)`` just before eviction.
     """
@@ -90,6 +98,7 @@ class SessionRouter(Generic[Payload]):
         max_sessions: int = 1024,
         out_of_order: str = "drop",
         watermark_delay: float = 0.0,
+        max_buffered: int | None = 4096,
         on_evict: Callable[[str, Payload], None] | None = None,
     ):
         if max_sessions <= 0:
@@ -101,10 +110,13 @@ class SessionRouter(Generic[Payload]):
             )
         if watermark_delay < 0:
             raise ValueError(f"watermark_delay must be >= 0, got {watermark_delay}")
+        if max_buffered is not None and max_buffered < 1:
+            raise ValueError(f"max_buffered must be >= 1 or None, got {max_buffered}")
         self.factory = factory
         self.max_sessions = max_sessions
         self.out_of_order = out_of_order
         self.watermark_delay = watermark_delay
+        self.max_buffered = max_buffered
         self.on_evict = on_evict
         self.stats = RouterStats()
         self._sessions: "OrderedDict[str, _SessionEntry[Payload]]" = OrderedDict()
@@ -185,6 +197,9 @@ class SessionRouter(Generic[Payload]):
             return []
         heapq.heappush(entry.pending, (event.time, next(self._tiebreak), event))
         entry.max_seen = max(entry.max_seen, event.time)
+        if self.max_buffered is not None and len(entry.pending) > self.max_buffered:
+            heapq.heappop(entry.pending)
+            self.stats.buffer_overflow_dropped += 1
         self.stats.buffered_peak = max(self.stats.buffered_peak, len(entry.pending))
         watermark = entry.max_seen - self.watermark_delay
         ready: list[tuple[Payload, StreamEvent]] = []

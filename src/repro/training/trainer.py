@@ -34,6 +34,7 @@ from repro.nn.serialization import (
     write_archive,
 )
 from repro.optim import Adam, clip_grad_norm
+from repro.resilience.faults import inject
 from repro.tensor import no_grad
 from repro.training.metrics import Metrics, MetricSummary, compute_metrics
 
@@ -185,7 +186,11 @@ def train_model(
         epoch_hist = registry.histogram("train/epoch_loss")
     start = time.perf_counter()
     with telemetry.span("train"):
-        for _ in range(result.epochs_run, config.epochs):
+        for epoch in range(result.epochs_run, config.epochs):
+            # Chaos hook: the call index equals the epoch number, so a
+            # fault plan can kill a run deterministically after epoch N
+            # (the resume test exercises exactly this).
+            inject("train.epoch", context=epoch)
             with telemetry.span("epoch"):
                 indices = (
                     rng.permutation(len(train_data))
@@ -206,6 +211,18 @@ def train_model(
                             )
                         with telemetry.span("backward"):
                             loss.backward()
+                        # Chaos hook: "nan"/"inf" plans poison gradients
+                        # here; the non-finite-norm guard below must then
+                        # skip the batch instead of stepping the poison
+                        # into the Adam moments.
+                        inject(
+                            "train.gradients",
+                            context=lambda: [
+                                param.grad
+                                for param in model.parameters()
+                                if param.grad is not None
+                            ],
+                        )
                         batch_loss = loss.item()
                         epoch_loss += batch_loss
                         if instrumented:

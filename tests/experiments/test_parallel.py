@@ -425,3 +425,184 @@ class TestGridEquivalence:
         finally:
             restored = set_default_trial_cache(previous)
             assert restored is cache
+
+
+def _kill_then_resume_worker(spec, checkpoint_path, checkpoint_every, conn):
+    # First attempt: die mid-trial, right after the epoch-0 checkpoint
+    # lands (the train.epoch hook fires once per epoch; ``at=(1,)``
+    # targets the start of epoch 1).  Every later attempt runs the real
+    # worker, which resumes from the checkpoint.
+    from repro.experiments.parallel import _trial_worker
+    from repro.resilience.faults import FaultPlan, activate
+
+    sentinel = str(checkpoint_path) + ".died"
+    if not os.path.exists(sentinel):
+        with open(sentinel, "w"):
+            pass
+        plan = FaultPlan().add(
+            "train.epoch", kind="call", at=(1,),
+            action=lambda _context: os._exit(17),
+        )
+        with activate(plan):
+            _trial_worker(spec, checkpoint_path, checkpoint_every, conn)
+    else:
+        _trial_worker(spec, checkpoint_path, checkpoint_every, conn)
+
+
+@pytest.mark.cache
+class TestCacheQuarantine:
+    def _seeded_entry(self, tmp_path):
+        cache = TrialCache(tmp_path)
+        spec = make_spec()
+        key = trial_cache_key(spec)
+        cache.put(key, spec, make_outcome(f1=0.625))
+        return cache, spec, key
+
+    def test_corrupt_bytes_quarantined_not_crash(self, tmp_path):
+        from repro.resilience.faults import corrupt_file
+
+        cache, _, key = self._seeded_entry(tmp_path)
+        corrupt_file(cache.path(key), rng=0, nbytes=8)
+        assert cache.get(key) is None
+        assert not cache.path(key).exists()
+        assert cache.quarantine_path(key).exists()
+
+    def test_invalid_utf8_quarantined(self, tmp_path):
+        cache, _, key = self._seeded_entry(tmp_path)
+        cache.path(key).write_bytes(b"\xff\xfe broken")
+        assert cache.get(key) is None
+        assert cache.quarantine_path(key).exists()
+
+    def test_valid_json_tamper_fails_digest(self, tmp_path):
+        # An attacker-style edit that keeps the JSON well-formed: the
+        # per-entry SHA-256 still catches it.
+        cache, _, key = self._seeded_entry(tmp_path)
+        payload = json.loads(cache.path(key).read_text(encoding="utf-8"))
+        payload["outcome"]["metrics"]["f1"] = 0.999
+        cache.path(key).write_text(json.dumps(payload), encoding="utf-8")
+        assert cache.get(key) is None
+        assert cache.quarantine_path(key).exists()
+
+    def test_stale_version_is_silent_not_quarantined(self, tmp_path):
+        cache, _, key = self._seeded_entry(tmp_path)
+        payload = json.loads(cache.path(key).read_text(encoding="utf-8"))
+        payload["version"] = "trial-v0"
+        del payload["sha256"]  # pre-digest entries have no checksum
+        cache.path(key).write_text(json.dumps(payload), encoding="utf-8")
+        assert cache.get(key) is None
+        assert cache.path(key).exists()  # left in place: stale, not damaged
+        assert not cache.quarantine_path(key).exists()
+
+    def test_quarantine_counts_on_telemetry(self, tmp_path):
+        from repro import telemetry
+
+        def quarantined_total():
+            return sum(
+                instrument.value
+                for name, _labels, kind, instrument in telemetry.get_registry()
+                if name == "resilience/cache_quarantined" and kind == "counter"
+            )
+
+        cache, _, key = self._seeded_entry(tmp_path)
+        cache.path(key).write_text("{torn", encoding="utf-8")
+        before = quarantined_total()
+        cache.get(key)
+        assert quarantined_total() == before + 1
+
+    def test_recompute_republishes_after_quarantine(self, tmp_path):
+        cache, spec, key = self._seeded_entry(tmp_path)
+        cache.path(key).write_text("garbage", encoding="utf-8")
+        runner = ParallelRunner(cache=cache, jobs=1, worker=_ok_worker)
+        (result,) = runner.run([spec])
+        assert result.status == "completed"  # recomputed, not "cached"
+        assert cache.get(key) == result.outcome  # fresh verified entry
+        assert cache.quarantine_path(key).exists()  # post-mortem kept
+
+    def test_clear_removes_quarantine(self, tmp_path):
+        cache, _, key = self._seeded_entry(tmp_path)
+        cache.path(key).write_text("garbage", encoding="utf-8")
+        cache.get(key)
+        cache.clear()
+        assert not cache.quarantine_path(key).exists()
+
+
+class TestRetryPolicyWiring:
+    def test_retries_count_builds_default_policy(self):
+        from repro.resilience.retry import RetryPolicy
+
+        runner = ParallelRunner(retries=2)
+        assert isinstance(runner.retry, RetryPolicy)
+        assert runner.retry.attempts == 3
+        assert runner.retries == 2
+
+    def test_explicit_policy_wins(self):
+        from repro.resilience.retry import RetryPolicy
+
+        policy = RetryPolicy(attempts=4, backoff=0.0)
+        runner = ParallelRunner(retries=0, retry=policy)
+        assert runner.retry is policy
+        assert runner.retries == 3
+
+    def test_flaky_trial_recovers_under_policy(self, tmp_path):
+        from repro.resilience.retry import RetryPolicy
+
+        spec = make_spec(dataset_name=str(tmp_path / "sentinel"))
+        runner = ParallelRunner(
+            retry=RetryPolicy(attempts=2, backoff=0.01), worker=_flaky_worker
+        )
+        (result,) = runner.run([spec])
+        assert result.status == "completed"
+        assert result.attempts == 2
+
+    def test_retry_deadline_caps_attempts(self):
+        from repro.resilience.retry import RetryPolicy
+
+        # The first failure schedules a 10s backoff, which cannot fit a
+        # 0.5s deadline: the runner must give up after one attempt
+        # instead of sleeping past the budget.
+        runner = ParallelRunner(
+            retry=RetryPolicy(attempts=3, backoff=10.0, deadline=0.5),
+            worker=_crash_worker,
+        )
+        start = time.monotonic()
+        (result,) = runner.run([make_spec()])
+        assert time.monotonic() - start < 5.0
+        assert result.status == "failed"
+        assert result.attempts == 1
+
+
+@pytest.mark.cache
+class TestMidEpochKillResume:
+    def test_killed_trial_resumes_bit_exact(self, tmp_path):
+        from repro.experiments.parallel import run_trial
+
+        spec = make_spec(train=TrainConfig(epochs=2, seed=0))
+        reference = run_trial(spec)  # healthy, uninterrupted run
+        assert reference.epochs_run == 2
+
+        cache = TrialCache(tmp_path)
+        runner = ParallelRunner(
+            cache=cache, jobs=1, retries=1, checkpoint_every=1,
+            worker=_kill_then_resume_worker,
+        )
+        (result,) = runner.run([spec])
+        assert result.status == "completed"
+        assert result.attempts == 2  # died once, resumed once
+        resumed = result.outcome
+        # Bit-exact: the checkpoint restores parameters, optimizer state
+        # and RNG streams, so losses and metrics match to the last bit.
+        assert resumed.losses == reference.losses
+        assert resumed.metrics == reference.metrics
+        assert resumed.epochs_run == 2
+
+    def test_checkpoint_dropped_after_publish(self, tmp_path):
+        spec = make_spec(train=TrainConfig(epochs=2, seed=0))
+        cache = TrialCache(tmp_path)
+        key = trial_cache_key(spec)
+        runner = ParallelRunner(
+            cache=cache, jobs=1, retries=1, checkpoint_every=1,
+            worker=_kill_then_resume_worker,
+        )
+        runner.run([spec])
+        assert not cache.checkpoint_path(key).exists()
+        assert cache.get(key) is not None

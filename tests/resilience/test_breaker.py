@@ -1,0 +1,125 @@
+"""CircuitBreaker state machine and the cooperative deadline guard."""
+
+import pytest
+
+from repro.resilience.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    Deadline,
+    call_with_deadline,
+)
+from repro.resilience.errors import CircuitOpenError, DeadlineExceededError
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestCircuitBreaker:
+    def test_starts_closed_and_allows(self):
+        breaker = CircuitBreaker()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker(failure_threshold=3, clock=FakeClock())
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        assert breaker.stats.rejections == 1
+        assert breaker.stats.opens == 1
+
+    def test_success_resets_the_streak(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_half_open_after_cooldown_then_closes_on_success(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=10.0, clock=clock)
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.now = 10.0
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
+    def test_half_open_failure_reopens_immediately(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=5, cooldown=1.0, clock=clock)
+        for _ in range(5):
+            breaker.record_failure()
+        clock.now = 1.0
+        assert breaker.state == HALF_OPEN
+        breaker.record_failure()  # single probe failure, not 5
+        assert breaker.state == OPEN
+        assert breaker.stats.opens == 2
+
+    def test_call_wraps_and_raises_when_open(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=100.0, clock=FakeClock())
+        with pytest.raises(ValueError):
+            breaker.call(self._boom)
+        with pytest.raises(CircuitOpenError):
+            breaker.call(lambda: "never runs")
+        assert breaker.stats.failures == 1
+
+    @staticmethod
+    def _boom():
+        raise ValueError("dependency down")
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown=-1.0)
+
+
+class TestDeadline:
+    def test_tracks_elapsed_and_remaining(self):
+        clock = FakeClock()
+        deadline = Deadline(seconds=5.0, clock=clock, started=0.0)
+        clock.now = 2.0
+        assert deadline.elapsed() == 2.0
+        assert deadline.remaining() == 3.0
+        assert not deadline.expired()
+        clock.now = 6.0
+        assert deadline.expired()
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ValueError):
+            Deadline(seconds=0.0)
+
+    def test_call_within_deadline_returns_result_and_elapsed(self):
+        clock = FakeClock()
+
+        def work():
+            clock.now += 1.0
+            return "done"
+
+        result, elapsed = call_with_deadline(work, 5.0, clock=clock)
+        assert result == "done"
+        assert elapsed == 1.0
+
+    def test_call_past_deadline_raises_after_completion(self):
+        clock = FakeClock()
+        effects = []
+
+        def slow():
+            clock.now += 9.0
+            effects.append("ran")
+
+        with pytest.raises(DeadlineExceededError, match="9.000s"):
+            call_with_deadline(slow, 1.0, clock=clock)
+        assert effects == ["ran"]  # cooperative: never interrupted mid-call

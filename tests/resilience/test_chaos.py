@@ -1,0 +1,96 @@
+"""The chaos scenario suite and its CLI verb."""
+
+import pytest
+
+from repro.cli import main
+from repro.resilience.chaos import (
+    ScenarioResult,
+    render_report,
+    run_scenarios,
+    scenario_description,
+    scenario_names,
+)
+
+
+class TestRegistry:
+    def test_at_least_ten_scenarios(self):
+        assert len(scenario_names()) >= 10
+
+    def test_quick_subset_excludes_process_scenarios(self):
+        quick = scenario_names(quick=True)
+        full = scenario_names()
+        assert set(quick) < set(full)
+        assert "worker-timeout" not in quick
+        assert "trial-retry-resume" not in quick
+
+    def test_every_scenario_has_a_description(self):
+        for name in scenario_names():
+            assert scenario_description(name)
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(KeyError, match="unknown chaos scenario"):
+            run_scenarios(names=["no-such-scenario"])
+
+
+@pytest.mark.chaos
+class TestQuickSuite:
+    def test_quick_suite_all_survive(self):
+        results = run_scenarios(quick=True, seed=0)
+        failed = [r for r in results if not r.survived]
+        assert not failed, "\n" + render_report(failed)
+        for result in results:
+            assert result.detection
+            assert result.recovery
+
+    def test_scenarios_are_deterministic(self):
+        first = run_scenarios(names=["serve-exception-burst"], seed=3)[0]
+        second = run_scenarios(names=["serve-exception-burst"], seed=3)[0]
+        assert first.survived and second.survived
+        assert first.faults_injected == second.faults_injected
+
+    def test_a_scenario_failure_is_reported_not_raised(self, monkeypatch):
+        import repro.resilience.chaos as chaos
+
+        def exploding(_context):
+            raise RuntimeError("scenario bug")
+
+        monkeypatch.setitem(
+            chaos._SCENARIOS, "exploding", (exploding, "always fails", True)
+        )
+        (result,) = run_scenarios(names=["exploding"])
+        assert not result.survived
+        assert "RuntimeError: scenario bug" in result.error
+
+
+class TestReport:
+    def test_render_report_shape(self):
+        results = [
+            ScenarioResult(name="ok", survived=True, detection="guard",
+                           recovery="healed", faults_injected=2, seconds=0.01),
+            ScenarioResult(name="bad", survived=False, detection="",
+                           recovery="", error="ValueError: x"),
+        ]
+        report = render_report(results)
+        assert "SURVIVED ok" in report
+        assert "FAILED   bad" in report
+        assert "UNHANDLED: ValueError: x" in report
+        assert "1/2 scenarios survived" in report
+
+
+@pytest.mark.chaos
+class TestCli:
+    def test_chaos_list(self, capsys):
+        assert main(["chaos", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in scenario_names():
+            assert name in out
+
+    def test_chaos_single_scenario_exits_zero(self, capsys):
+        assert main(["chaos", "--scenarios", "cache-tamper"]) == 0
+        assert "1/1 scenarios survived" in capsys.readouterr().out
+
+    def test_chaos_quick_exits_zero(self, capsys):
+        assert main(["chaos", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "scenarios survived" in out
+        assert "FAILED" not in out

@@ -1,0 +1,206 @@
+"""Fault-injection harness: plans, gating, corruption helpers."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.resilience.errors import FaultInjected
+from repro.resilience.faults import (
+    FaultPlan,
+    FaultSpec,
+    activate,
+    active,
+    corrupt_file,
+    enabled,
+    inject,
+    perturb_feed,
+    truncate_file,
+)
+
+
+class TestFaultSpec:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec(point="p", kind="explode")
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError, match="probability"):
+            FaultSpec(point="p", probability=1.5)
+
+    def test_call_kind_needs_action(self):
+        with pytest.raises(ValueError, match="action"):
+            FaultSpec(point="p", kind="call")
+
+
+class TestFaultPlan:
+    def test_raise_fires_and_journals(self):
+        plan = FaultPlan().add("svc.op", kind="raise")
+        with pytest.raises(FaultInjected, match="svc.op"):
+            plan.fire("svc.op")
+        assert plan.injected == 1
+        assert plan.fired("svc.op") == 1
+        assert plan.calls("svc.op") == 1
+
+    def test_at_gates_on_call_index(self):
+        plan = FaultPlan().add("p", kind="raise", at=(2,))
+        plan.fire("p")
+        plan.fire("p")
+        with pytest.raises(FaultInjected):
+            plan.fire("p")
+        assert plan.calls("p") == 3
+        assert plan.injected == 1
+
+    def test_times_caps_firings(self):
+        plan = FaultPlan().add("p", kind="delay", seconds=0.0, times=2)
+        for _ in range(5):
+            plan.fire("p")
+        assert plan.injected == 2
+
+    def test_probability_is_seeded(self):
+        def firings(seed):
+            plan = FaultPlan(seed=seed).add("p", kind="delay", probability=0.5)
+            for _ in range(32):
+                plan.fire("p")
+            return [entry.call_index for entry in plan.journal]
+
+        assert firings(7) == firings(7)
+        assert firings(7) != firings(8)
+
+    def test_timeout_kind_raises_timeout_error(self):
+        plan = FaultPlan().add("p", kind="timeout")
+        with pytest.raises(TimeoutError):
+            plan.fire("p")
+
+    def test_nan_poisons_one_seeded_element(self):
+        array = np.zeros((3, 4))
+        plan = FaultPlan(seed=3).add("p", kind="nan")
+        plan.fire("p", context=array)
+        assert np.isnan(array).sum() == 1
+
+    def test_inf_poisons_tensor_like_context(self):
+        class Param:
+            def __init__(self):
+                self.data = np.zeros(5)
+
+        params = [Param(), Param()]
+        plan = FaultPlan().add("p", kind="inf")
+        plan.fire("p", context=params)
+        assert sum(np.isinf(p.data).sum() for p in params) == 2
+
+    def test_lazy_context_only_evaluated_on_fire(self):
+        calls = []
+
+        def context():
+            calls.append(1)
+            return np.zeros(3)
+
+        plan = FaultPlan().add("p", kind="nan", at=(1,))
+        plan.fire("p", context=context)
+        assert calls == []
+        plan.fire("p", context=context)
+        assert calls == [1]
+
+    def test_call_kind_invokes_action(self):
+        seen = []
+        plan = FaultPlan().add("p", kind="call", action=seen.append)
+        plan.fire("p", context="ctx")
+        assert seen == ["ctx"]
+
+
+class TestActivation:
+    def test_inject_is_noop_without_plan(self):
+        assert not enabled()
+        inject("anywhere")  # must not raise
+
+    def test_activate_scopes_the_plan(self):
+        plan = FaultPlan().add("p", kind="raise")
+        with activate(plan) as current:
+            assert active() is plan is current
+            with pytest.raises(FaultInjected):
+                inject("p")
+        assert active() is None
+        inject("p")  # deactivated again
+
+    def test_activate_restores_previous_plan(self):
+        outer, inner = FaultPlan(), FaultPlan()
+        with activate(outer):
+            with activate(inner):
+                assert active() is inner
+            assert active() is outer
+
+    def test_disabled_inject_overhead_under_two_percent(self, tiny_dataset):
+        """A disabled inject() must cost < 2% of any real call site.
+
+        The hooks sit on paths that do model math (serve apply, wave
+        kernels, training epochs), so the bound that matters is the
+        per-call cost of a no-op inject() relative to the cheapest such
+        operation — one forward pass on a tiny graph.
+        """
+        calls = 100_000
+        start = time.perf_counter()
+        for _ in range(calls):
+            inject("hot.path")
+        per_inject = (time.perf_counter() - start) / calls
+
+        from repro.core import TPGNN
+
+        model = TPGNN(in_features=tiny_dataset.feature_dim, hidden_size=8,
+                      gru_hidden_size=8, time_dim=4, seed=0)
+        graph = tiny_dataset[0]
+        model.predict_proba(graph)  # warm up (plan cache, allocations)
+        start = time.perf_counter()
+        repeats = 5
+        for _ in range(repeats):
+            model.predict_proba(graph)
+        per_forward = (time.perf_counter() - start) / repeats
+
+        assert per_inject < 0.02 * per_forward
+
+
+class TestCorruptionHelpers:
+    def test_corrupt_file_flips_exactly_n_bytes(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        original = bytes(range(256)) * 4
+        path.write_bytes(original)
+        offsets = corrupt_file(path, rng=0, nbytes=5)
+        damaged = path.read_bytes()
+        assert len(offsets) == 5
+        diff = [i for i in range(len(original)) if original[i] != damaged[i]]
+        assert diff == offsets
+
+    def test_corrupt_file_is_seeded(self, tmp_path):
+        for seed, expect_equal in ((11, True), (12, False)):
+            a, b = tmp_path / "a.bin", tmp_path / "b.bin"
+            a.write_bytes(b"x" * 100)
+            b.write_bytes(b"x" * 100)
+            corrupt_file(a, rng=11, nbytes=3)
+            corrupt_file(b, rng=seed, nbytes=3)
+            assert (a.read_bytes() == b.read_bytes()) is expect_equal
+
+    def test_corrupt_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.bin"
+        path.write_bytes(b"")
+        with pytest.raises(ValueError, match="empty"):
+            corrupt_file(path)
+
+    def test_truncate_file_keeps_fraction(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        path.write_bytes(b"y" * 1000)
+        assert truncate_file(path, keep_fraction=0.25) == 250
+        assert path.stat().st_size == 250
+
+    def test_perturb_feed_drop_duplicate_swap(self):
+        feed = list(range(100))
+        noisy = perturb_feed(feed, rng=0, drop=0.2, duplicate=0.1, swap=0.5)
+        assert noisy != feed
+        assert set(noisy) <= set(feed)
+        assert feed == list(range(100))  # input untouched
+
+    def test_perturb_feed_identity_when_disabled(self):
+        feed = list(range(10))
+        assert perturb_feed(feed, rng=0) == feed
+
+    def test_perturb_feed_rejects_bad_probability(self):
+        with pytest.raises(ValueError, match="drop"):
+            perturb_feed([], drop=2.0)

@@ -1,0 +1,126 @@
+"""RetryPolicy: backoff schedule, jitter, deadline, call wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.resilience.retry import RetryPolicy
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"attempts": 0},
+            {"backoff": -1.0},
+            {"multiplier": 0.5},
+            {"jitter": -0.1},
+            {"deadline": 0.0},
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_retries_property(self):
+        assert RetryPolicy(attempts=1).retries == 0
+        assert RetryPolicy(attempts=4).retries == 3
+
+
+class TestSchedule:
+    def test_first_attempt_never_waits(self):
+        assert RetryPolicy(backoff=5.0).delay_for(1) == 0.0
+
+    def test_exponential_backoff(self):
+        policy = RetryPolicy(attempts=5, backoff=1.0, multiplier=2.0)
+        assert list(policy.delays()) == [1.0, 2.0, 4.0, 8.0]
+
+    def test_max_backoff_caps_delays(self):
+        policy = RetryPolicy(attempts=6, backoff=1.0, multiplier=10.0, max_backoff=50.0)
+        assert list(policy.delays()) == [1.0, 10.0, 50.0, 50.0, 50.0]
+
+    def test_jitter_adds_seeded_fraction(self):
+        policy = RetryPolicy(attempts=3, backoff=10.0, jitter=0.5)
+        a = list(policy.delays(rng=np.random.default_rng(0)))
+        b = list(policy.delays(rng=np.random.default_rng(0)))
+        c = list(policy.delays(rng=np.random.default_rng(1)))
+        assert a == b
+        assert a != c
+        for base, jittered in zip([10.0, 20.0], a):
+            assert base <= jittered < base * 1.5
+
+    def test_no_rng_means_no_jitter(self):
+        policy = RetryPolicy(attempts=2, backoff=3.0, jitter=0.9)
+        assert policy.delay_for(2) == 3.0
+
+
+class TestCall:
+    def test_returns_first_success(self):
+        policy = RetryPolicy(attempts=3)
+        assert policy.call(lambda: 42) == 42
+
+    def test_retries_until_success(self):
+        outcomes = iter([RuntimeError("a"), RuntimeError("b"), "ok"])
+
+        def flaky():
+            value = next(outcomes)
+            if isinstance(value, Exception):
+                raise value
+            return value
+
+        waits = []
+        policy = RetryPolicy(attempts=3, backoff=0.5)
+        assert policy.call(flaky, sleep=waits.append) == "ok"
+        assert waits == [0.5, 1.0]
+
+    def test_reraises_last_error_when_exhausted(self):
+        def always_fail():
+            raise KeyError("nope")
+
+        with pytest.raises(KeyError, match="nope"):
+            RetryPolicy(attempts=2).call(always_fail, sleep=lambda _: None)
+
+    def test_retry_on_filters_exceptions(self):
+        def fail():
+            raise TypeError("not retryable")
+
+        calls = []
+
+        def counted():
+            calls.append(1)
+            fail()
+
+        with pytest.raises(TypeError):
+            RetryPolicy(attempts=5).call(
+                counted, retry_on=(ValueError,), sleep=lambda _: None
+            )
+        assert len(calls) == 1
+
+    def test_deadline_stops_retrying(self):
+        clock = iter([0.0, 5.0, 5.0]).__next__
+        calls = []
+
+        def fail():
+            calls.append(1)
+            raise RuntimeError("x")
+
+        policy = RetryPolicy(attempts=10, backoff=10.0, deadline=8.0)
+        with pytest.raises(RuntimeError):
+            policy.call(fail, sleep=lambda _: None, clock=clock)
+        assert len(calls) == 1  # 5.0 elapsed + 10.0 wait >= 8.0 budget
+
+    def test_on_retry_hook_sees_attempt_and_error(self):
+        seen = []
+
+        def flaky():
+            if len(seen) < 2:
+                raise ValueError("boom")
+            return "done"
+
+        policy = RetryPolicy(attempts=5)
+        result = policy.call(
+            flaky,
+            sleep=lambda _: None,
+            on_retry=lambda attempt, error: seen.append((attempt, str(error))),
+        )
+        assert result == "done"
+        assert seen == [(1, "boom"), (2, "boom")]

@@ -1,0 +1,135 @@
+"""EventValidator: schema checks, policies, repair and quarantine."""
+
+import numpy as np
+import pytest
+
+from repro.resilience.errors import EventValidationError
+from repro.resilience.validation import VALIDATION_POLICIES, EventValidator
+from repro.serve.events import StreamEvent
+
+
+def event(**overrides) -> StreamEvent:
+    base = dict(session_id="s", src=0, dst=1, time=1.0)
+    base.update(overrides)
+    return StreamEvent(**base)
+
+
+class TestChecks:
+    def test_valid_event_has_no_violations(self):
+        assert EventValidator().check(event()) == []
+
+    def test_non_event_record(self):
+        violations = EventValidator().check({"src": 0, "dst": 1})
+        assert violations == ["schema: not a StreamEvent (got dict)"]
+
+    def test_empty_session_id(self):
+        violations = EventValidator().check(event(session_id=""))
+        assert any("session_id" in v for v in violations)
+
+    def test_node_range(self):
+        validator = EventValidator(max_node=8)
+        assert validator.check(event(dst=7)) == []
+        assert any("node_range" in v for v in validator.check(event(dst=8)))
+
+    def test_nonfinite_features(self):
+        bad = event(node_features={0: np.array([1.0, np.nan])})
+        assert any(
+            v.startswith("nonfinite_features")
+            for v in EventValidator().check(bad)
+        )
+
+    def test_non_numeric_features(self):
+        bad = event(node_features={0: np.array(["a", "b"])})
+        assert any("non-numeric" in v for v in EventValidator().check(bad))
+
+    def test_time_regression_is_per_session(self):
+        validator = EventValidator()
+        assert validator.admit(event(time=5.0)) is not None
+        assert any(
+            v.startswith("time_regression")
+            for v in validator.check(event(time=1.0))
+        )
+        # An independent session with an earlier clock is fine.
+        assert validator.check(event(session_id="other", time=1.0)) == []
+
+    def test_time_tolerance_allows_skew(self):
+        validator = EventValidator(time_tolerance=1.0)
+        validator.admit(event(time=5.0))
+        assert validator.check(event(time=4.5)) == []
+        assert validator.check(event(time=3.0)) != []
+
+
+class TestPolicies:
+    def test_policy_names_and_validation(self):
+        assert VALIDATION_POLICIES == ("strict", "skip", "degrade")
+        with pytest.raises(ValueError, match="unknown validation policy"):
+            EventValidator(policy="yolo")
+
+    def test_strict_raises_with_violations_attached(self):
+        validator = EventValidator(policy="strict", max_node=2)
+        with pytest.raises(EventValidationError) as excinfo:
+            validator.admit(event(dst=99))
+        assert any("node_range" in v for v in excinfo.value.violations)
+
+    def test_skip_quarantines_and_counts(self):
+        validator = EventValidator(policy="skip")
+        assert validator.admit("not an event") is None
+        assert validator.admit(event(node_features={0: np.array([np.inf])})) is None
+        assert validator.quarantined_total == 2
+        assert validator.quarantined == {"<invalid>": 1, "s": 1}
+
+    def test_degrade_repairs_nonfinite_features(self):
+        validator = EventValidator(policy="degrade")
+        repaired = validator.admit(
+            event(node_features={0: np.array([np.nan, 2.0, np.inf])})
+        )
+        assert repaired is not None
+        np.testing.assert_array_equal(
+            repaired.node_features[0], np.array([0.0, 2.0, 0.0])
+        )
+        assert validator.quarantined_total == 0
+
+    def test_degrade_admits_time_regression_unchanged(self):
+        validator = EventValidator(policy="degrade")
+        validator.admit(event(time=5.0))
+        regressed = validator.admit(event(time=1.0))
+        assert regressed is not None
+        assert regressed.time == 1.0  # the router's OOO policy owns it
+
+    def test_degrade_still_quarantines_unrepairable(self):
+        validator = EventValidator(policy="degrade", max_node=2)
+        assert validator.admit(event(dst=99)) is None
+        assert validator.quarantined_total == 1
+
+    def test_valid_event_passes_through_identically(self):
+        validator = EventValidator(policy="degrade")
+        ok = event()
+        assert validator.admit(ok) is ok
+
+
+class TestEngineIntegration:
+    def test_engine_quarantine_counter(self, tiny_dataset):
+        from repro.core import TPGNN
+        from repro.serve import StreamingEngine, dataset_to_feed
+
+        model = TPGNN(in_features=tiny_dataset.feature_dim, hidden_size=8,
+                      gru_hidden_size=8, time_dim=4, seed=0)
+        engine = StreamingEngine(model, validate="skip", max_node=64)
+        feed = dataset_to_feed(tiny_dataset)
+        garbage = [{"not": "an event"}, event(dst=500)]
+        for record in list(feed) + garbage:
+            engine.ingest(record)
+        assert engine.metrics.events_quarantined == len(garbage)
+        assert engine.metrics.events_applied == len(feed)
+
+    def test_engine_accepts_prebuilt_validator(self, tiny_dataset):
+        from repro.core import TPGNN
+        from repro.serve import StreamingEngine
+
+        model = TPGNN(in_features=tiny_dataset.feature_dim, hidden_size=8,
+                      gru_hidden_size=8, time_dim=4, seed=0)
+        validator = EventValidator(policy="strict")
+        engine = StreamingEngine(model, validate=validator)
+        assert engine.validator is validator
+        with pytest.raises(EventValidationError):
+            engine.ingest("garbage")

@@ -147,3 +147,48 @@ class TestBufferPolicy:
         for t in (1.0, 2.0, 3.0):
             router.route(event("a", t))
         assert router.stats.buffered_peak == 3
+
+
+class TestBoundedBuffer:
+    def test_overflow_drops_oldest_and_counts(self):
+        router = make_router(
+            out_of_order="buffer", watermark_delay=100.0, max_buffered=3
+        )
+        for t in (1.0, 2.0, 3.0, 4.0):
+            assert router.route(event("a", t)) == []
+        assert router.stats.buffer_overflow_dropped == 1
+        # The oldest (t=1.0) was shed; the survivors drain in order.
+        assert [e.time for _, e in router.flush()] == [2.0, 3.0, 4.0]
+
+    def test_buffer_never_exceeds_cap(self):
+        router = make_router(
+            out_of_order="buffer", watermark_delay=1e9, max_buffered=8
+        )
+        for t in range(50):
+            router.route(event("a", float(t)))
+        entry = router._sessions["a"]
+        assert len(entry.pending) == 8
+        assert router.stats.buffer_overflow_dropped == 42
+        assert router.stats.buffered_peak <= 8
+
+    def test_cap_is_per_session(self):
+        router = make_router(
+            out_of_order="buffer", watermark_delay=1e9, max_buffered=2
+        )
+        for sid in ("a", "b"):
+            for t in (1.0, 2.0):
+                router.route(event(sid, t))
+        assert router.stats.buffer_overflow_dropped == 0
+
+    def test_none_disables_the_cap(self):
+        router = make_router(
+            out_of_order="buffer", watermark_delay=1e9, max_buffered=None
+        )
+        for t in range(100):
+            router.route(event("a", float(t)))
+        assert router.stats.buffer_overflow_dropped == 0
+        assert router.stats.buffered_peak == 100
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError, match="max_buffered"):
+            make_router(max_buffered=0)
