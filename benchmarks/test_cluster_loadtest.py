@@ -1,0 +1,68 @@
+"""Cluster loadtest SLO benchmark: sharded serving vs a lone engine.
+
+The point of :mod:`repro.cluster`: with N shared-nothing shards the
+cluster must sustain materially more events/sec than one
+:class:`StreamingEngine` doing the same per-event work.  At 4 shards
+the SLO floor is 3x, with ingest/predict p99 latencies recorded in
+``BENCH_serve.json`` by the ``repro loadtest`` CLI verb.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_block
+from repro.cluster import LoadtestConfig, run_loadtest
+
+# The benchmark suite regenerates full tables/figures (minutes at
+# smoke scale); `pytest -m "not slow"` skips it for the fast loop.
+pytestmark = pytest.mark.slow
+
+REQUIRED_SPEEDUP = 3.0
+
+
+class TestClusterLoadtest:
+    def test_four_shards_sustain_3x_single_engine(self):
+        config = LoadtestConfig(
+            sessions=500, events=10000, shards=4, backend="serial",
+            predict_every=500, seed=0,
+        )
+        report = run_loadtest(config)
+        assert report.baseline is not None and report.speedup is not None
+        cluster_eps = report.cluster["events_per_sec"]
+        baseline_eps = report.baseline["events_per_sec"]
+        print_block(
+            f"sharded serving loadtest, {config.shards} shards, "
+            f"{config.sessions} sessions, {config.events} events\n"
+            f"  single engine     {baseline_eps:10.0f} events/sec\n"
+            f"  cluster           {cluster_eps:10.0f} events/sec\n"
+            f"  ingest p99        {report.cluster['ingest_p99_ms']:10.3f} ms\n"
+            f"  predict p99       {report.cluster['predict_p99_ms']:10.3f} ms\n"
+            f"  speedup           {report.speedup:10.2f}x "
+            f"(required >= {REQUIRED_SPEEDUP}x)"
+        )
+        assert report.cluster["events_applied"] == config.events
+        assert report.speedup >= REQUIRED_SPEEDUP
+
+    def test_mid_feed_rebalance_keeps_the_slo(self):
+        # A live topology change (add shard + rebalance at 50%) must not
+        # quarantine sessions or drop events; throughput still beats the
+        # lone engine even while paying the migration barrier.
+        config = LoadtestConfig(
+            sessions=300, events=6000, shards=3, backend="serial",
+            predict_every=500, rebalance_at=0.5, seed=1,
+        )
+        report = run_loadtest(config)
+        rebalance = report.cluster["rebalance"]
+        assert rebalance is not None
+        assert rebalance["quarantined"] == 0
+        assert rebalance["moved"] > 0
+        assert report.cluster["events_applied"] == config.events
+        assert report.speedup is not None and report.speedup > 1.0
+        print_block(
+            f"loadtest with mid-feed rebalance ({config.shards} -> "
+            f"{config.shards + 1} shards at 50%)\n"
+            f"  moved sessions    {rebalance['moved']:10d}\n"
+            f"  quarantined       {rebalance['quarantined']:10d}\n"
+            f"  speedup           {report.speedup:10.2f}x"
+        )

@@ -14,6 +14,8 @@ Usage::
     python -m repro.cli train   --dataset HDFS --model TP-GNN-SUM
     python -m repro.cli serve   --dataset Forum-java --num-graphs 40
     python -m repro.cli profile --dataset HDFS --epochs 1
+    python -m repro.cli loadtest --shards 4 --sessions 1000 --events 20000
+    python -m repro.cli chaos   --quick
 
 Every experiment command prints the same text tables/figures the
 benchmarks emit, at the chosen preset (override individual knobs with
@@ -27,6 +29,10 @@ prediction.  ``profile`` trains under the telemetry subsystem (span
 tracer + op-level autograd profiler) and prints a text flame report
 plus a top-k op table; ``bench --profile`` does the same per trial and
 aggregates op timings across the sweep (see OBSERVABILITY.md).
+``loadtest`` drives a seeded synthetic feed through the sharded
+serving cluster, compares sustained events/sec against a lone
+streaming engine over the identical feed, and records p50/p95/p99
+ingest/predict latency to ``BENCH_serve.json``.
 """
 
 from __future__ import annotations
@@ -215,6 +221,52 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--jsonl",
                          help="also write every telemetry row (spans, ops, "
                               "metrics) to this JSONL file")
+
+    loadtest = add_command(
+        "loadtest",
+        "drive a seeded load through the sharded serving cluster and "
+        "record the latency/throughput SLO report to BENCH_serve.json",
+    )
+    loadtest.add_argument("--sessions", type=int, default=1000,
+                          help="distinct sessions in the synthetic feed")
+    loadtest.add_argument("--events", type=int, default=20000,
+                          help="total events in the feed")
+    loadtest.add_argument("--shards", type=int, default=4,
+                          help="initial shard count")
+    loadtest.add_argument("--backend", choices=("serial", "thread"),
+                          default="thread",
+                          help="shard drain backend")
+    loadtest.add_argument("--updater", choices=("sum", "gru"), default="sum",
+                          help="propagation updater of the served model")
+    loadtest.add_argument("--rate", type=float, default=0.0,
+                          help="target offered load in events/sec "
+                               "(0 = as fast as possible)")
+    loadtest.add_argument("--predict-every", type=int, default=500,
+                          help="predict round-trip every N events (0 = never)")
+    loadtest.add_argument("--rebalance-at", type=float, default=0.0,
+                          help="feed fraction (0-1) at which to add a shard "
+                               "and rebalance live (0 = no topology change)")
+    loadtest.add_argument("--seed", type=int, default=0,
+                          help="seed for the model and the feed")
+    loadtest.add_argument("--nodes-per-session", type=int, default=12)
+    loadtest.add_argument("--feature-dim", type=int, default=4)
+    loadtest.add_argument("--hidden-size", type=int, default=16)
+    loadtest.add_argument("--time-dim", type=int, default=4)
+    loadtest.add_argument("--queue-capacity", type=int, default=4096,
+                          help="per-shard ingest queue bound")
+    loadtest.add_argument("--backpressure", choices=("block", "shed", "raise"),
+                          default="block",
+                          help="per-shard queue overflow policy")
+    loadtest.add_argument("--batch-size", type=int, default=64,
+                          help="drain micro-batch size")
+    loadtest.add_argument("--no-fast-apply", dest="no_fast_apply",
+                          action="store_true",
+                          help="disable the raw-array fast lane")
+    loadtest.add_argument("--no-baseline", dest="no_baseline",
+                          action="store_true",
+                          help="skip the single-engine comparison phase")
+    loadtest.add_argument("--output", default="BENCH_serve.json",
+                          help="where to record the JSON report")
 
     chaos = add_command(
         "chaos",
@@ -512,6 +564,39 @@ def _run_profile(args) -> None:
         print(f"{count} telemetry rows written to {args.jsonl}", file=sys.stderr)
 
 
+def _run_loadtest(args) -> int:
+    from repro.cluster import LoadtestConfig, run_loadtest, write_bench
+
+    config = LoadtestConfig(
+        sessions=args.sessions,
+        events=args.events,
+        shards=args.shards,
+        backend=args.backend,
+        updater=args.updater,
+        rate=args.rate,
+        predict_every=args.predict_every,
+        rebalance_at=args.rebalance_at,
+        seed=args.seed,
+        nodes_per_session=args.nodes_per_session,
+        feature_dim=args.feature_dim,
+        hidden_size=args.hidden_size,
+        gru_hidden_size=args.hidden_size,
+        time_dim=args.time_dim,
+        queue_capacity=args.queue_capacity,
+        backpressure=args.backpressure,
+        batch_size=args.batch_size,
+        fast_apply=not args.no_fast_apply,
+        baseline=not args.no_baseline,
+    )
+    report = run_loadtest(
+        config, log=lambda message: print(message, file=sys.stderr)
+    )
+    print(report.render())
+    path = write_bench(report, args.output)
+    print(f"report recorded to {path}", file=sys.stderr)
+    return 0
+
+
 def _run_chaos(args) -> int:
     from repro.resilience.chaos import (
         render_report,
@@ -537,7 +622,8 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     config = (
         _config_from_args(args)
-        if args.command not in ("bench", "train", "serve", "profile", "chaos")
+        if args.command
+        not in ("bench", "train", "serve", "profile", "chaos", "loadtest")
         else None
     )
 
@@ -570,6 +656,8 @@ def main(argv: list[str] | None = None) -> int:
         _run_serve(args)
     elif args.command == "profile":
         _run_profile(args)
+    elif args.command == "loadtest":
+        return _run_loadtest(args)
     elif args.command == "chaos":
         return _run_chaos(args)
     return 0

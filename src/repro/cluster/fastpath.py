@@ -1,0 +1,215 @@
+"""Raw-numpy fast apply: the shard drain loop's per-event kernel.
+
+A shard drains micro-batches of events whose outcome is fully
+determined: the session is live, the event is in order, no validator or
+deadline is configured.  For that path the full engine machinery —
+Tensor allocation, autograd-node bookkeeping, router delta accounting —
+is pure overhead: profiling puts ``IncrementalClassifier.observe`` at
+~180µs/event of which >75% is Tensor-op dispatch, not arithmetic.
+
+:class:`FastObserver` mirrors the *exact* op sequence of
+``observe`` (materialize → propagation step → edge embedding →
+extractor GRU step) on raw ndarrays, keeping every intermediate at the
+same shape so the same BLAS kernels run — the results are **bitwise
+identical**, which the cluster==single-engine equivalence suite pins
+(`tests/cluster/test_equivalence.py`), at ~5x the throughput.
+
+Only the configurations the kernel provably mirrors are eligible
+(:meth:`FastObserver.supports`): SUM/GRU updaters, the ``"average"``
+edge aggregator, a plain :class:`GlobalTemporalExtractor`.  Anything
+else — ablation updaters, the transformer extractor — falls back to
+``IncrementalClassifier.observe``, trading speed for generality, never
+correctness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.extractor import GlobalTemporalExtractor
+from repro.core.propagation import TemporalPropagationGRU, TemporalPropagationSum
+from repro.graph.edge import TemporalEdge
+from repro.serve.incremental import IncrementalClassifier
+from repro.serve.state import SessionState
+from repro.tensor import Tensor
+from repro.tensor.ops import _stable_sigmoid
+
+
+def _gru_cell(cell, x: np.ndarray, h: np.ndarray) -> np.ndarray:
+    """Raw mirror of :meth:`repro.nn.GRUCell.forward` (same op order).
+
+    The z and r gates go through one fused sigmoid over the ``2H``
+    slice — the op is elementwise, so each element's bits match the
+    two separate calls the Tensor path makes.
+    """
+    H = cell.hidden_size
+    gates_x = np.matmul(x, cell.weight_ih.data) + cell.bias.data
+    gates_h = np.matmul(h, cell.weight_hh.data)
+    zr = _stable_sigmoid(gates_x[:, : 2 * H] + gates_h[:, : 2 * H])
+    z = zr[:, :H]
+    r = zr[:, H:]
+    n = np.tanh(gates_x[:, 2 * H :] + r * gates_h[:, 2 * H :])
+    return z * h + (1.0 - z) * n
+
+
+def _time2vec(encoder, delta: float) -> np.ndarray:
+    """Raw mirror of :meth:`repro.nn.Time2Vec.forward` for one scalar."""
+    t = np.array([[delta]], dtype=np.float64)
+    trend = t * encoder.linear_weight.data + encoder.linear_bias.data
+    periodic = np.sin(t * encoder.periodic_weight.data + encoder.periodic_bias.data)
+    return np.concatenate([trend, periodic], axis=1)
+
+
+class FastObserver:
+    """Bitwise-exact raw-array replacement for ``classifier.observe``.
+
+    Build one per shard engine with :meth:`build` (returns ``None``
+    when the model configuration is outside the mirrored envelope) and
+    call :meth:`observe` with the event's endpoints and timestamp.
+    """
+
+    def __init__(self, classifier: IncrementalClassifier):
+        if not self.supports(classifier):
+            raise ValueError(
+                "model configuration outside the fast-apply envelope; "
+                "use IncrementalClassifier.observe"
+            )
+        self.classifier = classifier
+        self.propagation = classifier.propagation
+        self.extractor = classifier.extractor
+        self._is_sum = isinstance(self.propagation, TemporalPropagationSum)
+
+    # ------------------------------------------------------------------
+    # Eligibility
+    # ------------------------------------------------------------------
+    @staticmethod
+    def supports(classifier: IncrementalClassifier) -> bool:
+        """Whether the kernel provably mirrors this model's ``observe``."""
+        propagation = classifier.propagation
+        extractor = classifier.extractor
+        if type(propagation) is TemporalPropagationSum:
+            if propagation.stabilizer not in ("bounded", "average", "none"):
+                return False
+        elif type(propagation) is not TemporalPropagationGRU:
+            return False
+        return (
+            type(extractor) is GlobalTemporalExtractor
+            and extractor.aggregator_name == "average"
+        )
+
+    @classmethod
+    def build(cls, classifier: IncrementalClassifier) -> "FastObserver | None":
+        """A kernel for ``classifier``, or ``None`` if unsupported."""
+        return cls(classifier) if cls.supports(classifier) else None
+
+    # ------------------------------------------------------------------
+    # The kernel
+    # ------------------------------------------------------------------
+    def _encode(self, features: np.ndarray) -> np.ndarray:
+        """Raw mirror of ``TemporalPropagationBase._encode_features``."""
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        projection = self.propagation.encoder.projection
+        return np.matmul(features, projection.weight.data) + projection.bias.data
+
+    def _materialize(self, state: SessionState, node: int, node_features) -> None:
+        """Raw mirror of ``IncrementalClassifier._materialize``."""
+        if node in state.feature_seen:
+            return
+        classifier = self.classifier
+        features = None if node_features is None else node_features.get(node)
+        if features is None:
+            if classifier.missing_features == "raise":
+                # The rare raising configuration: the slow materializer
+                # owns the error contract.
+                classifier._materialize(state, node, node_features)
+                return
+            features = np.zeros(self.propagation.in_features)
+        prop = self.propagation
+        prop_state = state.prop_state
+        missing = node + 1 - prop_state.num_nodes
+        if missing > 0:
+            padded = self._encode(np.zeros((missing, prop.in_features)))
+            prop_state.node_state = Tensor(
+                np.concatenate([prop_state.node_state.data, padded], axis=0)
+            )
+            if self._is_sum:
+                if prop_state.time_state is not None:
+                    prop_state.time_state = Tensor(
+                        np.concatenate(
+                            [
+                                prop_state.time_state.data,
+                                np.zeros((missing, prop.time_dim)),
+                            ],
+                            axis=0,
+                        )
+                    )
+                prop_state.time_touched = np.concatenate(
+                    [prop_state.time_touched, np.zeros(missing, dtype=bool)]
+                )
+        encoded = self._encode(np.asarray(features, dtype=np.float64))
+        prop_state.node_state.data[node] = encoded[0]
+        if self._is_sum and prop_state.time_state is not None:
+            prop_state.time_state.data[node] = 0.0
+            prop_state.time_touched[node] = False
+        state.feature_seen.add(node)
+
+    def observe(
+        self,
+        state: SessionState,
+        src: int,
+        dst: int,
+        time: float,
+        node_features=None,
+    ) -> None:
+        """Apply one in-order edge to ``state`` — same math as
+        ``classifier.observe``, same results, ~5x faster."""
+        src, dst, time = int(src), int(dst), float(time)
+        if src not in state.feature_seen or dst not in state.feature_seen:
+            self._materialize(state, src, node_features)
+            self._materialize(state, dst, node_features)
+        prop = self.propagation
+        prop_state = state.prop_state
+        if prop_state.origin is None:
+            prop_state.origin = time
+        node_state = prop_state.node_state.data
+        encoder = prop.time_encoder
+        f_t = None if encoder is None else _time2vec(encoder, time - prop_state.origin)
+        if self._is_sum:
+            merged = node_state[src] + node_state[dst]
+            if prop.stabilizer == "bounded":
+                merged = np.tanh(merged)
+            elif prop.stabilizer == "average":
+                merged = merged * 0.5
+            node_state[dst] = merged
+            if f_t is not None:
+                time_state = prop_state.time_state.data
+                time_state[dst] = f_t.reshape(prop.time_dim) + time_state[dst]
+                prop_state.time_touched[dst] = True
+            src_embedding = (
+                np.tanh(node_state[src])
+                if f_t is None
+                else np.tanh(np.concatenate([node_state[src], time_state[src]], axis=0))
+            )
+            dst_embedding = (
+                np.tanh(node_state[dst])
+                if f_t is None
+                else np.tanh(np.concatenate([node_state[dst], time_state[dst]], axis=0))
+            )
+        else:
+            source = node_state[src].reshape(1, prop.hidden_size)
+            message = source if f_t is None else np.concatenate([source, f_t], axis=1)
+            target = node_state[dst].reshape(1, prop.hidden_size)
+            node_state[dst] = _gru_cell(prop.cell, message, target)
+            src_embedding = np.tanh(node_state[src])
+            dst_embedding = np.tanh(node_state[dst])
+        prop_state.updates += 1
+        row = ((src_embedding + dst_embedding) * 0.5).reshape(
+            1, src_embedding.shape[-1]
+        )
+        ext_state = state.ext_state
+        hidden = ext_state.hidden.data
+        # In-place: init_state/restore give every session a private
+        # hidden Tensor, and snapshots copy — nothing aliases it.
+        hidden[:] = _gru_cell(self.extractor.gru.cell, row, hidden)
+        ext_state.steps += 1
+        state.edges.append(TemporalEdge(src, dst, time))

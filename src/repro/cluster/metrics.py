@@ -1,0 +1,96 @@
+"""Cluster-level telemetry: per-shard series in one shared registry.
+
+Every instrument lives in a :class:`~repro.telemetry.MetricRegistry`
+(pass the process-global one from :func:`repro.telemetry.get_registry`
+to fold cluster series into a capture, or share one registry across
+engines and cluster for a single export).  Series names:
+
+==============================  =========  ==============================
+``cluster/events_routed``       counter    events accepted by the front-end
+``cluster/events_shed``         counter    backpressure-shed events
+``cluster/shard_errors``        counter    apply-path exceptions (labeled ``shard``)
+``cluster/breaker_rejections``  counter    writes shed by an open breaker (labeled ``shard``)
+``cluster/sessions_migrated``   counter    sessions moved by ``rebalance()``
+``cluster/sessions_quarantined`` counter   migrations rejected (corrupt snapshot)
+``cluster/rebalances``          counter    ``rebalance()`` invocations
+``cluster/queue_depth``         gauge      per-shard ingest queue depth (labeled ``shard``)
+``cluster/ingest_latency_seconds``  histogram  front-end submit → queued
+``cluster/predict_latency_seconds`` histogram  predict round-trip (barrier included)
+``cluster/apply_latency_seconds``   histogram  per-event apply inside the drain loop
+==============================  =========  ==============================
+
+All timings use ``time.perf_counter`` — a monotonic clock; wall-clock
+(``time.time``) is banned from measurement paths by a lint rule.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry import Gauge, Histogram, MetricRegistry
+
+
+class ClusterMetrics:
+    """Instrument block for one :class:`~repro.cluster.ShardedCluster`.
+
+    Parameters
+    ----------
+    registry:
+        Optional shared :class:`~repro.telemetry.MetricRegistry`; a
+        private one is created otherwise.
+    latency_capacity:
+        Ring-buffer size of the latency histograms.
+    """
+
+    def __init__(
+        self,
+        registry: MetricRegistry | None = None,
+        latency_capacity: int = 4096,
+    ):
+        self.registry = registry if registry is not None else MetricRegistry()
+        self.events_routed = self.registry.counter("cluster/events_routed")
+        self.events_shed = self.registry.counter("cluster/events_shed")
+        self.sessions_migrated = self.registry.counter("cluster/sessions_migrated")
+        self.sessions_quarantined = self.registry.counter(
+            "cluster/sessions_quarantined"
+        )
+        self.rebalances = self.registry.counter("cluster/rebalances")
+        self.ingest_latency: Histogram = self.registry.histogram(
+            "cluster/ingest_latency_seconds", capacity=latency_capacity
+        )
+        self.predict_latency: Histogram = self.registry.histogram(
+            "cluster/predict_latency_seconds", capacity=latency_capacity
+        )
+        self.apply_latency: Histogram = self.registry.histogram(
+            "cluster/apply_latency_seconds", capacity=latency_capacity
+        )
+
+    # ------------------------------------------------------------------
+    # Per-shard series (labeled)
+    # ------------------------------------------------------------------
+    def queue_depth(self, shard_id) -> Gauge:
+        """The queue-depth gauge of one shard."""
+        return self.registry.gauge("cluster/queue_depth", shard=str(shard_id))
+
+    def shard_errors(self, shard_id):
+        """The apply-error counter of one shard."""
+        return self.registry.counter("cluster/shard_errors", shard=str(shard_id))
+
+    def breaker_rejections(self, shard_id):
+        """The breaker-shed counter of one shard."""
+        return self.registry.counter(
+            "cluster/breaker_rejections", shard=str(shard_id)
+        )
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def latency_summary(self) -> dict[str, float]:
+        """p50/p95/p99 (milliseconds) of the three latency histograms."""
+        summary: dict[str, float] = {}
+        for name, histogram in (
+            ("ingest", self.ingest_latency),
+            ("predict", self.predict_latency),
+            ("apply", self.apply_latency),
+        ):
+            for q in (50, 95, 99):
+                summary[f"{name}_p{q}_ms"] = histogram.percentile(q) * 1e3
+        return summary

@@ -1,0 +1,153 @@
+"""Bounded per-shard ingest queues with explicit backpressure.
+
+Each shard owns one :class:`BoundedQueue` between the cluster front-end
+(the routing thread) and the shard's drain loop.  The queue is the
+cluster's pressure-relief valve: when a shard falls behind, the
+``policy`` decides what happens to new events instead of letting memory
+grow without limit:
+
+* ``"block"`` (default) — the producer waits until the drain frees a
+  slot.  Lossless; ingest latency absorbs the pressure.
+* ``"shed"`` — the event is discarded and counted.  Lossy; latency
+  stays flat, accuracy of the overloaded shard's sessions degrades.
+* ``"raise"`` — :class:`ShardQueueFullError` propagates to the caller
+  (strict pipelines that must fail loudly instead of lagging).
+
+The queue also carries the ``join`` barrier the cluster needs before
+reads and migrations: ``task_done``/``join`` mirror the stdlib queue
+contract, so "every event submitted so far has been *applied*" (not
+merely dequeued) is a waitable condition.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any
+
+BACKPRESSURE_POLICIES = ("block", "shed", "raise")
+
+
+class ShardQueueFullError(RuntimeError):
+    """An ingest queue is full under the ``"raise"`` backpressure policy."""
+
+
+class BoundedQueue:
+    """A thread-safe bounded FIFO with pluggable overflow policy.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum queued (not yet dequeued) items.
+    policy:
+        One of :data:`BACKPRESSURE_POLICIES`; applied by :meth:`put`
+        when the queue is full.
+    """
+
+    def __init__(self, capacity: int = 1024, policy: str = "block"):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if policy not in BACKPRESSURE_POLICIES:
+            raise ValueError(
+                f"unknown backpressure policy {policy!r}; "
+                f"choose from {BACKPRESSURE_POLICIES}"
+            )
+        self.capacity = capacity
+        self.policy = policy
+        self.shed = 0
+        self._items: deque[Any] = deque()
+        self._unfinished = 0
+        self._closed = False
+        self._lock = threading.Lock()
+        self._not_full = threading.Condition(self._lock)
+        self._not_empty = threading.Condition(self._lock)
+        self._all_done = threading.Condition(self._lock)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+    def put(self, item: Any) -> bool:
+        """Enqueue ``item``; returns False when it was shed.
+
+        A full queue blocks, sheds or raises per ``policy``.  Putting
+        into a closed queue raises — the shard is gone, losing the
+        event silently would mask a routing bug.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("queue is closed")
+            if len(self._items) >= self.capacity:
+                if self.policy == "shed":
+                    self.shed += 1
+                    return False
+                if self.policy == "raise":
+                    raise ShardQueueFullError(
+                        f"ingest queue full ({self.capacity} events pending)"
+                    )
+                while len(self._items) >= self.capacity and not self._closed:
+                    self._not_full.wait()
+                if self._closed:
+                    raise RuntimeError("queue closed while blocked on put")
+            self._items.append(item)
+            self._unfinished += 1
+            self._not_empty.notify()
+        return True
+
+    # ------------------------------------------------------------------
+    # Consumer side
+    # ------------------------------------------------------------------
+    def get_batch(self, max_items: int, timeout: float | None = None) -> list[Any]:
+        """Dequeue up to ``max_items`` (at least 1 unless empty/closed).
+
+        Waits up to ``timeout`` seconds for the first item (``None``
+        waits forever, ``0`` never); the rest of the batch is whatever
+        is already queued.  Each returned item must be accounted with
+        :meth:`task_done` once processed.
+        """
+        with self._lock:
+            if not self._items and timeout != 0:
+                self._not_empty.wait_for(
+                    lambda: self._items or self._closed, timeout=timeout
+                )
+            count = min(max_items, len(self._items))
+            batch = [self._items.popleft() for _ in range(count)]
+            if count:
+                self._not_full.notify_all()
+            return batch
+
+    def task_done(self, count: int = 1) -> None:
+        """Mark ``count`` dequeued items fully processed."""
+        with self._lock:
+            if count > self._unfinished:
+                raise ValueError("task_done called more times than items queued")
+            self._unfinished -= count
+            if self._unfinished == 0:
+                self._all_done.notify_all()
+
+    def join(self, timeout: float | None = None) -> bool:
+        """Wait until every item ever enqueued has been processed."""
+        with self._lock:
+            return self._all_done.wait_for(
+                lambda: self._unfinished == 0, timeout=timeout
+            )
+
+    def close(self) -> None:
+        """Refuse further puts and wake every waiter."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+            self._all_done.notify_all()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BoundedQueue(size={len(self._items)}, capacity={self.capacity}, "
+            f"policy={self.policy!r})"
+        )

@@ -1,0 +1,112 @@
+"""Consistent-hash session placement for the sharded serving cluster.
+
+Sessions must map to shards such that (a) the mapping is stable — the
+same session id always lands on the same shard, across processes and
+runs (``PYTHONHASHSEED`` must not matter, so the ring hashes with md5,
+never the builtin ``hash``); and (b) adding or removing one shard moves
+only ~``1/n`` of the sessions, not all of them — otherwise every
+topology change would trigger a full-cluster migration.
+
+:class:`HashRing` is the classic consistent-hash construction: each
+shard owns ``replicas`` pseudo-random points on a 64-bit circle, and a
+key is placed on the first shard point clockwise from the key's own
+hash.  Virtual nodes (the replicas) smooth the per-shard load to within
+a few percent of uniform at the default 64 points per shard.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Hashable, Iterable, Sequence
+
+
+def stable_hash(key: str) -> int:
+    """A 64-bit process-independent hash of ``key`` (md5 prefix)."""
+    digest = hashlib.md5(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Consistent-hash ring mapping string keys to shard ids.
+
+    Parameters
+    ----------
+    shards:
+        Initial shard ids (any hashable, typically small ints).
+    replicas:
+        Virtual nodes per shard.  More replicas → smoother load split,
+        slightly larger ring; 64 keeps per-shard imbalance within a few
+        percent for the shard counts a single host runs.
+    """
+
+    def __init__(self, shards: Iterable[Hashable] = (), replicas: int = 64):
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = replicas
+        self._points: list[int] = []
+        self._owners: dict[int, Hashable] = {}
+        self._shards: set[Hashable] = set()
+        for shard in shards:
+            self.add(shard)
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def _shard_points(self, shard: Hashable) -> list[int]:
+        return [stable_hash(f"shard:{shard}:{i}") for i in range(self.replicas)]
+
+    def add(self, shard: Hashable) -> None:
+        """Join ``shard``; existing keys move only onto the new shard."""
+        if shard in self._shards:
+            raise ValueError(f"shard {shard!r} is already on the ring")
+        self._shards.add(shard)
+        for point in self._shard_points(shard):
+            # md5 collisions between distinct replica labels are not a
+            # practical concern; last writer wins keeps this total.
+            if point not in self._owners:
+                bisect.insort(self._points, point)
+            self._owners[point] = shard
+
+    def remove(self, shard: Hashable) -> None:
+        """Leave ``shard``; its keys redistribute over the survivors."""
+        if shard not in self._shards:
+            raise KeyError(f"shard {shard!r} is not on the ring")
+        self._shards.discard(shard)
+        for point in self._shard_points(shard):
+            if self._owners.get(point) == shard:
+                del self._owners[point]
+                index = bisect.bisect_left(self._points, point)
+                if index < len(self._points) and self._points[index] == point:
+                    del self._points[index]
+
+    def __contains__(self, shard: Hashable) -> bool:
+        return shard in self._shards
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    @property
+    def shards(self) -> list[Hashable]:
+        """The shard ids currently on the ring, sorted."""
+        return sorted(self._shards, key=repr)
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def place(self, key: str) -> Hashable:
+        """The shard owning ``key`` (first ring point clockwise)."""
+        if not self._points:
+            raise RuntimeError("cannot place a key on an empty ring")
+        point = stable_hash(f"key:{key}")
+        index = bisect.bisect_right(self._points, point)
+        if index == len(self._points):
+            index = 0
+        return self._owners[self._points[index]]
+
+    def placement(self, keys: Sequence[str]) -> dict[str, Hashable]:
+        """Map every key to its shard in one pass."""
+        return {key: self.place(key) for key in keys}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"HashRing(shards={self.shards}, replicas={self.replicas})"

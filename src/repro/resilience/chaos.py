@@ -448,6 +448,116 @@ def _buffer_flood(ctx: ChaosContext) -> tuple[str, str]:
 
 
 # ----------------------------------------------------------------------
+# Cluster scenarios
+# ----------------------------------------------------------------------
+@scenario(
+    "shard-kill",
+    "a faulting shard's breaker opens and isolates it; survivors keep serving",
+)
+def _shard_kill(ctx: ChaosContext) -> tuple[str, str]:
+    from repro.cluster import ShardedCluster
+    from repro.resilience.errors import CircuitOpenError
+
+    feed = ctx.feed(num_graphs=9)
+    with ShardedCluster(
+        ctx.model(), n_shards=3, backend="serial",
+        breaker_threshold=3, breaker_cooldown=1e9, max_sessions=64,
+    ) as cluster:
+        cluster.ingest_many(feed)
+        sessions = cluster.sessions()
+        victim = next(sid for sid, ids in sessions.items() if ids)
+        plan = FaultPlan(seed=ctx.seed).add(
+            f"cluster.shard{victim}.apply", kind="raise"
+        )
+        with activate(plan):
+            cluster.ingest_many(feed)
+            cluster.barrier()
+        breaker = cluster._shards[victim].engine.breaker
+        if breaker.state != "open":
+            raise AssertionError(
+                f"victim breaker ended {breaker.state!r}, expected open"
+            )
+        try:
+            cluster.predict(sessions[victim][0])
+        except CircuitOpenError:
+            pass
+        else:
+            raise AssertionError("open shard answered a read")
+        served = 0
+        for shard_id, ids in sessions.items():
+            if shard_id == victim:
+                continue
+            survivor = cluster._shards[shard_id].engine.breaker
+            if survivor.state != "closed":
+                raise AssertionError(
+                    f"survivor shard {shard_id} breaker went {survivor.state!r}"
+                )
+            for session_id in ids:
+                if not np.isfinite(cluster.predict(session_id)):
+                    raise AssertionError("survivor produced non-finite score")
+                served += 1
+        if served == 0:
+            raise AssertionError("no surviving shard held any session")
+    return "per-shard circuit breaker consecutive-failure threshold", (
+        f"victim shard isolated (writes shed, reads rejected); "
+        f"{served} sessions on surviving shards kept serving"
+    )
+
+
+@scenario(
+    "migration-corrupt-snapshot",
+    "a snapshot corrupted mid-migration quarantines the session, not the shard",
+)
+def _migration_corrupt_snapshot(ctx: ChaosContext) -> tuple[str, str]:
+    from repro.cluster import ShardedCluster
+
+    feed = ctx.feed(num_graphs=12)
+    with ShardedCluster(
+        ctx.model(), n_shards=2, backend="serial", max_sessions=64,
+    ) as cluster:
+        cluster.ingest_many(feed)
+        cluster.add_shard()
+        plan = FaultPlan(seed=ctx.seed).add(
+            "cluster.migrate.snapshot", kind="nan", times=1
+        )
+        with activate(plan):
+            report = cluster.rebalance()
+        if report.quarantined != 1:
+            raise AssertionError(
+                f"expected exactly 1 quarantined session, got {report.quarantined}"
+            )
+        if report.moved == 0:
+            raise AssertionError("no healthy session completed its migration")
+        victim = next(iter(cluster.quarantined))
+        if victim in cluster.live_sessions():
+            raise AssertionError("quarantined session still serving")
+        try:
+            cluster.predict(victim)
+        except KeyError:
+            pass
+        else:
+            raise AssertionError("quarantined session answered a read")
+        for shard_id, worker in cluster._shards.items():
+            breaker = worker.engine.breaker
+            if breaker is not None and breaker.state != "closed":
+                raise AssertionError(
+                    f"shard {shard_id} breaker went {breaker.state!r}; "
+                    "corruption must quarantine the session, not the shard"
+                )
+        for session_id, _, target_id in report.moves:
+            score = cluster.predict(session_id)
+            if not np.isfinite(score):
+                raise AssertionError(
+                    f"migrated session {session_id!r} on shard {target_id} "
+                    "produced a non-finite score"
+                )
+    return "snapshot finiteness validation inside the migration", (
+        f"1 session quarantined; {report.moved} healthy migrations and "
+        "every shard kept serving"
+    )
+
+
+# ----------------------------------------------------------------------
 # Compute scenarios
 # ----------------------------------------------------------------------
 @scenario(

@@ -226,10 +226,15 @@ class StreamingEngine:
         """Ingest a whole feed; returns total session updates applied."""
         return sum(self.ingest(event) for event in feed)
 
-    def flush(self) -> int:
-        """Drain every buffered event (end-of-stream); returns count."""
+    def flush(self, session_id: str | None = None) -> int:
+        """Drain buffered events (end-of-stream); returns count applied.
+
+        With ``session_id`` only that session's buffer is drained — the
+        pre-migration barrier a cluster runs before snapshotting one
+        session out of a live shard.
+        """
         applied = 0
-        for state, event in self.router.flush():
+        for state, event in self.router.flush(session_id):
             self._apply(state, event)
             applied += 1
         return applied
@@ -345,11 +350,19 @@ class StreamingEngine:
         path: str | Path,
         model: TPGNN,
         on_evict: Callable[[str, SessionState], None] | None = None,
+        max_sessions: int | None = None,
     ) -> "StreamingEngine":
         """Rebuild an engine (weights + sessions + counters) from disk.
 
         ``model`` must be architecturally identical to the one that
         wrote the checkpoint; its parameters are overwritten.
+        ``max_sessions`` overrides the checkpointed LRU capacity (e.g.
+        restoring into a smaller shard).  If the checkpoint holds more
+        sessions than the capacity — a tampered archive, or a deliberate
+        downsize — the oldest sessions *in checkpoint order* (the
+        checkpoint lists least-recently-active first) are evicted and
+        counted in ``metrics.sessions_restore_evicted`` rather than
+        silently over-filling the router.
         """
         arrays, meta = read_archive(path)
         if meta.get("format") != _FORMAT:
@@ -368,7 +381,9 @@ class StreamingEngine:
         max_buffered = config.get("max_buffered", 4096)
         engine = cls(
             model,
-            max_sessions=int(config.get("max_sessions", 1024)),
+            max_sessions=int(config.get("max_sessions", 1024))
+            if max_sessions is None
+            else int(max_sessions),
             out_of_order=str(config.get("out_of_order", "drop")),
             watermark_delay=float(config.get("watermark_delay", 0.0)),
             max_buffered=None if max_buffered is None else int(max_buffered),
@@ -383,19 +398,43 @@ class StreamingEngine:
                 if key.startswith(prefix)
             }
             state = engine.classifier.restore(session_id, session_arrays)
-            engine._adopt(session_id, state)
+            evicted = engine.adopt_session(session_id, state)
+            engine.metrics.sessions_restore_evicted += len(evicted)
         return engine
 
-    def _adopt(self, session_id: str, state: SessionState) -> None:
-        """Install a restored session into the router's table."""
-        from repro.serve.router import _SessionEntry
+    # ------------------------------------------------------------------
+    # Session migration (single-session snapshot / adopt / remove)
+    # ------------------------------------------------------------------
+    def snapshot_session(self, session_id: str) -> dict[str, np.ndarray]:
+        """Flat array snapshot of one live session (for migration).
 
-        entry: _SessionEntry[SessionState] = _SessionEntry(payload=state)
-        last = state.last_time
-        if last is not None:
-            entry.last_applied = last
-            entry.max_seen = last
-        self.router._sessions[session_id] = entry
+        Drain the session's out-of-order buffer first (``flush(session_id)``)
+        if in-flight events must be folded in before the state moves.
+        """
+        state = self.router.get(session_id)
+        if state is None:
+            raise KeyError(f"unknown session {session_id!r} (never seen or evicted)")
+        return self.classifier.snapshot(state)
+
+    def adopt_session(self, session_id: str, state: SessionState) -> list[str]:
+        """Install an externally restored session under LRU discipline.
+
+        The router evicts least-recently-active sessions (firing
+        ``on_evict`` and counting ``sessions_evicted``) until the
+        adoptee fits; their ids are returned so the caller can account
+        the displacement (restore counts them as
+        ``sessions_restore_evicted``).
+        """
+        return self.router.adopt(session_id, state, last_time=state.last_time)
+
+    def remove_session(self, session_id: str) -> SessionState | None:
+        """Drop one session from the table (no evict hook); returns it.
+
+        The migration source calls this after the target has adopted
+        the snapshot — removal is not an eviction, so ``on_evict`` (a
+        final-prediction or checkpoint hook) must not fire.
+        """
+        return self.router.pop(session_id)
 
     # ------------------------------------------------------------------
     # Introspection

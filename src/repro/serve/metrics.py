@@ -27,6 +27,7 @@ _COUNTER_NAMES = (
     "events_overflow_dropped",
     "sessions_started",
     "sessions_evicted",
+    "sessions_restore_evicted",
     "predictions_served",
     "deadline_breaches",
     "breaker_rejections",
@@ -95,6 +96,7 @@ class ServeMetrics:
     events_overflow_dropped = _counter_property("events_overflow_dropped")
     sessions_started = _counter_property("sessions_started")
     sessions_evicted = _counter_property("sessions_evicted")
+    sessions_restore_evicted = _counter_property("sessions_restore_evicted")
     predictions_served = _counter_property("predictions_served")
     deadline_breaches = _counter_property("deadline_breaches")
     breaker_rejections = _counter_property("breaker_rejections")

@@ -145,6 +145,37 @@ class SessionRouter(Generic[Payload]):
         entry = self._sessions.pop(session_id, None)
         return entry.payload if entry is not None else None
 
+    def adopt(
+        self,
+        session_id: str,
+        payload: Payload,
+        last_time: float | None = None,
+    ) -> list[str]:
+        """Install an externally built payload under LRU discipline.
+
+        Used by checkpoint restore and shard migration: the payload was
+        built elsewhere (``factory`` is bypassed and ``sessions_started``
+        is *not* counted), but capacity is enforced exactly as for a new
+        session — the least-recently-active sessions are evicted (with
+        the ``on_evict`` hook) until the adoptee fits.  ``last_time``
+        seeds the ordering watermarks so the admission policy resumes
+        where the donor left off.  Returns the evicted session ids.
+        """
+        evicted: list[str] = []
+        replacing = self._sessions.pop(session_id, None) is not None
+        while not replacing and len(self._sessions) >= self.max_sessions:
+            evicted_id, evicted_entry = self._sessions.popitem(last=False)
+            self.stats.sessions_evicted += 1
+            evicted.append(evicted_id)
+            if self.on_evict is not None:
+                self.on_evict(evicted_id, evicted_entry.payload)
+        entry: _SessionEntry[Payload] = _SessionEntry(payload=payload)
+        if last_time is not None:
+            entry.last_applied = last_time
+            entry.max_seen = last_time
+        self._sessions[session_id] = entry
+        return evicted
+
     def _entry(self, session_id: str) -> _SessionEntry[Payload]:
         """Fetch-or-create the session entry, applying LRU discipline."""
         entry = self._sessions.get(session_id)

@@ -1,0 +1,81 @@
+"""Fast tier-1 smoke of the ``repro loadtest`` harness and CLI verb."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+from repro.cluster import LoadtestConfig, generate_feed, run_loadtest
+
+
+def _edge_key(event):
+    return (event.session_id, event.src, event.dst, event.time)
+
+
+def test_generate_feed_is_seeded_and_ordered():
+    import numpy as np
+
+    config = LoadtestConfig(sessions=20, events=200, seed=5)
+    feed_a = generate_feed(config)
+    feed_b = generate_feed(config)
+    assert len(feed_a) == 200
+    assert [_edge_key(e) for e in feed_a] == [_edge_key(e) for e in feed_b]
+    for a, b in zip(feed_a, feed_b):
+        if a.node_features is None:
+            assert b.node_features is None
+        else:
+            assert set(a.node_features) == set(b.node_features)
+            for node, features in a.node_features.items():
+                assert np.array_equal(features, b.node_features[node])
+    other = generate_feed(LoadtestConfig(sessions=20, events=200, seed=6))
+    assert [_edge_key(e) for e in other] != [_edge_key(e) for e in feed_a]
+    last_per_session: dict[str, float] = {}
+    seen_features: dict[str, set[int]] = {}
+    for event in feed_a:
+        assert event.time >= last_per_session.get(event.session_id, -1.0)
+        last_per_session[event.session_id] = event.time
+        seen = seen_features.setdefault(event.session_id, set())
+        for node in (event.src, event.dst):
+            if node not in seen:
+                # Features must arrive exactly once, on first sight.
+                assert event.node_features is not None
+                assert node in event.node_features
+                seen.add(node)
+            elif event.node_features is not None:
+                assert node not in event.node_features
+
+
+def test_run_loadtest_reports_both_phases():
+    config = LoadtestConfig(
+        sessions=30, events=300, shards=2, backend="serial",
+        predict_every=100, rebalance_at=0.5,
+    )
+    report = run_loadtest(config)
+    assert report.cluster["events_applied"] == 300
+    assert report.cluster["events_per_sec"] > 0
+    assert report.cluster["rebalance"] is not None
+    assert report.cluster["rebalance"]["quarantined"] == 0
+    assert report.baseline is not None
+    assert report.speedup is not None
+    assert set(report.shards)  # per-shard stats present
+    rendered = report.render()
+    assert "events/sec" in rendered and "speedup" in rendered
+
+
+def test_loadtest_cli_smoke(tmp_path, capsys):
+    output = tmp_path / "BENCH_serve.json"
+    exit_code = main([
+        "loadtest", "--sessions", "200", "--events", "2000", "--shards", "2",
+        "--backend", "serial", "--predict-every", "500",
+        "--output", str(output),
+    ])
+    assert exit_code == 0
+    payload = json.loads(output.read_text())
+    assert payload["benchmark"] == "repro loadtest"
+    assert payload["cluster"]["events_applied"] == 2000
+    assert payload["cluster"]["ingest_p99_ms"] >= 0.0
+    assert payload["cluster"]["predict_p99_ms"] >= 0.0
+    assert payload["baseline"]["events_applied"] == 2000
+    assert payload["speedup_vs_single_engine"] > 0
+    out = capsys.readouterr().out
+    assert "loadtest report" in out

@@ -1,0 +1,56 @@
+"""Guard: no cluster module measures with wall-clock ``time.time``.
+
+Latency histograms and throughput numbers must come from the monotonic
+``time.perf_counter`` — wall clock jumps (NTP slew, suspend/resume)
+would silently corrupt SLO percentiles.  The same ban is enforced
+statically by ruff (TID251, see pyproject.toml); this test keeps the
+guarantee even where ruff is not run.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import repro.cluster
+
+CLUSTER_DIR = Path(repro.cluster.__file__).parent
+
+
+def _time_time_uses(source: str) -> list[int]:
+    """Line numbers of ``time.time`` attribute references."""
+    tree = ast.parse(source)
+    offenders = []
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Attribute)
+            and node.attr == "time"
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "time"
+        ):
+            offenders.append(node.lineno)
+        # `from time import time` would alias the wall clock in.
+        if isinstance(node, ast.ImportFrom) and node.module == "time":
+            for alias in node.names:
+                if alias.name == "time":
+                    offenders.append(node.lineno)
+    return offenders
+
+
+def test_cluster_modules_never_use_wallclock():
+    checked = 0
+    for path in sorted(CLUSTER_DIR.glob("*.py")):
+        offenders = _time_time_uses(path.read_text(encoding="utf-8"))
+        assert not offenders, (
+            f"{path.name} uses wall-clock time.time at lines {offenders}; "
+            "use time.perf_counter (or time.monotonic) on measurement paths"
+        )
+        checked += 1
+    assert checked >= 7  # all cluster modules were actually scanned
+
+
+def test_guard_catches_offenders():
+    assert _time_time_uses("import time\nstart = time.time()\n") == [2]
+    assert _time_time_uses("from time import time\n") == [1]
+    assert _time_time_uses("from time import perf_counter\n") == []
+    assert _time_time_uses("import time\ntime.sleep(1)\n") == []

@@ -1,0 +1,103 @@
+"""Bounded ingest queues: policies, barrier semantics, close."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.cluster import BoundedQueue, ShardQueueFullError
+
+
+def test_fifo_batch_dequeue():
+    queue = BoundedQueue(capacity=8)
+    for i in range(5):
+        assert queue.put(i) is True
+    assert queue.get_batch(3, timeout=0) == [0, 1, 2]
+    assert queue.get_batch(10, timeout=0) == [3, 4]
+    assert queue.get_batch(10, timeout=0) == []
+
+
+def test_shed_policy_counts_and_returns_false():
+    queue = BoundedQueue(capacity=2, policy="shed")
+    assert queue.put("a") and queue.put("b")
+    assert queue.put("c") is False
+    assert queue.put("d") is False
+    assert queue.shed == 2
+    assert len(queue) == 2
+
+
+def test_raise_policy():
+    queue = BoundedQueue(capacity=1, policy="raise")
+    queue.put("a")
+    with pytest.raises(ShardQueueFullError):
+        queue.put("b")
+
+
+def test_block_policy_waits_for_consumer():
+    queue = BoundedQueue(capacity=1, policy="block")
+    queue.put("a")
+    released = []
+
+    def consume():
+        batch = queue.get_batch(1, timeout=5.0)
+        released.extend(batch)
+        queue.task_done(len(batch))
+
+    thread = threading.Thread(target=consume)
+    thread.start()
+    # This put must block until the consumer frees the slot.
+    assert queue.put("b") is True
+    thread.join(timeout=5.0)
+    assert released == ["a"]
+    assert queue.get_batch(1, timeout=0) == ["b"]
+
+
+def test_join_waits_for_task_done_not_dequeue():
+    queue = BoundedQueue(capacity=4)
+    queue.put("a")
+    queue.put("b")
+    assert queue.join(timeout=0.01) is False
+    batch = queue.get_batch(2, timeout=0)
+    # Dequeued but not yet applied: the barrier must still hold.
+    assert queue.join(timeout=0.01) is False
+    queue.task_done(len(batch))
+    assert queue.join(timeout=1.0) is True
+
+
+def test_task_done_overflow_is_an_error():
+    queue = BoundedQueue(capacity=4)
+    queue.put("a")
+    queue.get_batch(1, timeout=0)
+    queue.task_done()
+    with pytest.raises(ValueError):
+        queue.task_done()
+
+
+def test_close_refuses_puts_and_wakes_waiters():
+    queue = BoundedQueue(capacity=1, policy="block")
+    queue.put("a")
+    errors = []
+
+    def blocked_put():
+        try:
+            queue.put("b")
+        except RuntimeError as error:
+            errors.append(error)
+
+    thread = threading.Thread(target=blocked_put)
+    thread.start()
+    queue.close()
+    thread.join(timeout=5.0)
+    assert not thread.is_alive()
+    assert len(errors) == 1
+    with pytest.raises(RuntimeError):
+        queue.put("c")
+    assert queue.closed
+
+
+def test_invalid_construction():
+    with pytest.raises(ValueError):
+        BoundedQueue(capacity=0)
+    with pytest.raises(ValueError):
+        BoundedQueue(policy="drop-newest")

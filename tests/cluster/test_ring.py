@@ -1,0 +1,93 @@
+"""Consistent-hash ring: stability, balance, minimal movement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import HashRing, stable_hash
+
+
+def keys(n: int) -> list[str]:
+    return [f"s{i:05d}" for i in range(n)]
+
+
+def test_stable_hash_is_process_independent():
+    # Pinned values: md5 is fully specified, so these never move.
+    assert stable_hash("s00000") == stable_hash("s00000")
+    assert stable_hash("a") != stable_hash("b")
+    assert stable_hash("key:alpha") == int.from_bytes(
+        __import__("hashlib").md5(b"key:alpha").digest()[:8], "big"
+    )
+
+
+def test_placement_is_deterministic_across_instances():
+    a = HashRing(range(4))
+    b = HashRing(range(4))
+    assert a.placement(keys(500)) == b.placement(keys(500))
+
+
+def test_placement_covers_all_shards_roughly_uniformly():
+    ring = HashRing(range(4))
+    placement = ring.placement(keys(4000))
+    counts = {shard: 0 for shard in range(4)}
+    for shard in placement.values():
+        counts[shard] += 1
+    assert set(counts) == {0, 1, 2, 3}
+    # Virtual nodes keep the split within a loose factor of uniform.
+    assert min(counts.values()) > 4000 / 4 / 3
+    assert max(counts.values()) < 4000 / 4 * 3
+
+
+def test_adding_a_shard_moves_only_keys_onto_it():
+    ring = HashRing(range(4))
+    before = ring.placement(keys(2000))
+    ring.add(4)
+    after = ring.placement(keys(2000))
+    moved = {k for k in before if before[k] != after[k]}
+    # Every moved key must land on the new shard, never shuffle
+    # between old shards.
+    assert all(after[k] == 4 for k in moved)
+    # And only roughly 1/5 of the keyspace moves.
+    assert len(moved) < 2000 / 5 * 2
+
+
+def test_removing_a_shard_moves_only_its_keys():
+    ring = HashRing(range(5))
+    before = ring.placement(keys(2000))
+    ring.remove(2)
+    after = ring.placement(keys(2000))
+    for key in before:
+        if before[key] != 2:
+            assert after[key] == before[key]
+        else:
+            assert after[key] != 2
+
+
+def test_add_remove_round_trip_restores_placement():
+    ring = HashRing(range(3))
+    before = ring.placement(keys(500))
+    ring.add(3)
+    ring.remove(3)
+    assert ring.placement(keys(500)) == before
+
+
+def test_topology_bookkeeping():
+    ring = HashRing()
+    assert len(ring) == 0
+    ring.add("a")
+    ring.add("b")
+    assert "a" in ring and "b" in ring and "c" not in ring
+    assert ring.shards == ["a", "b"]
+    with pytest.raises(ValueError):
+        ring.add("a")
+    ring.remove("a")
+    assert "a" not in ring
+    with pytest.raises(KeyError):
+        ring.remove("a")
+
+
+def test_empty_ring_refuses_placement():
+    with pytest.raises(RuntimeError):
+        HashRing().place("anything")
+    with pytest.raises(ValueError):
+        HashRing(replicas=0)

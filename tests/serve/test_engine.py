@@ -158,6 +158,34 @@ class TestCheckpointRestore:
             batch = float(gru_model.predict_proba(graph))
         assert restored.predict("g42", mode="exact") == pytest.approx(batch, abs=1e-8)
 
+    def test_restore_respects_lru_capacity(self, tmp_path, sum_model):
+        # 6 sessions checkpointed, restored into a 4-session router:
+        # the 4 most recently active survive, the 2 oldest are evicted
+        # (checkpoints list sessions least-recently-active first).
+        graphs = make_graphs(6)
+        engine = StreamingEngine(sum_model, max_sessions=32)
+        for graph in graphs:
+            engine.ingest_many(session_events(graph))
+        order = engine.live_sessions()  # LRU -> MRU
+        path = engine.checkpoint(tmp_path / "state.npz")
+
+        restored = StreamingEngine.restore(path, sum_model, max_sessions=4)
+        assert restored.router.max_sessions == 4
+        assert restored.live_sessions() == order[2:]
+        assert restored.metrics.sessions_restore_evicted == 2
+        # Survivors still answer with their checkpointed scores.
+        expected = {sid: engine.predict(sid) for sid in order[2:]}
+        assert restored.predict_many() == expected
+
+    def test_restore_without_override_adopts_everything(self, tmp_path, sum_model):
+        graphs = make_graphs(5)
+        engine = StreamingEngine(sum_model, max_sessions=32)
+        engine.ingest_many(dataset_to_feed(graphs))
+        path = engine.checkpoint(tmp_path / "state.npz")
+        restored = StreamingEngine.restore(path, make_model("sum", seed=2))
+        assert restored.live_sessions() == engine.live_sessions()
+        assert restored.metrics.sessions_restore_evicted == 0
+
     def test_non_checkpoint_rejected(self, tmp_path, sum_model):
         path = tmp_path / "junk.npz"
         np.savez(path, foo=np.zeros(2))
