@@ -1,0 +1,143 @@
+"""Dataset construction/slicing throughput: columnar store vs the object path.
+
+The columnar refactor replaced per-edge ``TemporalEdge`` lists with
+contiguous ``src``/``dst``/``t`` columns (:mod:`repro.graph.store`).
+This benchmark rebuilds the legacy object path — per-edge namedtuple
+construction, Python ``sorted`` for chronology, list slicing for
+prefixes — as an inline reference, and times both paths through the
+same workload at 10⁴ graphs: build every graph, derive its
+chronological order, then take three growing prefixes of each.  The
+columnar path must be at least 5x faster end to end; the numbers are
+recorded in ``BENCH_store.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_block
+from repro.graph import CTDN, EventStore
+from repro.graph.edge import TemporalEdge
+
+# The benchmark suite is minutes-scale; `pytest -m "not slow"` skips it.
+pytestmark = pytest.mark.slow
+
+# Brightkite-profile graphs (Table I: 46 nodes / 188 edges on average).
+NUM_GRAPHS = 10_000
+NUM_NODES = 46
+NUM_EDGES = 188
+PREFIX_FRACTIONS = (0.25, 0.5, 0.75)
+REQUIRED_SPEEDUP = 5.0
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_store.json"
+
+
+def raw_columns(seed: int = 0) -> list[tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Pre-generated edge columns for every graph (excluded from timing)."""
+    rng = np.random.default_rng(seed)
+    graphs = []
+    for _ in range(NUM_GRAPHS):
+        src = rng.integers(0, NUM_NODES, size=NUM_EDGES)
+        dst = rng.integers(0, NUM_NODES, size=NUM_EDGES)
+        t = np.round(rng.uniform(0.0, 50.0, size=NUM_EDGES), 2)
+        graphs.append((src.astype(np.int64), dst.astype(np.int64), t))
+    return graphs
+
+
+class _LegacyGraph:
+    """A faithful copy of the pre-refactor CTDN's data path.
+
+    Matches the old constructor exactly: every edge — including edges of
+    *derived* graphs — is re-wrapped into a :class:`TemporalEdge` and
+    validated one Python comparison at a time, and every derived graph
+    copies the feature matrix (old ``prefix`` went through
+    ``with_edges``, which did both).
+    """
+
+    __slots__ = ("num_nodes", "features", "edges", "_sorted_cache")
+
+    def __init__(self, num_nodes, features, edges):
+        self.num_nodes = num_nodes
+        self.features = features
+        edge_list = [TemporalEdge(int(e[0]), int(e[1]), float(e[2])) for e in edges]
+        for edge in edge_list:
+            if not (0 <= edge.src < num_nodes and 0 <= edge.dst < num_nodes):
+                raise ValueError(f"edge {edge} references a node outside [0, {num_nodes})")
+            if edge.time < 0:
+                raise ValueError(f"edge {edge} has a negative timestamp")
+        self.edges = edge_list
+        self._sorted_cache: list[TemporalEdge] | None = None
+
+    def edges_sorted(self) -> list[TemporalEdge]:
+        if self._sorted_cache is None:
+            self._sorted_cache = sorted(self.edges, key=lambda e: e.time)
+        return list(self._sorted_cache)
+
+    def prefix(self, count: int) -> "_LegacyGraph":
+        return _LegacyGraph(
+            self.num_nodes, self.features.copy(), self.edges_sorted()[:count]
+        )
+
+
+def run_object_path(columns, features) -> int:
+    """Build → sort → slice through per-edge objects (the legacy path)."""
+    touched = 0
+    for src, dst, t in columns:
+        graph = _LegacyGraph(NUM_NODES, features, zip(src, dst, t))
+        graph.edges_sorted()
+        for fraction in PREFIX_FRACTIONS:
+            touched += len(graph.prefix(int(fraction * NUM_EDGES)).edges)
+    return touched
+
+
+def run_columnar_path(columns, features) -> int:
+    """The same workload through EventStore-backed CTDN shells."""
+    touched = 0
+    for src, dst, t in columns:
+        store = EventStore(src, dst, t, num_nodes=NUM_NODES)
+        graph = CTDN.from_store(NUM_NODES, features, store, label=1)
+        graph.store.chronological()
+        for fraction in PREFIX_FRACTIONS:
+            touched += graph.prefix(int(fraction * NUM_EDGES)).num_edges
+    return touched
+
+
+class TestStoreThroughput:
+    def test_columnar_path_beats_object_path(self):
+        columns = raw_columns()
+        features = np.zeros((NUM_NODES, 3))
+
+        start = time.perf_counter()
+        object_touched = run_object_path(columns, features)
+        object_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        columnar_touched = run_columnar_path(columns, features)
+        columnar_seconds = time.perf_counter() - start
+
+        assert object_touched == columnar_touched  # same workload
+        speedup = object_seconds / columnar_seconds
+        results = {
+            "graphs": NUM_GRAPHS,
+            "edges_per_graph": NUM_EDGES,
+            "prefixes_per_graph": len(PREFIX_FRACTIONS),
+            "object_seconds": object_seconds,
+            "columnar_seconds": columnar_seconds,
+            "object_graphs_per_sec": NUM_GRAPHS / object_seconds,
+            "columnar_graphs_per_sec": NUM_GRAPHS / columnar_seconds,
+            "speedup": speedup,
+        }
+        print_block(
+            f"dataset construction + slicing, {NUM_GRAPHS} graphs x {NUM_EDGES} edges\n"
+            f"  object path   {results['object_graphs_per_sec']:9.0f} graphs/s"
+            f"  ({object_seconds:6.2f}s)\n"
+            f"  columnar path {results['columnar_graphs_per_sec']:9.0f} graphs/s"
+            f"  ({columnar_seconds:6.2f}s)\n"
+            f"  speedup {speedup:6.1f}x (required >= {REQUIRED_SPEEDUP}x)"
+        )
+        RESULT_PATH.write_text(json.dumps({"results": results}, indent=2) + "\n")
+        assert speedup >= REQUIRED_SPEEDUP, results

@@ -268,6 +268,27 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument("--output", default="BENCH_serve.json",
                           help="where to record the JSON report")
 
+    dataset = add_command(
+        "dataset",
+        "generate a dataset into a columnar on-disk bundle, or inspect one",
+    )
+    dataset.add_argument("--generate", choices=DATASET_NAMES,
+                         help="dataset to generate and save as a bundle")
+    dataset.add_argument("--load", metavar="PATH",
+                         help="stream an existing bundle and print its statistics")
+    dataset.add_argument("--output", default=None, metavar="DIR",
+                         help="bundle directory for --generate "
+                              "(default: datasets/<name>)")
+    dataset.add_argument("--num-graphs", dest="num_graphs", type=int, default=1000,
+                         help="graphs to generate")
+    dataset.add_argument("--scale", type=float, default=0.25,
+                         help="per-graph size multiplier relative to Table I")
+    dataset.add_argument("--seed", type=int, default=0)
+    dataset.add_argument("--chunk-size", dest="chunk_size", type=int, default=1024,
+                         help="graphs per chunk when streaming with --load")
+    dataset.add_argument("--no-mmap", dest="no_mmap", action="store_true",
+                         help="read bundle columns eagerly instead of memory-mapping")
+
     chaos = add_command(
         "chaos",
         "run the fault-injection scenario suite and print a survival report",
@@ -597,6 +618,43 @@ def _run_loadtest(args) -> int:
     return 0
 
 
+def _run_dataset(args) -> int:
+    from repro.data.registry import make_dataset
+    from repro.graph.io import iter_dataset_chunks, save_dataset
+
+    if bool(args.generate) == bool(args.load):
+        print("dataset: pass exactly one of --generate or --load", file=sys.stderr)
+        return 2
+    if args.generate:
+        dataset = make_dataset(
+            args.generate, args.num_graphs, seed=args.seed, scale=args.scale
+        )
+        output = args.output or f"datasets/{args.generate}"
+        path = save_dataset(dataset, output)
+        stats = dataset.statistics()
+        print(
+            f"saved {stats.graph_count} graphs "
+            f"(avg {stats.avg_nodes:.1f} nodes / {stats.avg_edges:.1f} edges, "
+            f"~{100.0 * stats.negative_ratio:.1f}% negative) to {path}"
+        )
+        return 0
+    graphs = nodes = edges = negatives = chunks = 0
+    for chunk in iter_dataset_chunks(
+        args.load, args.chunk_size, mmap=not args.no_mmap
+    ):
+        chunks += 1
+        graphs += len(chunk)
+        nodes += sum(g.num_nodes for g in chunk)
+        edges += sum(g.num_edges for g in chunk)
+        negatives += int((chunk.labels == 0).sum())
+    print(
+        f"{args.load}: {graphs} graphs in {chunks} chunk(s), "
+        f"avg {nodes / graphs:.1f} nodes / {edges / graphs:.1f} edges, "
+        f"~{100.0 * negatives / graphs:.1f}% negative"
+    )
+    return 0
+
+
 def _run_chaos(args) -> int:
     from repro.resilience.chaos import (
         render_report,
@@ -623,7 +681,7 @@ def main(argv: list[str] | None = None) -> int:
     config = (
         _config_from_args(args)
         if args.command
-        not in ("bench", "train", "serve", "profile", "chaos", "loadtest")
+        not in ("bench", "train", "serve", "profile", "chaos", "loadtest", "dataset")
         else None
     )
 
@@ -660,6 +718,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_loadtest(args)
     elif args.command == "chaos":
         return _run_chaos(args)
+    elif args.command == "dataset":
+        return _run_dataset(args)
     return 0
 
 

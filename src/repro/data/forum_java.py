@@ -31,6 +31,7 @@ import numpy as np
 from repro.data.session import SessionBuilder
 from repro.graph.ctdn import CTDN
 from repro.graph.dataset import GraphDataset
+from repro.graph.store import EventStore
 
 FAULT_TYPES = ("crash_cascade", "retry_storm", "ordering_fault", "dropped_dependency")
 
@@ -141,38 +142,39 @@ def _apply_ordering_fault(graph: CTDN, rng: np.random.Generator) -> CTDN:
     of the edge sequence runs backwards.  Purely temporal — a time-blind
     model sees an identical graph.
     """
-    edges = graph.edges_sorted()
-    if len(edges) < 4:
+    if graph.num_edges < 4:
         raise ValueError("session too short for an ordering fault")
-    block = max(3, int(round(len(edges) * float(rng.uniform(0.3, 0.6)))))
-    start = int(rng.integers(0, len(edges) - block + 1))
-    times = [e.time for e in edges]
-    reordered = list(edges)
-    reordered[start : start + block] = reversed(reordered[start : start + block])
-    swapped = [edge.at(times[i]) for i, edge in enumerate(reordered)]
-    return graph.with_edges(swapped, label=0)
+    chronological = graph.store.chronological()
+    m = chronological.num_events
+    block = max(3, int(round(m * float(rng.uniform(0.3, 0.6)))))
+    start = int(rng.integers(0, m - block + 1))
+    src = chronological.src.copy()
+    dst = chronological.dst.copy()
+    src[start : start + block] = src[start : start + block][::-1]
+    dst[start : start + block] = dst[start : start + block][::-1]
+    store = EventStore(src, dst, chronological.t, graph.num_nodes, validate=False)
+    return graph.with_edges(store, label=0)
 
 
 def _apply_dropped_dependency(graph: CTDN, rng: np.random.Generator) -> CTDN:
     """Bypass one mid-session event: its in/out edges collapse to a shortcut."""
-    in_deg = graph.in_degree()
-    out_deg = graph.out_degree()
-    candidates = [
-        v for v in range(graph.num_nodes) if in_deg[v] == 1 and out_deg[v] >= 1
-    ]
-    if not candidates:
+    candidates = np.flatnonzero((graph.in_degree() == 1) & (graph.out_degree() >= 1))
+    if candidates.size == 0:
         raise ValueError("no bypassable event found")
     victim = int(rng.choice(candidates))
-    incoming = next(e for e in graph.edges if e.dst == victim)
-    new_edges = []
-    for edge in graph.edges:
-        if edge.dst == victim:
-            continue
-        if edge.src == victim:
-            new_edges.append(edge._replace(src=incoming.src))
-        else:
-            new_edges.append(edge)
-    return graph.with_edges(new_edges, label=0)
+    src = graph.store.src
+    dst = graph.store.dst
+    # The victim's unique incoming edge supplies the bypass source.
+    incoming_src = int(src[np.flatnonzero(dst == victim)[0]])
+    keep = dst != victim
+    store = EventStore(
+        np.where(src == victim, incoming_src, src)[keep],
+        dst[keep],
+        graph.store.t[keep],
+        graph.num_nodes,
+        validate=False,
+    )
+    return graph.with_edges(store, label=0)
 
 
 def generate_forum_java(

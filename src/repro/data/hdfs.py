@@ -29,6 +29,7 @@ import numpy as np
 from repro.data.session import SessionBuilder
 from repro.graph.ctdn import CTDN
 from repro.graph.dataset import GraphDataset
+from repro.graph.store import EventStore
 
 ANOMALY_TYPES = (
     "replication_failure",
@@ -140,14 +141,11 @@ def _inject_replication_failure(builder: SessionBuilder, rng: np.random.Generato
 def _apply_premature_delete(graph: CTDN, keys: dict, rng: np.random.Generator) -> CTDN:
     """Move the DELETE event before WRITE_COMPLETE (pure ordering anomaly)."""
     del rng
-    delete_node = keys["delete"]
-    complete_node = keys["complete"]
-    complete_time = next(e.time for e in graph.edges if e.dst == complete_node)
-    new_edges = [
-        e.at(max(0.01, complete_time - 0.5)) if e.dst == delete_node else e
-        for e in graph.edges
-    ]
-    return graph.with_edges(new_edges, label=0)
+    store = graph.store
+    complete_time = float(store.t[np.flatnonzero(store.dst == keys["complete"])[0]])
+    t = np.where(store.dst == keys["delete"], max(0.01, complete_time - 0.5), store.t)
+    rewritten = EventStore(store.src, store.dst, t, graph.num_nodes, validate=False)
+    return graph.with_edges(rewritten, label=0)
 
 
 def _apply_stale_verify(graph: CTDN, keys: dict, rng: np.random.Generator) -> CTDN:
@@ -157,12 +155,16 @@ def _apply_stale_verify(graph: CTDN, keys: dict, rng: np.random.Generator) -> CT
         raise ValueError("lifecycle has no replicas")
     victim = int(rng.choice(received))
     # Drop the replica's RECEIVED report edges and verify late against it.
-    filtered = [e for e in graph.edges if e.src != victim]
-    if len(filtered) == len(graph.edges):
-        filtered = list(graph.edges)
-    last_time = max(e.time for e in graph.edges)
-    filtered.append(graph.edges[0]._replace(src=victim, dst=keys["delete"], time=last_time + 1.0))
-    return graph.with_edges(filtered, label=0)
+    store = graph.store
+    keep = store.src != victim
+    stale = EventStore(
+        np.append(store.src[keep], victim),
+        np.append(store.dst[keep], keys["delete"]),
+        np.append(store.t[keep], float(store.t.max()) + 1.0),
+        graph.num_nodes,
+        validate=False,
+    )
+    return graph.with_edges(stale, label=0)
 
 
 def _apply_duplicate_allocate(

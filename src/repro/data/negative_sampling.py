@@ -11,6 +11,10 @@ paper synthesises negatives from positives in two ways:
    negative has identical topology and features but a different
    evolution sequence — exactly the Fig. 1 situation that motivates
    temporal propagation.
+
+Both samplers operate on the graph's event-store columns directly; the
+returned negatives are fresh stores sharing nothing mutable with the
+positive.
 """
 
 from __future__ import annotations
@@ -18,7 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graph.ctdn import CTDN
-from repro.graph.edge import TemporalEdge
+from repro.graph.store import EventStore
 
 
 def structural_negative(
@@ -32,8 +36,9 @@ def structural_negative(
 
     For each selected edge ``(u, v, t)`` one endpoint is replaced with a
     random node; candidates that produce an edge already present in the
-    positive graph are rejected (the paper deletes such candidates), so
-    every kept rewiring is genuinely anomalous.
+    positive graph — or already produced by an *earlier rewiring in this
+    call* — are rejected (the paper deletes such candidates), so every
+    kept rewiring is a genuinely anomalous, unique pair.
 
     Returns a new CTDN labelled 0.
     """
@@ -41,32 +46,38 @@ def structural_negative(
         raise ValueError("cannot build a structural negative from an empty graph")
     if graph.num_nodes < 3:
         raise ValueError("structural negatives need at least 3 nodes to rewire")
-    normal_pairs = {(e.src, e.dst) for e in graph.edges}
-    edges = list(graph.edges)
-    count = max(min_edges, int(round(fraction * len(edges))))
-    picked = rng.choice(len(edges), size=min(count, len(edges)), replace=False)
+    src = graph.store.src.copy()
+    dst = graph.store.dst.copy()
+    # Rejection set: the positive's pairs plus every pair this call has
+    # already produced — without the latter, two rewirings could land on
+    # the same "anomalous" pair and the negative would contain an exact
+    # duplicate anomaly.
+    forbidden = set(zip(src.tolist(), dst.tolist()))
+    count = max(min_edges, int(round(fraction * graph.num_edges)))
+    picked = rng.choice(graph.num_edges, size=min(count, graph.num_edges), replace=False)
     changed = 0
-    for index in picked:
-        edge = edges[index]
+    for index in picked.tolist():
         for _ in range(max_attempts):
             replace_dst = rng.random() < 0.5
             candidate_node = int(rng.integers(0, graph.num_nodes))
             if replace_dst:
-                new_edge = TemporalEdge(edge.src, candidate_node, edge.time)
+                pair = (int(src[index]), candidate_node)
             else:
-                new_edge = TemporalEdge(candidate_node, edge.dst, edge.time)
-            if new_edge.src == new_edge.dst:
+                pair = (candidate_node, int(dst[index]))
+            if pair[0] == pair[1]:
                 continue
-            if (new_edge.src, new_edge.dst) in normal_pairs:
+            if pair in forbidden:
                 continue
-            edges[index] = new_edge
+            src[index], dst[index] = pair
+            forbidden.add(pair)
             changed += 1
             break
     if changed == 0:
         raise RuntimeError(
             "failed to rewire any edge; the graph may be (nearly) complete"
         )
-    return graph.with_edges(edges, label=0)
+    rewired = EventStore(src, dst, graph.store.t, graph.num_nodes, validate=False)
+    return graph.with_edges(rewired, label=0)
 
 
 def temporal_negative(
@@ -78,27 +89,52 @@ def temporal_negative(
     random permutation, producing a negative that differs from the
     positive only in its temporal evolution.  Retries until the order of
     at least one distinct-time pair actually changes.
+
+    Degenerate graphs where *no* permutation can change the order are
+    rejected up front with :class:`ValueError`: a single shared
+    timestamp, or a single repeated ``(src, dst)`` pair.
     """
     if graph.num_edges < 2:
         raise ValueError("temporal negatives need at least 2 edges to permute")
-    edges = graph.edges_sorted()
-    times = [e.time for e in edges]
-    if len(set(times)) < 2:
+    chronological = graph.store.chronological()
+    src = chronological.src
+    dst = chronological.dst
+    times = chronological.t
+    if np.unique(times).size < 2:
         raise ValueError("all edges share one timestamp; shuffling cannot change the order")
+    if bool(np.all((src == src[0]) & (dst == dst[0]))):
+        raise ValueError(
+            "all edges share one (src, dst) pair; shuffling cannot change the order"
+        )
     for _ in range(max_attempts):
-        order = rng.permutation(len(edges))
-        shuffled = [
-            TemporalEdge(edges[int(i)].src, edges[int(i)].dst, times[pos])
-            for pos, i in enumerate(order)
-        ]
-        if _order_changed(edges, shuffled):
+        order = rng.permutation(graph.num_edges)
+        shuffled_src = src[order]
+        shuffled_dst = dst[order]
+        if _order_changed(src, dst, shuffled_src, shuffled_dst, times):
+            shuffled = EventStore(
+                shuffled_src, shuffled_dst, times, graph.num_nodes,
+                validate=False, chronological=True,
+            )
             return graph.with_edges(shuffled, label=0)
     raise RuntimeError("failed to produce a changed edge order")
 
 
-def _order_changed(original: list[TemporalEdge], shuffled: list[TemporalEdge]) -> bool:
-    """True when the chronological (src, dst) sequence differs."""
-    key = lambda e: (e.time, e.src, e.dst)  # noqa: E731
-    seq_a = [(e.src, e.dst) for e in sorted(original, key=key)]
-    seq_b = [(e.src, e.dst) for e in sorted(shuffled, key=key)]
-    return seq_a != seq_b
+def _order_changed(
+    src_a: np.ndarray,
+    dst_a: np.ndarray,
+    src_b: np.ndarray,
+    dst_b: np.ndarray,
+    times: np.ndarray,
+) -> bool:
+    """True when the chronological (src, dst) sequences genuinely differ.
+
+    Both orderings are reduced to a canonical form — sorted by
+    ``(time, src, dst)`` — so permutations *within* a timestamp tie (or
+    among identical edges) don't count as a change.
+    """
+    canon_a = np.lexsort((dst_a, src_a, times))
+    canon_b = np.lexsort((dst_b, src_b, times))
+    return not (
+        np.array_equal(src_a[canon_a], src_b[canon_b])
+        and np.array_equal(dst_a[canon_a], dst_b[canon_b])
+    )

@@ -4,6 +4,13 @@ A *session* is an ordered stream of events; each event instance becomes
 one node of the resulting CTDN, and each causal "event b follows event
 a" relation becomes a temporal edge ``a -> b``.  The Forum-java and
 HDFS generators both assemble sessions through :class:`SessionBuilder`.
+
+The builder accumulates edges as three parallel scalar columns
+(``src``/``dst``/``t``) rather than per-edge objects, so
+:meth:`SessionBuilder.build` finalises straight into an
+:class:`~repro.graph.store.EventStore` without ever materialising a
+:class:`TemporalEdge` list — the generator hot path allocates one numpy
+array per column per session, not one tuple per event.
 """
 
 from __future__ import annotations
@@ -11,7 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graph.ctdn import CTDN
-from repro.graph.edge import TemporalEdge
+from repro.graph.store import EventStore
 
 
 class SessionBuilder:
@@ -25,7 +32,9 @@ class SessionBuilder:
         self.feature_dim = feature_dim
         self.graph_id = graph_id
         self._features: list[np.ndarray] = []
-        self._edges: list[TemporalEdge] = []
+        self._src: list[int] = []
+        self._dst: list[int] = []
+        self._t: list[float] = []
         self._clock = 0.0
 
     @property
@@ -36,7 +45,7 @@ class SessionBuilder:
     @property
     def num_edges(self) -> int:
         """Edges created so far."""
-        return len(self._edges)
+        return len(self._src)
 
     @property
     def clock(self) -> float:
@@ -62,8 +71,9 @@ class SessionBuilder:
 
     def add_edge(self, src: int, dst: int, time: float | None = None) -> None:
         """Connect two events at ``time`` (defaults to the current clock)."""
-        stamp = self._clock if time is None else time
-        self._edges.append(TemporalEdge(src, dst, stamp))
+        self._src.append(src)
+        self._dst.append(dst)
+        self._t.append(self._clock if time is None else time)
 
     def follow(self, src: int, features, gap: float) -> int:
         """Emit a new event ``gap`` after the clock, linked from ``src``."""
@@ -73,13 +83,25 @@ class SessionBuilder:
         return node
 
     def build(self, label: int) -> CTDN:
-        """Finalise into a labelled CTDN."""
+        """Finalise into a labelled CTDN.
+
+        The accumulated columns become the graph's
+        :class:`~repro.graph.store.EventStore` directly; the feature
+        rows are stacked into the ``(n, q)`` matrix.
+        """
         if not self._features:
             raise ValueError("session has no events")
-        return CTDN(
-            num_nodes=len(self._features),
-            features=np.stack(self._features, axis=0),
-            edges=self._edges,
+        num_nodes = len(self._features)
+        store = EventStore(
+            np.asarray(self._src, dtype=np.int64),
+            np.asarray(self._dst, dtype=np.int64),
+            np.asarray(self._t, dtype=np.float64),
+            num_nodes=num_nodes,
+        )
+        return CTDN.from_store(
+            num_nodes,
+            np.stack(self._features, axis=0),
+            store,
             label=label,
             graph_id=self.graph_id,
         )

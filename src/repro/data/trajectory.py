@@ -25,7 +25,7 @@ import numpy as np
 from repro.data.negative_sampling import structural_negative, temporal_negative
 from repro.graph.ctdn import CTDN
 from repro.graph.dataset import GraphDataset
-from repro.graph.edge import TemporalEdge
+from repro.graph.store import EventStore
 
 
 @dataclass(frozen=True)
@@ -95,7 +95,9 @@ def _user_trajectory(
     anchors = [int(a) for a in anchors]
     current = anchors[0]
     clock = 0.0
-    edges: list[TemporalEdge] = []
+    src: list[int] = []
+    dst: list[int] = []
+    t: list[float] = []
     visited = {current}
     for _ in range(profile.checkins):
         # Day/night rhythm: bursts of short gaps with occasional long ones.
@@ -117,19 +119,33 @@ def _user_trajectory(
             weights[current] = 0.0
             weights /= weights.sum()
             nxt = int(rng.choice(profile.poi_pool, p=weights))
-        edges.append(TemporalEdge(current, nxt, clock))
+        src.append(current)
+        dst.append(nxt)
+        t.append(clock)
         visited.add(nxt)
         current = nxt
-    return CTDN(profile.poi_pool, features, edges, label=1, graph_id=graph_id)
+    store = EventStore(
+        np.asarray(src, dtype=np.int64),
+        np.asarray(dst, dtype=np.int64),
+        np.asarray(t, dtype=np.float64),
+        num_nodes=profile.poi_pool,
+    )
+    return CTDN.from_store(profile.poi_pool, features, store, label=1, graph_id=graph_id)
 
 
 def _compact(graph: CTDN) -> CTDN:
     """Drop never-visited POIs so node counts reflect actual visits."""
-    used = sorted({e.src for e in graph.edges} | {e.dst for e in graph.edges})
-    remap = {old: new for new, old in enumerate(used)}
-    edges = [TemporalEdge(remap[e.src], remap[e.dst], e.time) for e in graph.edges]
-    return CTDN(
-        len(used), graph.features[used], edges, label=graph.label, graph_id=graph.graph_id
+    store = graph.store
+    used = np.unique(np.concatenate([store.src, store.dst]))
+    lookup = np.full(graph.num_nodes, -1, dtype=np.int64)
+    lookup[used] = np.arange(used.shape[0], dtype=np.int64)
+    compacted = EventStore(
+        lookup[store.src], lookup[store.dst], store.t,
+        num_nodes=int(used.shape[0]), validate=False,
+    )
+    return CTDN.from_store(
+        int(used.shape[0]), graph.features[used], compacted,
+        label=graph.label, graph_id=graph.graph_id,
     )
 
 

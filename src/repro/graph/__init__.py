@@ -1,9 +1,11 @@
 """Dynamic-graph substrate: CTDNs, static views, snapshots, reachability."""
 
 from repro.graph.edge import TemporalEdge
+from repro.graph.store import EdgeView, EventStore
 from repro.graph.ctdn import CTDN
 from repro.graph.plan import PropagationPlan
 from repro.graph.dataset import DatasetStatistics, GraphDataset
+from repro.graph.io import iter_dataset_chunks, load_dataset, save_dataset
 from repro.graph.static import (
     adjacency_matrix,
     gcn_normalized_adjacency,
@@ -25,10 +27,15 @@ from repro.graph.reachability import (
 
 __all__ = [
     "TemporalEdge",
+    "EventStore",
+    "EdgeView",
     "CTDN",
     "PropagationPlan",
     "GraphDataset",
     "DatasetStatistics",
+    "save_dataset",
+    "load_dataset",
+    "iter_dataset_chunks",
     "adjacency_matrix",
     "gcn_normalized_adjacency",
     "laplacian",

@@ -4,6 +4,16 @@ A CTDN is a directed graph ``G = (V, E^T, X, T)`` whose edges carry
 timestamps.  This module provides the central data structure shared by
 the TP-GNN core, every baseline, the dataset generators, and the
 negative samplers.
+
+Since the columnar refactor, every CTDN is a thin shell around an
+:class:`~repro.graph.store.EventStore`: the edges live as contiguous
+``src``/``dst``/``t`` numpy columns, and the historical object API —
+:attr:`edges`, :meth:`edges_sorted`, :meth:`propagation_plan` — is a
+set of views over those columns.  :attr:`edges` is **read-only**:
+graphs are immutable after construction (derived graphs are fresh
+instances), and the columnar backend enforces what the old list-backed
+attribute could only document — in-place mutation used to silently
+serve stale ``_sorted_cache``/``_plan_cache`` entries; now it raises.
 """
 
 from __future__ import annotations
@@ -13,6 +23,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.graph.edge import TemporalEdge
+from repro.graph.store import EdgeView, EventStore
 
 
 class CTDN:
@@ -25,7 +36,8 @@ class CTDN:
     features:
         ``(num_nodes, q)`` float array: the raw feature matrix ``X``.
     edges:
-        Iterable of ``(src, dst, time)`` triples or :class:`TemporalEdge`.
+        Iterable of ``(src, dst, time)`` triples or :class:`TemporalEdge`,
+        or an :class:`EventStore` whose columns are adopted zero-copy.
         Stored exactly as given; use :meth:`edges_sorted` for the
         chronological view the models consume.
     label:
@@ -38,9 +50,10 @@ class CTDN:
     __slots__ = (
         "num_nodes",
         "features",
-        "edges",
+        "store",
         "label",
         "graph_id",
+        "_edge_view",
         "_sorted_cache",
         "_plan_cache",
     )
@@ -49,7 +62,7 @@ class CTDN:
         self,
         num_nodes: int,
         features: np.ndarray,
-        edges: Iterable[tuple[int, int, float] | TemporalEdge],
+        edges: Iterable[tuple[int, int, float] | TemporalEdge] | EventStore,
         label: int | None = None,
         graph_id: str | None = None,
     ):
@@ -60,30 +73,67 @@ class CTDN:
             raise ValueError(
                 f"features must have shape ({num_nodes}, q), got {features.shape}"
             )
-        edge_list = [TemporalEdge(int(e[0]), int(e[1]), float(e[2])) for e in edges]
-        for edge in edge_list:
-            if not (0 <= edge.src < num_nodes and 0 <= edge.dst < num_nodes):
-                raise ValueError(f"edge {edge} references a node outside [0, {num_nodes})")
-            if edge.time < 0:
-                raise ValueError(f"edge {edge} has a negative timestamp")
         self.num_nodes = num_nodes
         self.features = features
-        self.edges: list[TemporalEdge] = edge_list
+        self.store = _coerce_store(edges, num_nodes)
         self.label = label
         self.graph_id = graph_id
         # Memoized chronological views; graphs are immutable after
         # construction (derived graphs are fresh CTDN instances), so
         # both caches stay valid for the object's lifetime.
+        self._edge_view: EdgeView | None = None
         self._sorted_cache: list[TemporalEdge] | None = None
         self._plan_cache = None
+
+    @classmethod
+    def from_store(
+        cls,
+        num_nodes: int,
+        features: np.ndarray,
+        store: EventStore,
+        label: int | None = None,
+        graph_id: str | None = None,
+    ) -> "CTDN":
+        """Wrap already-validated columns without copying the features.
+
+        The zero-copy fast path used by :meth:`prefix`,
+        :meth:`with_appended`, the dataset generators, and the bundle
+        loader: the feature matrix and the store buffers are shared
+        with the caller, so deriving a graph allocates only the shell.
+        """
+        graph = cls.__new__(cls)
+        if store.num_nodes != num_nodes:
+            store = EventStore(store.src, store.dst, store.t, num_nodes)
+        graph.num_nodes = num_nodes
+        graph.features = features
+        graph.store = store
+        graph.label = label
+        graph.graph_id = graph_id
+        graph._edge_view = None
+        graph._sorted_cache = None
+        graph._plan_cache = None
+        return graph
 
     # ------------------------------------------------------------------
     # Basic views
     # ------------------------------------------------------------------
     @property
+    def edges(self) -> EdgeView:
+        """The edge multiset in storage order, as a read-only sequence.
+
+        Iterates/indexes/slices like the list it replaced, but exposes
+        no mutators: ``graph.edges.append(...)`` and item assignment
+        raise, which is what keeps the memoized sorted/plan caches
+        trustworthy.
+        """
+        if self._edge_view is None:
+            self._edge_view = EdgeView(self.store)
+        return self._edge_view
+
+    @property
     def num_edges(self) -> int:
         """Number of temporal edges ``m``."""
-        return len(self.edges)
+        return self.store.num_events
 
     @property
     def feature_dim(self) -> int:
@@ -93,10 +143,9 @@ class CTDN:
     @property
     def duration(self) -> float:
         """Time span between the first and last edge (0 when empty)."""
-        if not self.edges:
+        if self.store.num_events == 0:
             return 0.0
-        times = [e.time for e in self.edges]
-        return max(times) - min(times)
+        return float(self.store.t.max() - self.store.t.min())
 
     def edges_sorted(self, rng: np.random.Generator | None = None) -> list[TemporalEdge]:
         """Edges in ascending timestamp order.
@@ -108,7 +157,7 @@ class CTDN:
 
         The deterministic (no-rng) order is memoized: propagation,
         snapshots and reachability all request it repeatedly, and the
-        edge list never changes after construction.  A fresh list is
+        edge columns never change after construction.  A fresh list is
         returned each call so callers may reorder it freely.
         """
         if rng is not None:
@@ -117,7 +166,7 @@ class CTDN:
             edges = [edges[i] for i in order]
             return sorted(edges, key=lambda e: e.time)
         if self._sorted_cache is None:
-            self._sorted_cache = sorted(self.edges, key=lambda e: e.time)
+            self._sorted_cache = self.store.chronological().edges()
         return list(self._sorted_cache)
 
     def propagation_plan(self, rng: np.random.Generator | None = None):
@@ -126,48 +175,52 @@ class CTDN:
         The deterministic plan (sorted order, wave boundaries, endpoint
         index arrays, timestamps) is computed once and cached — it is
         what the vectorized propagation engine replays every epoch.
-        With an ``rng``, a fresh plan is derived from the cached one by
-        re-permuting only the timestamp tie groups (the paper's
+        Construction is zero-copy: the plan's endpoint/timestamp arrays
+        are the store's chronological columns, not a materialized edge
+        list.  With an ``rng``, a fresh plan is derived from the cached
+        one by re-permuting only the timestamp tie groups (the paper's
         per-epoch tie shuffle) and recomputing wave boundaries; the
         expensive sort is never repeated.
         """
         from repro.graph.plan import PropagationPlan
 
         if self._plan_cache is None:
-            self._plan_cache = PropagationPlan.from_edges(self.edges)
+            self._plan_cache = PropagationPlan.from_store(self.store)
         if rng is None:
             return self._plan_cache
         return self._plan_cache.tie_shuffled(rng)
 
     def timestamps(self) -> np.ndarray:
-        """All edge timestamps in storage order."""
-        return np.array([e.time for e in self.edges], dtype=np.float64)
+        """All edge timestamps in storage order (a fresh, writable array)."""
+        return self.store.t.copy()
 
     def in_neighbors(self) -> list[list[tuple[int, float]]]:
         """Per-node list of ``(source, time)`` pairs of incoming edges."""
-        table: list[list[tuple[int, float]]] = [[] for _ in range(self.num_nodes)]
-        for edge in self.edges:
-            table[edge.dst].append((edge.src, edge.time))
+        indptr, event_ids = self.store.in_csr()
+        src = self.store.src
+        t = self.store.t
+        table: list[list[tuple[int, float]]] = []
+        for node in range(self.num_nodes):
+            bucket = event_ids[indptr[node]:indptr[node + 1]]
+            table.append([(int(src[i]), float(t[i])) for i in bucket])
         return table
 
     def out_degree(self) -> np.ndarray:
         """Out-degree per node, counting multi-edges."""
-        degree = np.zeros(self.num_nodes, dtype=np.int64)
-        for edge in self.edges:
-            degree[edge.src] += 1
-        return degree
+        return self.store.out_degree()
 
     def in_degree(self) -> np.ndarray:
         """In-degree per node, counting multi-edges."""
-        degree = np.zeros(self.num_nodes, dtype=np.int64)
-        for edge in self.edges:
-            degree[edge.dst] += 1
-        return degree
+        return self.store.in_degree()
 
     # ------------------------------------------------------------------
     # Derived graphs
     # ------------------------------------------------------------------
-    def with_edges(self, edges: Sequence[TemporalEdge], label: int | None = None) -> "CTDN":
+    def with_edges(
+        self,
+        edges: Sequence[TemporalEdge] | EventStore | EdgeView,
+        label: int | None = None,
+    ) -> "CTDN":
         """Return a copy of this graph with a different edge set."""
         return CTDN(
             self.num_nodes,
@@ -181,23 +234,40 @@ class CTDN:
         """Return a copy with ``edges`` appended after the existing ones.
 
         The streaming tests and benchmarks use this to model a live
-        session growing one event at a time.
+        session growing one event at a time.  The existing columns and
+        the feature matrix are shared with the parent, not copied.
         """
-        return self.with_edges(list(self.edges) + list(edges))
+        count = len(edges)
+        store = self.store.with_appended(
+            np.fromiter((e[0] for e in edges), dtype=np.int64, count=count),
+            np.fromiter((e[1] for e in edges), dtype=np.int64, count=count),
+            np.fromiter((e[2] for e in edges), dtype=np.float64, count=count),
+        )
+        return CTDN.from_store(
+            self.num_nodes, self.features, store,
+            label=self.label, graph_id=self.graph_id,
+        )
 
     def prefix(self, count: int) -> "CTDN":
         """Return a copy containing the first ``count`` chronological edges.
 
         The ``count``-edge prefix of :meth:`edges_sorted` — the
         "session so far" view that online serving scores incrementally.
+        The prefix store is a buffer-sharing slice of this graph's
+        chronological columns, and the feature matrix is shared too:
+        deriving every prefix of a session costs O(1) memory per step.
         """
         if count < 0:
             raise ValueError(f"prefix length must be >= 0, got {count}")
-        return self.with_edges(self.edges_sorted()[:count])
+        return CTDN.from_store(
+            self.num_nodes, self.features, self.store.prefix(count),
+            label=self.label, graph_id=self.graph_id,
+        )
 
     def copy(self) -> "CTDN":
-        """Deep copy."""
-        return self.with_edges(list(self.edges))
+        """Copy with fresh features and caches (the edge columns are
+        immutable and therefore shared)."""
+        return self.with_edges(self.store)
 
     def to_networkx(self):
         """Export as a ``networkx.MultiDiGraph`` with ``time`` edge attrs."""
@@ -213,3 +283,19 @@ class CTDN:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         label = f", label={self.label}" if self.label is not None else ""
         return f"CTDN(nodes={self.num_nodes}, edges={self.num_edges}{label})"
+
+
+def _coerce_store(
+    edges: Iterable[tuple[int, int, float] | TemporalEdge] | EventStore | EdgeView,
+    num_nodes: int,
+) -> EventStore:
+    """Adopt columns zero-copy when possible, else convert edge objects."""
+    if isinstance(edges, EdgeView):
+        edges = edges.store
+    if isinstance(edges, EventStore):
+        if edges.num_nodes == num_nodes:
+            return edges
+        # Rewrap (and revalidate) the shared columns for a different
+        # node-set size without copying the buffers.
+        return EventStore(edges.src, edges.dst, edges.t, num_nodes)
+    return EventStore.from_edges(edges, num_nodes)

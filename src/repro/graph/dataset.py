@@ -49,9 +49,15 @@ class GraphDataset:
         graphs = list(graphs)
         if not graphs:
             raise ValueError("GraphDataset needs at least one graph")
+        dim = graphs[0].feature_dim
         for i, graph in enumerate(graphs):
             if graph.label is None:
                 raise ValueError(f"graph {i} has no label; classification datasets must be labelled")
+            if graph.feature_dim != dim:
+                raise ValueError(
+                    f"graph {i} has feature_dim {graph.feature_dim}, but graph 0 "
+                    f"has {dim}; feature_dim must be uniform across the dataset"
+                )
         self.graphs: list[CTDN] = graphs
         self.name = name
 
@@ -82,6 +88,11 @@ class GraphDataset:
         """
         if not 0.0 < train_fraction < 1.0:
             raise ValueError(f"train_fraction must be in (0, 1), got {train_fraction}")
+        if len(self.graphs) < 2:
+            raise ValueError(
+                "cannot split a dataset with fewer than 2 graphs "
+                "(both sides of the split need at least one graph)"
+            )
         cut = max(1, min(len(self.graphs) - 1, int(round(train_fraction * len(self.graphs)))))
         return (
             GraphDataset(self.graphs[:cut], name=f"{self.name}/train"),
@@ -89,13 +100,38 @@ class GraphDataset:
         )
 
     def shuffled(self, rng: np.random.Generator) -> "GraphDataset":
-        """Return a deterministically shuffled copy."""
+        """Return a deterministically shuffled copy (name tagged
+        ``<name>/shuffled`` so derived Table-I rows stay traceable)."""
         order = rng.permutation(len(self.graphs))
-        return GraphDataset([self.graphs[i] for i in order], name=self.name)
+        return GraphDataset([self.graphs[i] for i in order], name=f"{self.name}/shuffled")
 
     def subset(self, indices: Sequence[int]) -> "GraphDataset":
-        """Select graphs by index."""
-        return GraphDataset([self.graphs[i] for i in indices], name=self.name)
+        """Select graphs by index (name tagged ``<name>/subset``)."""
+        return GraphDataset([self.graphs[i] for i in indices], name=f"{self.name}/subset")
+
+    # ------------------------------------------------------------------
+    # Disk bundles
+    # ------------------------------------------------------------------
+    def save(self, path) -> "GraphDataset":
+        """Persist as a columnar on-disk bundle (see :mod:`repro.graph.io`)."""
+        from repro.graph.io import save_dataset
+
+        save_dataset(self, path)
+        return self
+
+    @classmethod
+    def load(cls, path, *, mmap: bool = True, verify: bool = True) -> "GraphDataset":
+        """Load a bundle written by :meth:`save`, memory-mapped by default."""
+        from repro.graph.io import load_dataset
+
+        return load_dataset(path, mmap=mmap, verify=verify)
+
+    @classmethod
+    def stream(cls, path, chunk_size: int = 1024, *, mmap: bool = True, verify: bool = True):
+        """Yield a bundle back as :class:`GraphDataset` chunks (streaming)."""
+        from repro.graph.io import iter_dataset_chunks
+
+        return iter_dataset_chunks(path, chunk_size, mmap=mmap, verify=verify)
 
     def statistics(self) -> DatasetStatistics:
         """Compute the Table I row for this dataset."""

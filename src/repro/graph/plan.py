@@ -92,6 +92,26 @@ class PropagationPlan:
         dst = np.fromiter((edges[i].dst for i in order), dtype=np.int64, count=m)
         return cls(src, dst, times_raw[order], order)
 
+    @classmethod
+    def from_store(cls, store) -> "PropagationPlan":
+        """Zero-copy plan construction from an event store's columns.
+
+        The chronological ``src``/``dst``/``times`` arrays and the
+        storage-order permutation are the store's own (read-only)
+        buffers — no edge objects are materialized and nothing is
+        copied; only the wave boundaries are computed here.  Produces
+        bit-identical plans to :meth:`from_edges` over the same edges
+        (both use the same stable sort).
+        """
+        inject("plan.build")
+        chronological = store.chronological()
+        return cls(
+            chronological.src,
+            chronological.dst,
+            chronological.t,
+            store.order,
+        )
+
     def tie_shuffled(self, rng: np.random.Generator) -> "PropagationPlan":
         """A fresh plan with each timestamp tie group independently permuted.
 

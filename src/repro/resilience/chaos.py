@@ -591,7 +591,7 @@ def _plan_failure(ctx: ChaosContext) -> tuple[str, str]:
     model = ctx.model()
     graph = ctx.dataset(num_graphs=1)[0]
     healthy = model.propagation(graph).data.copy()
-    fresh = CTDN(graph.num_nodes, graph.features, list(graph.edges), label=graph.label)
+    fresh = CTDN(graph.num_nodes, graph.features, graph.store, label=graph.label)
     plan = FaultPlan(seed=ctx.seed).add("plan.build", kind="raise")
     with activate(plan):
         degraded = model.propagation(fresh).data.copy()

@@ -232,9 +232,9 @@ class IncrementalClassifier:
                 for key, value in self.extractor.snapshot_state(state.ext_state).items()
             }
         )
-        arrays[_EDGE_LOG_KEY] = np.array(
-            [[e.src, e.dst, e.time] for e in state.edges], dtype=np.float64
-        ).reshape(len(state.edges), 3)
+        arrays[_EDGE_LOG_KEY] = np.asarray(state.edges, dtype=np.float64).reshape(
+            len(state.edges), 3
+        )
         arrays[_FEATURE_SEEN_KEY] = np.array(sorted(state.feature_seen), dtype=np.int64)
         has_label = state.label is not None
         arrays[_LABEL_KEY] = np.array(
@@ -260,8 +260,8 @@ class IncrementalClassifier:
             prop_state=self.propagation.restore_state(prop_arrays),
             ext_state=self.extractor.restore_state(ext_arrays),
             edges=[
-                TemporalEdge(int(row[0]), int(row[1]), float(row[2]))
-                for row in arrays[_EDGE_LOG_KEY]
+                TemporalEdge(int(src), int(dst), time)
+                for src, dst, time in arrays[_EDGE_LOG_KEY].tolist()
             ],
             feature_seen=set(int(n) for n in arrays[_FEATURE_SEEN_KEY]),
             label=label_value if has_label else None,

@@ -40,7 +40,8 @@ class TestSessionBuilder:
         c = b.follow(a, [1.0], gap=2.0)
         assert b.num_edges == 1
         assert b.clock == 2.0
-        assert b._edges[0].src == a and b._edges[0].dst == c
+        edge = b.build(label=1).edges[0]
+        assert edge.src == a and edge.dst == c
 
     def test_build_requires_events(self):
         with pytest.raises(ValueError):

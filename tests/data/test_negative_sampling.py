@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.data import structural_negative, temporal_negative
 from repro.graph import CTDN
@@ -55,6 +57,32 @@ class TestStructuralNegative:
         novel = [e for e in neg.edges if (e.src, e.dst) not in normal_pairs]
         assert len(novel) == 1
 
+    @settings(max_examples=50, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1), num_nodes=st.integers(4, 12),
+           num_edges=st.integers(2, 24))
+    def test_rewired_pairs_unique_and_novel(self, seed, num_nodes, num_edges):
+        """Every rewired pair is absent from the positive AND unique.
+
+        Regression: rewirings used to reject only against the positive's
+        pairs, so two rewired edges could land on the same "novel" pair.
+        """
+        rng = np.random.default_rng(seed)
+        edges = []
+        t = 0.0
+        for _ in range(num_edges):
+            t += float(rng.exponential(1.0)) + 0.1
+            u, v = rng.choice(num_nodes, size=2, replace=False)
+            edges.append((int(u), int(v), t))
+        graph = CTDN(num_nodes, rng.normal(size=(num_nodes, 3)), edges, label=1)
+        try:
+            neg = structural_negative(graph, rng, fraction=1.0)
+        except RuntimeError:
+            return  # nearly-complete graph: documented refusal
+        normal_pairs = {(e.src, e.dst) for e in graph.edges}
+        novel = [(e.src, e.dst) for e in neg.edges if (e.src, e.dst) not in normal_pairs]
+        assert novel
+        assert len(novel) == len(set(novel)), "duplicate rewired pair leaked"
+
     def test_empty_graph_rejected(self, rng):
         g = CTDN(3, np.zeros((3, 1)), [])
         with pytest.raises(ValueError):
@@ -96,6 +124,13 @@ class TestTemporalNegative:
     def test_constant_time_rejected(self, rng):
         g = CTDN(3, np.zeros((3, 1)), [(0, 1, 1.0), (1, 2, 1.0)])
         with pytest.raises(ValueError, match="one timestamp"):
+            temporal_negative(g, rng)
+
+    def test_single_repeated_pair_rejected(self, rng):
+        # No permutation can change the order of identical pairs; the
+        # sampler must refuse up front instead of exhausting retries.
+        g = CTDN(3, np.zeros((3, 1)), [(0, 1, 1.0), (0, 1, 2.0), (0, 1, 3.0)])
+        with pytest.raises(ValueError, match=r"one \(src, dst\) pair"):
             temporal_negative(g, rng)
 
     def test_deterministic_given_seed(self, positive_graph):

@@ -94,6 +94,47 @@ class TestViews:
         assert g.out_degree()[0] == 2
 
 
+class TestImmutability:
+    """graph.edges is a read-only view; mutation attempts must raise.
+
+    The old list-backed attribute let callers append/assign in place,
+    silently invalidating the memoized sorted/plan caches.
+    """
+
+    def test_append_raises(self, chain_graph):
+        with pytest.raises(AttributeError):
+            chain_graph.edges.append(TemporalEdge(0, 1, 9.0))
+
+    def test_item_assignment_raises(self, chain_graph):
+        with pytest.raises(TypeError):
+            chain_graph.edges[0] = TemporalEdge(0, 1, 9.0)
+
+    def test_extend_and_clear_raise(self, chain_graph):
+        with pytest.raises(AttributeError):
+            chain_graph.edges.extend([TemporalEdge(0, 1, 9.0)])
+        with pytest.raises(AttributeError):
+            chain_graph.edges.clear()
+
+    def test_columns_read_only(self, chain_graph):
+        for column in (chain_graph.store.src, chain_graph.store.dst, chain_graph.store.t):
+            with pytest.raises(ValueError):
+                column[0] = 0
+
+    def test_caches_stay_valid_after_mutation_attempt(self, chain_graph):
+        before = chain_graph.edges_sorted()
+        with pytest.raises(AttributeError):
+            chain_graph.edges.append(TemporalEdge(0, 1, 0.5))
+        assert chain_graph.edges_sorted() == before
+        assert chain_graph.num_edges == len(before)
+
+    def test_edge_view_still_behaves_like_sequence(self, chain_graph):
+        view = chain_graph.edges
+        assert len(view) == 3
+        assert view[-1] == view[2]
+        assert list(view[:2]) == [view[0], view[1]]
+        assert list(iter(view)) == list(view)
+
+
 class TestDerived:
     def test_with_edges_preserves_features(self, chain_graph):
         g2 = chain_graph.with_edges([TemporalEdge(0, 3, 1.0)])

@@ -35,6 +35,13 @@ class TestConstruction:
     def test_feature_dim(self):
         assert GraphDataset(make_graphs(2)).feature_dim == 2
 
+    def test_mixed_feature_dim_rejected(self):
+        # Regression: a ragged dataset used to construct fine and blow up
+        # much later inside batching/serialization.
+        odd = CTDN(3, np.zeros((3, 5)), [(0, 1, 1.0)], label=1)
+        with pytest.raises(ValueError, match="feature_dim must be uniform"):
+            GraphDataset(make_graphs(3) + [odd])
+
 
 class TestSplit:
     def test_thirty_seventy(self):
@@ -61,6 +68,19 @@ class TestSplit:
         assert len(train) >= 1
         assert len(test) >= 1
 
+    def test_single_graph_rejected_with_clear_error(self):
+        # Regression: a 1-graph dataset used to produce an empty split
+        # side, which GraphDataset then rejected with a confusing
+        # "needs at least one graph" from deep inside the constructor.
+        ds = GraphDataset(make_graphs(1, label_fn=lambda i: 1))
+        with pytest.raises(ValueError, match="fewer than 2 graphs"):
+            ds.split(0.3)
+
+    def test_split_names_tagged(self):
+        train, test = GraphDataset(make_graphs(4), name="demo").split(0.3)
+        assert train.name == "demo/train"
+        assert test.name == "demo/test"
+
 
 class TestManipulation:
     def test_shuffled_deterministic(self):
@@ -79,6 +99,11 @@ class TestManipulation:
         sub = ds.subset([4, 0])
         assert len(sub) == 2
         assert sub[0] is ds[4]
+
+    def test_derived_names_tagged(self):
+        ds = GraphDataset(make_graphs(5), name="demo")
+        assert ds.shuffled(np.random.default_rng(0)).name == "demo/shuffled"
+        assert ds.subset([0, 1]).name == "demo/subset"
 
 
 class TestStatistics:

@@ -1,0 +1,137 @@
+"""Tests for the columnar dataset bundle (repro.graph.io)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    CTDN,
+    GraphDataset,
+    iter_dataset_chunks,
+    load_dataset,
+    save_dataset,
+)
+from repro.graph.store import MANIFEST_NAME
+from repro.resilience.errors import IntegrityError
+
+
+@pytest.fixture
+def dataset():
+    rng = np.random.default_rng(11)
+    graphs = []
+    for index in range(7):
+        n = int(rng.integers(2, 6))
+        m = int(rng.integers(1, 9))
+        edges = [
+            (int(rng.integers(0, n)), int(rng.integers(0, n)), float(i) + 0.5)
+            for i in range(m)
+        ]
+        graphs.append(
+            CTDN(n, rng.normal(size=(n, 3)), edges, label=index % 2,
+                 graph_id=f"bundle/{index}")
+        )
+    return GraphDataset(graphs, name="demo")
+
+
+def assert_same_dataset(a: GraphDataset, b: GraphDataset) -> None:
+    assert len(a) == len(b)
+    for left, right in zip(a, b):
+        assert left.num_nodes == right.num_nodes
+        assert list(left.edges) == list(right.edges)
+        assert np.allclose(left.features, right.features)
+        assert left.label == right.label
+        assert left.graph_id == right.graph_id
+
+
+class TestRoundtrip:
+    def test_eager(self, dataset, tmp_path):
+        save_dataset(dataset, tmp_path / "bundle")
+        loaded = load_dataset(tmp_path / "bundle", mmap=False)
+        assert loaded.name == "demo"
+        assert_same_dataset(dataset, loaded)
+
+    def test_mmap_zero_copy(self, dataset, tmp_path):
+        save_dataset(dataset, tmp_path / "bundle")
+        loaded = load_dataset(tmp_path / "bundle", mmap=True)
+        assert_same_dataset(dataset, loaded)
+
+        # Every graph's columns are slices of one shared memory-mapped file.
+        def root(array):
+            while isinstance(array.base, np.ndarray):
+                array = array.base
+            return array
+
+        assert isinstance(root(loaded[0].store.src), np.memmap)
+        assert root(loaded[0].store.src) is root(loaded[1].store.src)
+        assert root(loaded[0].features) is root(loaded[1].features)
+
+    def test_methods_on_graphdataset(self, dataset, tmp_path):
+        dataset.save(tmp_path / "bundle")
+        assert_same_dataset(dataset, GraphDataset.load(tmp_path / "bundle"))
+
+    def test_loaded_graphs_fully_functional(self, dataset, tmp_path):
+        save_dataset(dataset, tmp_path / "bundle")
+        graph = load_dataset(tmp_path / "bundle")[0]
+        plan = graph.propagation_plan()
+        assert plan.num_edges == graph.num_edges
+        assert graph.edges_sorted() == sorted(list(graph.edges), key=lambda e: e.time)
+
+    def test_split_and_statistics_survive_roundtrip(self, dataset, tmp_path):
+        save_dataset(dataset, tmp_path / "bundle")
+        loaded = load_dataset(tmp_path / "bundle")
+        train, test = loaded.split(0.3)
+        assert len(train) + len(test) == len(dataset)
+        assert loaded.statistics().graph_count == len(dataset)
+
+
+class TestStreaming:
+    def test_chunks_cover_everything_in_order(self, dataset, tmp_path):
+        save_dataset(dataset, tmp_path / "bundle")
+        chunks = list(iter_dataset_chunks(tmp_path / "bundle", chunk_size=3))
+        assert [len(c) for c in chunks] == [3, 3, 1]
+        assert [c.name for c in chunks] == ["demo/chunk0", "demo/chunk1", "demo/chunk2"]
+        flat = [g for chunk in chunks for g in chunk]
+        for original, streamed in zip(dataset, flat):
+            assert list(original.edges) == list(streamed.edges)
+
+    def test_stream_method(self, dataset, tmp_path):
+        dataset.save(tmp_path / "bundle")
+        total = sum(len(c) for c in GraphDataset.stream(tmp_path / "bundle", 2))
+        assert total == len(dataset)
+
+    def test_bad_chunk_size(self, dataset, tmp_path):
+        save_dataset(dataset, tmp_path / "bundle")
+        with pytest.raises(ValueError, match="chunk_size"):
+            list(iter_dataset_chunks(tmp_path / "bundle", 0))
+
+
+class TestIntegrity:
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(IntegrityError):
+            load_dataset(tmp_path)
+
+    def test_store_bundle_rejected(self, dataset, tmp_path):
+        # An EventStore bundle is not a dataset bundle; format tag differs.
+        dataset[0].store.save(tmp_path / "bundle")
+        with pytest.raises(IntegrityError, match="format"):
+            load_dataset(tmp_path / "bundle")
+
+    def test_corrupt_features_detected(self, dataset, tmp_path):
+        path = save_dataset(dataset, tmp_path / "bundle")
+        blob = (path / "features.npy").read_bytes()
+        (path / "features.npy").write_bytes(blob[:-8] + bytes(8))
+        with pytest.raises(IntegrityError, match="checksum"):
+            load_dataset(path)
+
+    def test_truncated_offsets_detected(self, dataset, tmp_path):
+        path = save_dataset(dataset, tmp_path / "bundle")
+        manifest = json.loads((path / MANIFEST_NAME).read_text())
+        manifest["graph_count"] = len(dataset) + 2
+        (path / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(IntegrityError):
+            load_dataset(path, verify=False)
+
+    def test_verify_false_skips_hashing(self, dataset, tmp_path):
+        path = save_dataset(dataset, tmp_path / "bundle")
+        assert_same_dataset(dataset, load_dataset(path, verify=False))

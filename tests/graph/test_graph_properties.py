@@ -93,7 +93,13 @@ class TestNegativeSamplerProperties:
     @settings(max_examples=40, deadline=None)
     @given(graph=random_ctdn(min_edges=4))
     def test_temporal_negative_invariants(self, graph):
-        neg = temporal_negative(graph, np.random.default_rng(0))
+        try:
+            neg = temporal_negative(graph, np.random.default_rng(0))
+        except ValueError:
+            # Documented refusal: a single repeated (src, dst) pair is
+            # permutation-invariant, so no temporal negative exists.
+            assert len({(e.src, e.dst) for e in graph.edges}) == 1
+            return
         assert neg.label == 0
         assert sorted((e.src, e.dst) for e in neg.edges) == sorted(
             (e.src, e.dst) for e in graph.edges
@@ -121,3 +127,44 @@ class TestNegativeSamplerProperties:
         novel = [e for e in neg.edges if (e.src, e.dst) not in normal_pairs]
         assert novel, "structural negative introduced no novel edge"
         assert all(e.src != e.dst for e in novel)
+
+
+class TestDerivedGraphCacheIsolation:
+    """Derived CTDNs must never share memoized sorted/plan caches."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(graph=random_ctdn(), fraction=st.floats(0.0, 1.0))
+    def test_prefix_caches_isolated(self, graph, fraction):
+        parent_sorted = graph.edges_sorted()
+        parent_plan = graph.propagation_plan()
+        count = int(round(fraction * graph.num_edges))
+        derived = graph.prefix(count)
+        assert derived._sorted_cache is None
+        assert derived._plan_cache is None
+        assert derived.edges_sorted() == parent_sorted[:count]
+        assert derived._sorted_cache is not graph._sorted_cache
+        plan = derived.propagation_plan()
+        assert plan is not parent_plan
+        assert plan.num_edges == count
+        # The parent's memoized views are untouched.
+        assert graph.edges_sorted() == parent_sorted
+        assert graph.propagation_plan() is parent_plan
+
+    @settings(max_examples=30, deadline=None)
+    @given(graph=random_ctdn(), as_tuple=st.booleans())
+    def test_with_appended_caches_isolated(self, graph, as_tuple):
+        parent_sorted = graph.edges_sorted()
+        parent_plan = graph.propagation_plan()
+        last = max(e.time for e in graph.edges) + 1.0
+        extra = TemporalEdge(0, graph.num_nodes - 1, last)
+        appended = graph.with_appended((0, graph.num_nodes - 1, last) if as_tuple else extra)
+        assert appended._sorted_cache is None
+        assert appended._plan_cache is None
+        assert appended.num_edges == graph.num_edges + 1
+        assert appended.edges_sorted() == parent_sorted + [extra]
+        assert appended._sorted_cache is not graph._sorted_cache
+        assert appended.propagation_plan() is not parent_plan
+        # The parent sees neither the new edge nor a polluted cache.
+        assert graph.edges_sorted() == parent_sorted
+        assert graph.propagation_plan() is parent_plan
+        assert graph.propagation_plan().num_edges == graph.num_edges

@@ -1,0 +1,199 @@
+"""Tests for the columnar EventStore and its disk bundle."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.graph import CTDN, EventStore, TemporalEdge
+from repro.graph.store import MANIFEST_NAME
+from repro.resilience.errors import IntegrityError
+
+
+def make_store(chronological=False):
+    src = np.array([2, 0, 1, 0], dtype=np.int64)
+    dst = np.array([0, 1, 2, 2], dtype=np.int64)
+    t = np.array([1.0, 2.0, 3.0, 4.0] if chronological else [3.0, 1.0, 4.0, 2.0])
+    return EventStore(src, dst, t, num_nodes=3)
+
+
+class TestConstruction:
+    def test_basic(self):
+        store = make_store()
+        assert store.num_events == 4
+        assert len(store) == 4
+        assert store.num_nodes == 3
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            EventStore([], [], [], num_nodes=0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="one length"):
+            EventStore([0], [1, 2], [1.0], num_nodes=3)
+
+    def test_out_of_range_endpoint_rejected(self):
+        with pytest.raises(ValueError, match="outside"):
+            EventStore([0], [5], [1.0], num_nodes=3)
+
+    def test_negative_timestamp_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            EventStore([0], [1], [-1.0], num_nodes=3)
+
+    def test_from_edges_mixed_forms(self):
+        store = EventStore.from_edges(
+            [TemporalEdge(0, 1, 1.0), (1, 2, 2.0)], num_nodes=3
+        )
+        assert store.edges() == [TemporalEdge(0, 1, 1.0), TemporalEdge(1, 2, 2.0)]
+
+    def test_empty(self):
+        store = EventStore.empty(4)
+        assert store.num_events == 0
+        assert store.is_chronological()
+
+    def test_caller_array_stays_writable(self):
+        src = np.array([0, 1], dtype=np.int64)
+        EventStore(src, [1, 2], [1.0, 2.0], num_nodes=3)
+        src[0] = 1  # the store took a read-only view, not ownership
+
+    def test_columns_read_only(self):
+        store = make_store()
+        with pytest.raises(ValueError):
+            store.t[0] = 0.0
+
+
+class TestChronology:
+    def test_order_is_stable_sort(self):
+        store = EventStore([0, 1, 2], [1, 2, 0], [2.0, 1.0, 2.0], num_nodes=3)
+        assert store.order.tolist() == [1, 0, 2]
+
+    def test_sorted_store_returns_self(self):
+        store = make_store(chronological=True)
+        assert store.chronological() is store
+
+    def test_unsorted_store_materializes_once(self):
+        store = make_store()
+        chron = store.chronological()
+        assert chron is store.chronological()
+        assert chron.t.tolist() == sorted(store.t.tolist())
+        assert chron.edges() == sorted(store.edges(), key=lambda e: e.time)
+
+    def test_prefix_shares_buffers(self):
+        store = make_store(chronological=True)
+        prefix = store.prefix(2)
+        assert prefix.num_events == 2
+        assert np.shares_memory(prefix.src, store.src)
+        assert np.shares_memory(prefix.t, store.t)
+
+    def test_prefix_clamps_and_rejects_negative(self):
+        store = make_store()
+        assert store.prefix(99).num_events == 4
+        with pytest.raises(ValueError):
+            store.prefix(-1)
+
+    def test_with_appended(self):
+        store = make_store(chronological=True)
+        grown = store.with_appended([1], [0], [9.0])
+        assert grown.num_events == 5
+        assert grown.edge_at(4) == TemporalEdge(1, 0, 9.0)
+        assert store.num_events == 4  # parent untouched
+
+    def test_with_appended_validates_tail(self):
+        store = make_store()
+        with pytest.raises(ValueError, match="outside"):
+            store.with_appended([7], [0], [1.0])
+
+    def test_with_appended_empty_returns_self(self):
+        store = make_store()
+        assert store.with_appended([], [], []) is store
+
+
+class TestIndexes:
+    def test_out_csr_buckets_in_storage_order(self):
+        store = make_store()  # src = [2, 0, 1, 0]
+        indptr, event_ids = store.out_csr()
+        assert indptr.tolist() == [0, 2, 3, 4]
+        assert event_ids[indptr[0]:indptr[1]].tolist() == [1, 3]
+
+    def test_in_csr_matches_bincount(self):
+        store = make_store()
+        indptr, _ = store.in_csr()
+        assert np.array_equal(np.diff(indptr), store.in_degree())
+
+    def test_degrees(self):
+        store = make_store()
+        assert store.out_degree().tolist() == [2, 1, 1]
+        assert store.in_degree().tolist() == [1, 1, 2]
+
+
+class TestBundle:
+    def test_roundtrip(self, tmp_path):
+        store = make_store()
+        store.save(tmp_path / "bundle")
+        loaded = EventStore.load(tmp_path / "bundle")
+        assert loaded.num_nodes == store.num_nodes
+        assert loaded.edges() == store.edges()
+
+    def test_roundtrip_mmap(self, tmp_path):
+        store = make_store()
+        store.save(tmp_path / "bundle")
+        loaded = EventStore.load(tmp_path / "bundle", mmap=True)
+        assert loaded.edges() == store.edges()
+        assert not loaded.t.flags.writeable
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(IntegrityError, match="not a store bundle"):
+            EventStore.load(tmp_path)
+
+    def test_corrupt_column_detected(self, tmp_path):
+        store = make_store()
+        path = store.save(tmp_path / "bundle")
+        data = (path / "t.npy").read_bytes()
+        (path / "t.npy").write_bytes(data[:-4] + bytes(4))
+        with pytest.raises(IntegrityError, match="checksum"):
+            EventStore.load(path)
+
+    def test_missing_column_detected(self, tmp_path):
+        store = make_store()
+        path = store.save(tmp_path / "bundle")
+        (path / "src.npy").unlink()
+        with pytest.raises(IntegrityError, match="lost file"):
+            EventStore.load(path)
+
+    def test_manifest_count_mismatch_detected(self, tmp_path):
+        store = make_store()
+        path = store.save(tmp_path / "bundle")
+        manifest = json.loads((path / MANIFEST_NAME).read_text())
+        manifest["num_events"] = 99
+        (path / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(IntegrityError, match="manifest says 99"):
+            EventStore.load(path)
+
+    def test_unknown_format_detected(self, tmp_path):
+        store = make_store()
+        path = store.save(tmp_path / "bundle")
+        manifest = json.loads((path / MANIFEST_NAME).read_text())
+        manifest["format"] = "something/else"
+        (path / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(IntegrityError, match="unknown format"):
+            EventStore.load(path)
+
+
+class TestCTDNIntegration:
+    def test_ctdn_adopts_store_zero_copy(self):
+        store = make_store()
+        graph = CTDN(3, np.zeros((3, 2)), store)
+        assert graph.store is store
+
+    def test_ctdn_rewraps_mismatched_node_count(self):
+        store = make_store()
+        graph = CTDN(5, np.zeros((5, 2)), store)
+        assert graph.store is not store
+        assert graph.store.num_nodes == 5
+        assert np.shares_memory(graph.store.src, store.src)
+
+    def test_prefix_graph_shares_buffers(self):
+        graph = CTDN(3, np.zeros((3, 2)), make_store(chronological=True))
+        sub = graph.prefix(2)
+        assert sub.features is graph.features
+        assert np.shares_memory(sub.store.src, graph.store.src)

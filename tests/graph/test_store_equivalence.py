@@ -1,0 +1,152 @@
+"""Equivalence suite: store-backed CTDNs == the object path, exactly.
+
+The columnar refactor replaced per-edge ``TemporalEdge`` storage with
+an :class:`EventStore`.  These tests pin the contract that made that
+safe: a CTDN built from edge objects and a CTDN built directly from
+columns agree *bit-for-bit* — chronological order (stable sort),
+propagation plans (waves, permutations, timestamps), neighbor tables,
+and both negative samplers under a fixed rng.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import structural_negative, temporal_negative
+from repro.graph import CTDN, EventStore, PropagationPlan, TemporalEdge
+
+
+@st.composite
+def random_columns(draw, min_nodes=2, max_nodes=9, min_edges=0, max_edges=20):
+    """Raw (num_nodes, src, dst, t) columns with repeats and time ties."""
+    n = draw(st.integers(min_nodes, max_nodes))
+    m = draw(st.integers(min_edges, max_edges))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, size=m)
+    dst = rng.integers(0, n, size=m)
+    # Coarse quantization produces plenty of exact timestamp ties.
+    t = np.round(rng.uniform(0.0, 4.0, size=m), 1)
+    return n, src.astype(np.int64), dst.astype(np.int64), t
+
+
+def build_pair(n, src, dst, t):
+    """The same graph through the object path and the column path."""
+    rng = np.random.default_rng(7)
+    features = rng.normal(size=(n, 3))
+    objects = CTDN(
+        n, features,
+        [TemporalEdge(int(s), int(d), float(tm)) for s, d, tm in zip(src, dst, t)],
+        label=1,
+    )
+    columns = CTDN.from_store(
+        n, features, EventStore(src, dst, t, num_nodes=n), label=1
+    )
+    return objects, columns
+
+
+class TestChronologicalEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(cols=random_columns())
+    def test_edges_sorted_matches_python_stable_sort(self, cols):
+        objects, columns = build_pair(*cols)
+        reference = sorted(list(objects.edges), key=lambda e: e.time)
+        assert objects.edges_sorted() == reference
+        assert columns.edges_sorted() == reference
+
+    @settings(max_examples=40, deadline=None)
+    @given(cols=random_columns(), seed=st.integers(0, 2**16))
+    def test_edges_sorted_with_rng_identical_streams(self, cols, seed):
+        objects, columns = build_pair(*cols)
+        a = objects.edges_sorted(rng=np.random.default_rng(seed))
+        b = columns.edges_sorted(rng=np.random.default_rng(seed))
+        assert a == b
+
+    @settings(max_examples=40, deadline=None)
+    @given(cols=random_columns())
+    def test_storage_order_and_views(self, cols):
+        objects, columns = build_pair(*cols)
+        assert list(objects.edges) == list(columns.edges)
+        assert objects.in_neighbors() == columns.in_neighbors()
+        assert np.array_equal(objects.out_degree(), columns.out_degree())
+        assert np.array_equal(objects.in_degree(), columns.in_degree())
+
+
+class TestPlanEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(cols=random_columns())
+    def test_from_store_bit_identical_to_from_edges(self, cols):
+        objects, columns = build_pair(*cols)
+        reference = PropagationPlan.from_edges(list(objects.edges))
+        plan = columns.propagation_plan()
+        assert np.array_equal(plan.src, reference.src)
+        assert np.array_equal(plan.dst, reference.dst)
+        assert np.array_equal(plan.times, reference.times)
+        assert np.array_equal(plan.order, reference.order)
+        assert np.array_equal(plan.wave_bounds, reference.wave_bounds)
+        assert np.array_equal(plan.tie_bounds, reference.tie_bounds)
+
+    @settings(max_examples=30, deadline=None)
+    @given(cols=random_columns(min_edges=2), seed=st.integers(0, 2**16))
+    def test_tie_shuffled_plans_agree(self, cols, seed):
+        objects, columns = build_pair(*cols)
+        a = objects.propagation_plan(rng=np.random.default_rng(seed))
+        b = columns.propagation_plan(rng=np.random.default_rng(seed))
+        assert np.array_equal(a.src, b.src)
+        assert np.array_equal(a.dst, b.dst)
+        assert np.array_equal(a.times, b.times)
+        assert np.array_equal(a.order, b.order)
+        assert np.array_equal(a.wave_bounds, b.wave_bounds)
+
+
+class TestSamplerEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(cols=random_columns(min_nodes=4, min_edges=3), seed=st.integers(0, 2**16))
+    def test_structural_negative_identical(self, cols, seed):
+        objects, columns = build_pair(*cols)
+        try:
+            a = structural_negative(objects, np.random.default_rng(seed))
+        except (ValueError, RuntimeError) as error:
+            with pytest.raises(type(error)):
+                structural_negative(columns, np.random.default_rng(seed))
+            return
+        b = structural_negative(columns, np.random.default_rng(seed))
+        assert list(a.edges) == list(b.edges)
+        assert a.label == b.label == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(cols=random_columns(min_nodes=3, min_edges=2), seed=st.integers(0, 2**16))
+    def test_temporal_negative_identical(self, cols, seed):
+        objects, columns = build_pair(*cols)
+        try:
+            a = temporal_negative(objects, np.random.default_rng(seed))
+        except (ValueError, RuntimeError) as error:
+            with pytest.raises(type(error)):
+                temporal_negative(columns, np.random.default_rng(seed))
+            return
+        b = temporal_negative(columns, np.random.default_rng(seed))
+        assert list(a.edges) == list(b.edges)
+
+
+class TestDerivedEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(cols=random_columns(min_edges=1), count=st.integers(0, 25))
+    def test_prefix_matches_sorted_slice(self, cols, count):
+        objects, columns = build_pair(*cols)
+        for graph in (objects, columns):
+            sub = graph.prefix(count)
+            expected = graph.edges_sorted()[:count]
+            assert list(sub.edges) == expected
+            assert sub.num_nodes == graph.num_nodes
+
+    @settings(max_examples=40, deadline=None)
+    @given(cols=random_columns())
+    def test_with_appended_matches_concatenation(self, cols):
+        objects, columns = build_pair(*cols)
+        extra = [(0, cols[0] - 1, 100.0), TemporalEdge(cols[0] - 1, 0, 101.0)]
+        a = objects.with_appended(*extra)
+        b = columns.with_appended(*extra)
+        assert list(a.edges) == list(b.edges)
+        assert list(a.edges)[-2:] == [TemporalEdge(0, cols[0] - 1, 100.0),
+                                      TemporalEdge(cols[0] - 1, 0, 101.0)]
