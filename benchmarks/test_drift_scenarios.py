@@ -1,0 +1,63 @@
+"""Drift detection/recovery gate: the full continual-learning suite.
+
+Runs every registered drift scenario at the ``repro drift`` default
+scale (240 sessions, 60 pretrain) and gates the ISSUE acceptance
+criteria: every injected drift detected within a bounded delay, zero
+false alarms on the stationary control, and the fine-tune adaptation
+recovering at least ``REQUIRED_RECOVERY`` of the pre-drift prequential
+AUC (documented in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_block
+from repro.online import SCENARIO_NAMES, render_drift_report, run_drift_suite
+
+pytestmark = [pytest.mark.slow, pytest.mark.drift]
+
+#: Detection must land within this many streamed sessions of the drift.
+MAX_DETECTION_DELAY = 40
+#: Fine-tune adaptation must recover this fraction of pre-drift AUC.
+REQUIRED_RECOVERY = 0.8
+
+
+class TestDriftGate:
+    def test_detection_and_recovery_slos(self):
+        outcomes = run_drift_suite(
+            sessions=240, pretrain=60, window=30, seed=0,
+            detector="page-hinkley", policy="fine-tune",
+        )
+        print_block(render_drift_report(outcomes))
+        assert [o.scenario for o in outcomes] == list(SCENARIO_NAMES)
+        for outcome in outcomes:
+            assert outcome.detector_errors == 0
+            if outcome.drift_index is None:
+                # Stationary control: silence is the SLO.
+                assert outcome.false_alarms == 0, outcome.alarms
+            else:
+                assert outcome.false_alarms == 0, outcome.alarms
+                assert outcome.detection_delay is not None, (
+                    f"{outcome.scenario}: drift never detected"
+                )
+                assert outcome.detection_delay <= MAX_DETECTION_DELAY
+                assert outcome.recovery_fraction is not None
+                assert outcome.recovery_fraction >= REQUIRED_RECOVERY, (
+                    f"{outcome.scenario}: recovered only "
+                    f"{100 * outcome.recovery_fraction:.0f}% of pre-drift AUC"
+                )
+
+    def test_adwin_detects_the_same_drifts(self):
+        # The detector registry's second entry must satisfy the same
+        # detection SLO (recovery is gated above; adaptation is shared).
+        outcomes = run_drift_suite(
+            sessions=240, pretrain=60, window=30, seed=0,
+            detector="adwin", policy="fine-tune",
+        )
+        print_block(render_drift_report(outcomes))
+        for outcome in outcomes:
+            assert outcome.false_alarms == 0, outcome.alarms
+            if outcome.drift_index is not None:
+                assert outcome.detection_delay is not None
+                assert outcome.detection_delay <= MAX_DETECTION_DELAY

@@ -1,0 +1,110 @@
+"""Continual learning under concept drift: detect, adapt, recover.
+
+A deployed TP-GNN silently decays when the event stream shifts.  This
+example runs the full :mod:`repro.online` loop against a seeded drift
+scenario:
+
+1. generates the ``transition-shift`` stream — a workflow automaton
+   whose transition probabilities change mid-stream, so post-drift
+   healthy sessions suddenly route through warn stages the pre-drift
+   model learned to read as "faulty",
+2. pretrains offline on the stream head, then streams the rest
+   prequentially (test-then-train) through an :class:`OnlineLearner`
+   wrapped in a :class:`DriftMonitor` (Page-Hinkley on the prequential
+   loss, fine-tune adaptation policy),
+3. prints the rolling prequential AUC before, at, and after the drift
+   point, with the alarm position marked,
+4. demonstrates query-time evaluation — scoring one session at
+   timestamps between its events — and a learner snapshot/restore.
+
+    python examples/online_adaptation.py
+"""
+
+import numpy as np
+
+from repro.core import TPGNN
+from repro.graph import GraphDataset
+from repro.online import (
+    SCENARIOS,
+    DriftMonitor,
+    OnlineLearner,
+    PageHinkley,
+    make_policy,
+    score_curve,
+)
+from repro.training import TrainConfig, train_model
+
+PRETRAIN = 50
+WINDOW = 25
+
+
+def main() -> None:
+    scenario = SCENARIOS["transition-shift"]
+    stream = scenario.generate(seed=0)
+    drift_at = scenario.drift_index()
+    print(f"== scenario: {scenario.name} — {scenario.description} ==")
+    print(f"{len(stream)} sessions, regime change at session {drift_at}\n")
+
+    model = TPGNN(in_features=3, hidden_size=8, gru_hidden_size=8, time_dim=4, seed=0)
+    config = TrainConfig(
+        epochs=4, learning_rate=0.01, batch_size=8, seed=0,
+        replay_buffer=96, online_update_every=2,
+    )
+    print(f"== pretraining offline on the first {PRETRAIN} sessions ==")
+    train_model(model, GraphDataset(stream[:PRETRAIN], name=scenario.name), config)
+    model.eval()
+
+    learner = OnlineLearner(model, config, metrics_window=WINDOW)
+    monitor = DriftMonitor(
+        learner, detector=PageHinkley(), policy=make_policy("fine-tune")
+    )
+
+    print(f"\n== streaming {len(stream) - PRETRAIN} sessions prequentially ==")
+    for index, graph in enumerate(stream[PRETRAIN:]):
+        monitor.observe(graph)
+        if index >= WINDOW and (index + 1) % WINDOW == 0:
+            marker = ""
+            for alarm in monitor.alarms:
+                if index + 1 - WINDOW <= alarm.index <= index:
+                    marker = f"  <- ALARM at {alarm.index} ({alarm.action})"
+            print(
+                f"  sessions {index + 1 - WINDOW:3d}-{index:3d}: "
+                f"prequential AUC {learner.metrics.windowed_auc(WINDOW):.3f}, "
+                f"rolling loss {learner.metrics.rolling_loss(WINDOW):.3f}{marker}"
+            )
+
+    streamed_drift = drift_at - PRETRAIN
+    metrics = learner.metrics
+    print(
+        f"\npre-drift AUC   {metrics.auc(streamed_drift - WINDOW, streamed_drift):.3f}\n"
+        f"post-drift AUC  {metrics.auc(streamed_drift, streamed_drift + WINDOW):.3f}  "
+        f"(the frozen-model damage)\n"
+        f"recovered AUC   {metrics.windowed_auc(WINDOW):.3f}  "
+        f"(after {learner.updates_applied} online updates)"
+    )
+
+    # Query-time evaluation: how the score for one post-drift session
+    # firms up as its events arrive.
+    graph = stream[-1]
+    times = np.linspace(0.0, float(graph.store.t.max()), 6)
+    curve = score_curve(model, graph, times)
+    print(f"\n== query-time scores for session {graph.graph_id!r} "
+          f"(label={graph.label}) ==")
+    for tau, probability in zip(times, curve):
+        print(f"  t={tau:7.3f}  P(healthy)={probability:.3f}")
+
+    # The learner snapshots to flat arrays (weights, Adam moments,
+    # replay buffer, RNG) — the same payload serve checkpoints and
+    # cluster live migration carry.
+    snapshot = learner.snapshot()
+    replica_model = TPGNN(in_features=3, hidden_size=8, gru_hidden_size=8,
+                          time_dim=4, seed=99)
+    replica = OnlineLearner(replica_model, config, metrics_window=WINDOW)
+    replica.restore(snapshot)
+    drift_score = float(replica_model.predict_proba(graph))
+    print(f"\n== snapshot/restore: replica P(healthy)={drift_score:.3f} "
+          f"(original {float(model.predict_proba(graph)):.3f}) ==")
+
+
+if __name__ == "__main__":
+    main()

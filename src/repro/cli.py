@@ -16,6 +16,7 @@ Usage::
     python -m repro.cli profile --dataset HDFS --epochs 1
     python -m repro.cli loadtest --shards 4 --sessions 1000 --events 20000
     python -m repro.cli chaos   --quick
+    python -m repro.cli drift   --policy fine-tune
 
 Every experiment command prints the same text tables/figures the
 benchmarks emit, at the chosen preset (override individual knobs with
@@ -32,7 +33,11 @@ aggregates op timings across the sweep (see OBSERVABILITY.md).
 ``loadtest`` drives a seeded synthetic feed through the sharded
 serving cluster, compares sustained events/sec against a lone
 streaming engine over the identical feed, and records p50/p95/p99
-ingest/predict latency to ``BENCH_serve.json``.
+ingest/predict latency to ``BENCH_serve.json``.  ``drift`` runs the
+seeded concept-drift scenario suite through the continual-learning
+path (prequential test-then-train + drift detection + adaptation) and
+records the detection-delay / recovery-AUC table to
+``BENCH_drift.json``.
 """
 
 from __future__ import annotations
@@ -288,6 +293,40 @@ def build_parser() -> argparse.ArgumentParser:
                          help="graphs per chunk when streaming with --load")
     dataset.add_argument("--no-mmap", dest="no_mmap", action="store_true",
                          help="read bundle columns eagerly instead of memory-mapping")
+
+    drift = add_command(
+        "drift",
+        "run the concept-drift scenario suite (detection + adaptation) and "
+        "record the detection-delay / recovery-AUC report to BENCH_drift.json",
+    )
+    from repro.online.drift import DETECTOR_NAMES
+    from repro.online.policies import POLICY_NAMES
+    from repro.online.scenarios import SCENARIO_NAMES
+
+    drift.add_argument("--scenarios", nargs="+", choices=SCENARIO_NAMES,
+                       help="run only these scenarios (default: all)")
+    drift.add_argument("--detector", choices=DETECTOR_NAMES,
+                       default="page-hinkley",
+                       help="sequential test on the prequential loss")
+    drift.add_argument("--policy", choices=POLICY_NAMES, default="fine-tune",
+                       help="adaptation policy on a confirmed alarm")
+    drift.add_argument("--sessions", type=int, default=240,
+                       help="sessions per scenario stream")
+    drift.add_argument("--pretrain", type=int, default=60,
+                       help="stream head trained offline before streaming")
+    drift.add_argument("--pretrain-epochs", dest="pretrain_epochs", type=int,
+                       default=4, help="offline warm-up epochs")
+    drift.add_argument("--window", type=int, default=30,
+                       help="AUC window (examples) for pre/post/recovered")
+    drift.add_argument("--update-every", dest="update_every", type=int, default=2,
+                       help="prequential examples between update rounds "
+                            "(0 = detection only, no online updates)")
+    drift.add_argument("--buffer", type=int, default=96,
+                       help="replay-buffer capacity (sessions)")
+    drift.add_argument("--seed", type=int, default=0,
+                       help="seed for the stream, the model and sampling")
+    drift.add_argument("--output", default="BENCH_drift.json",
+                       help="where to record the JSON report ('' = don't)")
 
     chaos = add_command(
         "chaos",
@@ -655,6 +694,43 @@ def _run_dataset(args) -> int:
     return 0
 
 
+def _run_drift(args) -> int:
+    from repro.online import render_drift_report, run_drift_suite
+
+    outcomes = run_drift_suite(
+        names=args.scenarios,
+        seed=args.seed,
+        detector=args.detector,
+        policy=args.policy,
+        sessions=args.sessions,
+        pretrain=args.pretrain,
+        pretrain_epochs=args.pretrain_epochs,
+        window=args.window,
+        update_every=args.update_every,
+        replay_buffer=args.buffer,
+    )
+    print(render_drift_report(outcomes))
+    if args.output:
+        payload = {
+            "suite": "drift",
+            "seed": args.seed,
+            "detector": args.detector,
+            "policy": args.policy,
+            "outcomes": [outcome.to_dict() for outcome in outcomes],
+        }
+        with open(args.output, "w") as stream:
+            json.dump(payload, stream, indent=2, sort_keys=True)
+            stream.write("\n")
+        print(f"report recorded to {args.output}", file=sys.stderr)
+    missed = [
+        o.scenario
+        for o in outcomes
+        if o.drift_index is not None and o.detection_delay is None
+    ]
+    false_alarms = sum(o.false_alarms for o in outcomes)
+    return 1 if missed or false_alarms else 0
+
+
 def _run_chaos(args) -> int:
     from repro.resilience.chaos import (
         render_report,
@@ -681,7 +757,8 @@ def main(argv: list[str] | None = None) -> int:
     config = (
         _config_from_args(args)
         if args.command
-        not in ("bench", "train", "serve", "profile", "chaos", "loadtest", "dataset")
+        not in ("bench", "train", "serve", "profile", "chaos", "loadtest",
+                "dataset", "drift")
         else None
     )
 
@@ -718,6 +795,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_loadtest(args)
     elif args.command == "chaos":
         return _run_chaos(args)
+    elif args.command == "drift":
+        return _run_drift(args)
     elif args.command == "dataset":
         return _run_dataset(args)
     return 0

@@ -134,6 +134,7 @@ class ShardedCluster:
             )
         self.model = model
         self.backend = backend
+        self.learner = None
         self.metrics = ClusterMetrics(registry)
         self.ring = HashRing(replicas=replicas)
         self.quarantined: dict[str, str] = {}
@@ -293,6 +294,38 @@ class ShardedCluster:
     def live_sessions(self) -> list[str]:
         """All live session ids across the cluster."""
         return [sid for ids in self.sessions().values() for sid in ids]
+
+    # ------------------------------------------------------------------
+    # Continual learning
+    # ------------------------------------------------------------------
+    def attach_learner(self, learner) -> None:
+        """Co-deploy an online learner updating the cluster's model.
+
+        Shards share the model object (weights are shared by identity,
+        state is not), so one learner updates every shard's serving
+        weights coherently; the learner must therefore wrap exactly
+        ``self.model``.  Learner state moves with serve checkpoints
+        (see ``StreamingEngine.checkpoint``) and survives
+        :meth:`rebalance` — migration moves session state only, the
+        updated weights and optimizer moments stay attached.
+        """
+        if learner.model is not self.model:
+            raise ValueError(
+                "learner must wrap the same model object the cluster serves"
+            )
+        self.learner = learner
+
+    def observe_example(self, graph) -> float:
+        """Prequential test-then-train on one completed labelled session.
+
+        Runs behind a drain barrier so the score reflects every event
+        already submitted (the same discipline reads use).  Returns the
+        pre-update probability.
+        """
+        if self.learner is None:
+            raise ValueError("no learner attached (call attach_learner first)")
+        self.barrier()
+        return self.learner.observe(graph)
 
     # ------------------------------------------------------------------
     # Live migration

@@ -6,11 +6,13 @@ a" relation becomes a temporal edge ``a -> b``.  The Forum-java and
 HDFS generators both assemble sessions through :class:`SessionBuilder`.
 
 The builder accumulates edges as three parallel scalar columns
-(``src``/``dst``/``t``) rather than per-edge objects, so
-:meth:`SessionBuilder.build` finalises straight into an
+(``src``/``dst``/``t``).  Each column is a :class:`_ScalarColumn` — a
+list of fixed-capacity numpy chunks appended to in place, doubling the
+chunk size as the session grows — so per-edge cost is one scalar store
+into a preallocated array, not a Python-list append of a boxed object.
+:meth:`SessionBuilder.build` finalises the chunks straight into an
 :class:`~repro.graph.store.EventStore` without ever materialising a
-:class:`TemporalEdge` list — the generator hot path allocates one numpy
-array per column per session, not one tuple per event.
+:class:`TemporalEdge` list.
 """
 
 from __future__ import annotations
@@ -19,6 +21,46 @@ import numpy as np
 
 from repro.graph.ctdn import CTDN
 from repro.graph.store import EventStore
+
+#: Initial per-column chunk capacity; doubles on every spill.  Most
+#: generated sessions fit entirely in the first chunk.
+_CHUNK = 64
+
+
+class _ScalarColumn:
+    """A growable scalar column built from doubling numpy chunks.
+
+    ``append`` writes into the current chunk's next free slot; when the
+    chunk fills, it is sealed and a chunk of twice the capacity is
+    allocated (amortised O(1) per append, O(log n) allocations total).
+    ``materialize`` concatenates the sealed chunks and the live head
+    into one contiguous array.
+    """
+
+    __slots__ = ("_dtype", "_sealed", "_head", "_fill")
+
+    def __init__(self, dtype, capacity: int = _CHUNK):
+        self._dtype = dtype
+        self._sealed: list[np.ndarray] = []
+        self._head = np.empty(capacity, dtype=dtype)
+        self._fill = 0
+
+    def __len__(self) -> int:
+        return sum(chunk.shape[0] for chunk in self._sealed) + self._fill
+
+    def append(self, value) -> None:
+        if self._fill == self._head.shape[0]:
+            self._sealed.append(self._head)
+            self._head = np.empty(2 * self._head.shape[0], dtype=self._dtype)
+            self._fill = 0
+        self._head[self._fill] = value
+        self._fill += 1
+
+    def materialize(self) -> np.ndarray:
+        parts = self._sealed + [self._head[: self._fill]]
+        if len(parts) == 1:
+            return parts[0].copy()
+        return np.concatenate(parts)
 
 
 class SessionBuilder:
@@ -32,9 +74,9 @@ class SessionBuilder:
         self.feature_dim = feature_dim
         self.graph_id = graph_id
         self._features: list[np.ndarray] = []
-        self._src: list[int] = []
-        self._dst: list[int] = []
-        self._t: list[float] = []
+        self._src = _ScalarColumn(np.int64)
+        self._dst = _ScalarColumn(np.int64)
+        self._t = _ScalarColumn(np.float64)
         self._clock = 0.0
 
     @property
@@ -93,9 +135,9 @@ class SessionBuilder:
             raise ValueError("session has no events")
         num_nodes = len(self._features)
         store = EventStore(
-            np.asarray(self._src, dtype=np.int64),
-            np.asarray(self._dst, dtype=np.int64),
-            np.asarray(self._t, dtype=np.float64),
+            self._src.materialize(),
+            self._dst.materialize(),
+            self._t.materialize(),
             num_nodes=num_nodes,
         )
         return CTDN.from_store(

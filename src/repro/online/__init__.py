@@ -1,0 +1,92 @@
+"""Continual learning on the event stream: learn, detect drift, adapt.
+
+The serving stack (:mod:`repro.serve`, :mod:`repro.cluster`) folds
+events into session state but never touches parameters — a deployed
+model silently decays when the stream shifts.  This package closes the
+loop:
+
+* :class:`~repro.online.learner.OnlineLearner` — prequential
+  test-then-train: score each completed session, then update the
+  weights from micro-batches drawn off a bounded
+  :class:`~repro.online.buffer.ReplayBuffer`, reusing the offline
+  Adam / ``clip_grad_norm`` / checkpoint machinery.  Learner state
+  (weights + optimizer moments + buffer) joins serve snapshots, so
+  updates survive cluster live migration.
+* :mod:`~repro.online.prequential` — streaming loss/AUC plus
+  *query-time evaluation*: score a session at any timestamp between
+  its events (zero-copy chronological prefixes).
+* :mod:`~repro.online.drift` — Page-Hinkley / ADWIN-style detection on
+  the prequential loss, wrapped by a :class:`DriftMonitor` with a
+  watchdog fallback (chaos-tested: a crashed detector degrades to late
+  alarms, not silence).
+* :mod:`~repro.online.policies` — pluggable adaptation: alert-only,
+  fine-tune, reset-and-retrain.
+* :mod:`~repro.online.scenarios` — seeded drift scenarios (workflow
+  automata whose transition probabilities shift mid-stream; fault
+  types that appear only after a deployment point) and the
+  detection-delay / recovery-AUC harness behind ``repro drift``.
+"""
+
+from repro.online.buffer import ReplayBuffer
+from repro.online.drift import (
+    DETECTOR_NAMES,
+    AdaptiveWindow,
+    DriftAlarm,
+    DriftMonitor,
+    PageHinkley,
+    make_detector,
+)
+from repro.online.learner import OnlineLearner
+from repro.online.policies import (
+    POLICY_NAMES,
+    AdaptationPolicy,
+    AlertOnly,
+    FineTune,
+    ResetAndRetrain,
+    make_policy,
+)
+from repro.online.prequential import (
+    PrequentialMetrics,
+    prefix_at,
+    score_at,
+    score_curve,
+)
+from repro.online.scenarios import (
+    SCENARIO_NAMES,
+    SCENARIOS,
+    DriftOutcome,
+    DriftScenario,
+    PhaseParams,
+    render_drift_report,
+    run_drift_scenario,
+    run_drift_suite,
+)
+
+__all__ = [
+    "ReplayBuffer",
+    "OnlineLearner",
+    "PrequentialMetrics",
+    "prefix_at",
+    "score_at",
+    "score_curve",
+    "PageHinkley",
+    "AdaptiveWindow",
+    "DriftMonitor",
+    "DriftAlarm",
+    "DETECTOR_NAMES",
+    "make_detector",
+    "AdaptationPolicy",
+    "AlertOnly",
+    "FineTune",
+    "ResetAndRetrain",
+    "POLICY_NAMES",
+    "make_policy",
+    "DriftScenario",
+    "DriftOutcome",
+    "PhaseParams",
+    "SCENARIOS",
+    "SCENARIO_NAMES",
+    "run_drift_scenario",
+    "run_drift_suite",
+    "render_drift_report",
+]

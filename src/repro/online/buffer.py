@@ -1,0 +1,144 @@
+"""Bounded replay buffer for the continual-learning path.
+
+The :class:`~repro.online.learner.OnlineLearner` performs prequential
+test-then-train: every streamed session is scored first and then pushed
+here, and micro-batches for parameter updates are drawn from this
+bounded window of recent labelled sessions.  FIFO eviction keeps the
+buffer a sliding window over the stream — exactly what adaptation needs
+under concept drift, where the most recent examples reflect the current
+distribution.
+
+The buffer snapshots to flat numpy arrays (one column set per slot) so
+learner state — and therefore a serve checkpoint containing it —
+round-trips bit-exactly through :mod:`repro.nn.serialization` archives.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.graph.ctdn import CTDN
+from repro.graph.store import EventStore
+
+
+class ReplayBuffer:
+    """A bounded FIFO window of labelled session graphs.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of sessions retained; adding to a full buffer
+        evicts the oldest.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"replay-buffer capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._graphs: list[CTDN] = []
+        #: Total sessions ever added (monotone; survives eviction).
+        self.total_added = 0
+
+    def __len__(self) -> int:
+        return len(self._graphs)
+
+    def __iter__(self) -> Iterator[CTDN]:
+        return iter(self._graphs)
+
+    def __getitem__(self, index: int) -> CTDN:
+        return self._graphs[index]
+
+    def add(self, graph: CTDN) -> None:
+        """Append one labelled session, evicting the oldest if full."""
+        if graph.label is None:
+            raise ValueError("replay buffer needs labelled graphs (graph.label is None)")
+        if graph.num_edges == 0:
+            raise ValueError("replay buffer rejects empty sessions (no edges)")
+        self._graphs.append(graph)
+        self.total_added += 1
+        if len(self._graphs) > self.capacity:
+            del self._graphs[0]
+
+    def sample(self, batch_size: int, rng: np.random.Generator) -> list[CTDN]:
+        """Draw ``batch_size`` sessions without replacement (seeded).
+
+        When the buffer holds fewer than ``batch_size`` sessions, the
+        whole buffer is returned (in a seeded random order) — a partial
+        micro-batch, mirroring the trailing partial batch of offline
+        training.
+        """
+        count = min(batch_size, len(self._graphs))
+        if count == 0:
+            return []
+        indices = rng.choice(len(self._graphs), size=count, replace=False)
+        return [self._graphs[int(i)] for i in indices]
+
+    def labels(self) -> np.ndarray:
+        """Labels of the buffered sessions, oldest first."""
+        return np.asarray([g.label for g in self._graphs], dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, np.ndarray]:
+        """Flat array form: per-slot feature/edge columns plus metadata."""
+        arrays: dict[str, np.ndarray] = {
+            "meta": np.asarray([self.capacity, len(self._graphs), self.total_added],
+                               dtype=np.int64),
+        }
+        for slot, graph in enumerate(self._graphs):
+            arrays[f"{slot}.features"] = np.asarray(graph.features, dtype=np.float64)
+            arrays[f"{slot}.src"] = np.asarray(graph.store.src, dtype=np.int64)
+            arrays[f"{slot}.dst"] = np.asarray(graph.store.dst, dtype=np.int64)
+            arrays[f"{slot}.t"] = np.asarray(graph.store.t, dtype=np.float64)
+            arrays[f"{slot}.label"] = np.asarray(int(graph.label), dtype=np.int64)
+        return arrays
+
+    @classmethod
+    def restore(cls, arrays: Mapping[str, np.ndarray]) -> "ReplayBuffer":
+        """Rebuild a buffer from :meth:`snapshot` output."""
+        capacity, count, total_added = (int(v) for v in arrays["meta"])
+        buffer = cls(capacity)
+        for slot in range(count):
+            features = np.asarray(arrays[f"{slot}.features"], dtype=np.float64)
+            store = EventStore(
+                np.asarray(arrays[f"{slot}.src"], dtype=np.int64),
+                np.asarray(arrays[f"{slot}.dst"], dtype=np.int64),
+                np.asarray(arrays[f"{slot}.t"], dtype=np.float64),
+                num_nodes=features.shape[0],
+            )
+            buffer._graphs.append(
+                CTDN.from_store(
+                    features.shape[0], features, store,
+                    label=int(arrays[f"{slot}.label"]),
+                )
+            )
+        buffer.total_added = total_added
+        return buffer
+
+    def equals(self, other: "ReplayBuffer") -> bool:
+        """Bit-exact content equality (used by round-trip tests)."""
+        if (self.capacity, len(self), self.total_added) != (
+            other.capacity, len(other), other.total_added
+        ):
+            return False
+        for mine, theirs in zip(self._graphs, other._graphs):
+            if mine.label != theirs.label:
+                return False
+            if not np.array_equal(mine.features, theirs.features):
+                return False
+            if not (
+                np.array_equal(mine.store.src, theirs.store.src)
+                and np.array_equal(mine.store.dst, theirs.store.dst)
+                and np.array_equal(mine.store.t, theirs.store.t)
+            ):
+                return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ReplayBuffer(size={len(self)}/{self.capacity}, "
+            f"total_added={self.total_added})"
+        )

@@ -1,0 +1,299 @@
+"""Concept-drift detection on the prequential loss stream.
+
+When the stream shifts, a frozen (or lagging) model's prequential loss
+rises; detecting that rise quickly — without crying wolf on a
+stationary stream — is the whole game.  Two classical sequential tests
+are provided, both tuned for the one-sided "loss went *up*" case:
+
+* :class:`PageHinkley` — the Page-Hinkley cumulative-deviation test:
+  alarm when the running sum of ``(x - mean - delta)`` climbs
+  ``threshold`` above its historical minimum.
+* :class:`AdaptiveWindow` — an ADWIN-style adaptive sliding window:
+  alarm when some split of the window into *older | recent* halves
+  shows a mean gap larger than the Hoeffding cut bound.
+
+:class:`DriftMonitor` wires a detector to an
+:class:`~repro.online.learner.OnlineLearner` and an adaptation policy,
+and adds the operational safety net the chaos suite exercises: the
+primary detector runs inside a guarded region (fault-injection point
+``drift.detect``), and a crashing or silenced detector degrades to a
+simple **watchdog** — rolling mean loss versus a frozen baseline — so
+a broken detector produces late alarms, not no alarms.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import telemetry
+from repro.graph.ctdn import CTDN
+from repro.resilience.faults import inject
+
+
+class PageHinkley:
+    """Page-Hinkley test for an upward mean shift.
+
+    Parameters
+    ----------
+    delta:
+        Tolerated drift magnitude (subtracted from every deviation);
+        larger values ignore slower creep.
+    threshold:
+        Alarm when the cumulative deviation exceeds its running minimum
+        by this much (the classical ``lambda``).
+    burn_in:
+        Minimum samples before any alarm (the running mean needs to
+        settle on the in-control level first).
+    """
+
+    name = "page-hinkley"
+
+    def __init__(self, delta: float = 0.05, threshold: float = 3.0, burn_in: int = 20):
+        if threshold <= 0:
+            raise ValueError(f"threshold must be positive, got {threshold}")
+        if burn_in < 1:
+            raise ValueError(f"burn_in must be >= 1, got {burn_in}")
+        self.delta = delta
+        self.threshold = threshold
+        self.burn_in = burn_in
+        self.reset()
+
+    def reset(self) -> None:
+        """Forget everything (called after an adaptation completes)."""
+        self._count = 0
+        self._mean = 0.0
+        self._cumulative = 0.0
+        self._minimum = 0.0
+
+    def update(self, value: float) -> bool:
+        """Feed one loss sample; True when drift is flagged."""
+        value = float(value)
+        self._count += 1
+        self._mean += (value - self._mean) / self._count
+        self._cumulative += value - self._mean - self.delta
+        self._minimum = min(self._minimum, self._cumulative)
+        if self._count < self.burn_in:
+            return False
+        return (self._cumulative - self._minimum) > self.threshold
+
+
+class AdaptiveWindow:
+    """ADWIN-style adaptive window test for an upward mean shift.
+
+    Keeps a bounded window of recent samples; on every update it scans
+    the admissible splits into an *older* and a *recent* part and
+    alarms when ``mean(recent) - mean(older)`` exceeds the Hoeffding
+    cut bound at confidence ``delta``.  On alarm the older part is
+    dropped, so the window re-anchors on the post-change regime.
+    """
+
+    name = "adwin"
+
+    def __init__(
+        self,
+        delta: float = 0.002,
+        max_window: int = 256,
+        min_split: int = 12,
+        value_range: float = 4.0,
+    ):
+        if not 0.0 < delta < 1.0:
+            raise ValueError(f"delta must be in (0, 1), got {delta}")
+        if min_split < 2:
+            raise ValueError(f"min_split must be >= 2, got {min_split}")
+        if max_window < 2 * min_split:
+            raise ValueError(
+                f"max_window must be >= 2 * min_split, got {max_window} < {2 * min_split}"
+            )
+        self.delta = delta
+        self.max_window = max_window
+        self.min_split = min_split
+        self.value_range = value_range
+        self.reset()
+
+    def reset(self) -> None:
+        self._window: deque[float] = deque(maxlen=self.max_window)
+
+    def update(self, value: float) -> bool:
+        self._window.append(float(value))
+        total = len(self._window)
+        if total < 2 * self.min_split:
+            return False
+        values = np.asarray(self._window, dtype=np.float64)
+        prefix = np.concatenate([[0.0], np.cumsum(values)])
+        log_term = float(np.log(4.0 * total / self.delta))
+        for split in range(self.min_split, total - self.min_split + 1):
+            n_old = split
+            n_new = total - split
+            mean_old = prefix[split] / n_old
+            mean_new = (prefix[total] - prefix[split]) / n_new
+            harmonic = 1.0 / (1.0 / n_old + 1.0 / n_new)
+            cut = self.value_range * float(np.sqrt(log_term / (2.0 * harmonic)))
+            if mean_new - mean_old > cut:
+                # Drop the pre-change half so the window re-anchors.
+                for _ in range(split):
+                    self._window.popleft()
+                return True
+        return False
+
+
+#: Detector registry behind ``repro drift --detector``.
+DETECTOR_NAMES = ("page-hinkley", "adwin")
+
+
+def make_detector(name: str, **kwargs):
+    """Build a detector by registry name."""
+    if name == "page-hinkley":
+        return PageHinkley(**kwargs)
+    if name == "adwin":
+        return AdaptiveWindow(**kwargs)
+    raise KeyError(f"unknown drift detector {name!r}; choose from {DETECTOR_NAMES}")
+
+
+@dataclass
+class DriftAlarm:
+    """One raised alarm: where in the stream, which path raised it."""
+
+    index: int
+    source: str  # "detector" or "watchdog"
+    action: str  # what the adaptation policy did
+
+
+@dataclass
+class _Watchdog:
+    """Fallback detector: rolling mean loss vs. a frozen baseline.
+
+    Deliberately crude — it exists so a crashed/suppressed primary
+    detector degrades to *late* alarms instead of silence.  The
+    baseline freezes after the first ``window`` samples; an alarm needs
+    ``patience`` consecutive rolling means above
+    ``max(baseline * factor, baseline + min_delta)``.
+    """
+
+    window: int = 16
+    factor: float = 2.0
+    min_delta: float = 0.3
+    patience: int = 4
+    _recent: deque = field(default_factory=deque)
+    _baseline_sum: float = 0.0
+    _baseline_count: int = 0
+    _breaches: int = 0
+
+    def reset(self) -> None:
+        self._recent = deque()
+        self._baseline_sum = 0.0
+        self._baseline_count = 0
+        self._breaches = 0
+
+    def update(self, value: float) -> bool:
+        if self._baseline_count < self.window:
+            self._baseline_sum += value
+            self._baseline_count += 1
+            return False
+        baseline = self._baseline_sum / self._baseline_count
+        self._recent.append(value)
+        if len(self._recent) > self.window:
+            self._recent.popleft()
+        if len(self._recent) < self.window:
+            return False
+        rolling = sum(self._recent) / len(self._recent)
+        if rolling > max(baseline * self.factor, baseline + self.min_delta):
+            self._breaches += 1
+        else:
+            self._breaches = 0
+        return self._breaches >= self.patience
+
+
+class DriftMonitor:
+    """Detector + watchdog + adaptation policy over a learner's stream.
+
+    ``observe`` runs the learner's prequential step and feeds the loss
+    to :meth:`step`; ``step`` can also be driven directly with a loss
+    series (the chaos suite does this to exercise the detection plumbing
+    without a model).  After every alarm the detector and watchdog are
+    reset and alarms are suppressed for ``cooldown`` examples, so one
+    drift yields one alarm.
+    """
+
+    def __init__(
+        self,
+        learner=None,
+        detector=None,
+        policy=None,
+        cooldown: int = 20,
+        watchdog: _Watchdog | None = None,
+    ):
+        if cooldown < 0:
+            raise ValueError(f"cooldown must be >= 0, got {cooldown}")
+        self.learner = learner
+        self.detector = detector
+        self.policy = policy
+        self.cooldown = cooldown
+        self.watchdog = watchdog if watchdog is not None else _Watchdog()
+        self.alarms: list[DriftAlarm] = []
+        self.detector_errors = 0
+        self.examples = 0
+        self._cooldown_left = 0
+
+    def observe(self, graph: CTDN) -> float:
+        """Prequential test-then-train plus drift detection for one session."""
+        if self.learner is None:
+            raise ValueError("DriftMonitor.observe needs an attached learner")
+        probability = self.learner.observe(graph)
+        self.step(self.learner.metrics.last_loss)
+        return probability
+
+    def step(self, loss: float) -> DriftAlarm | None:
+        """Feed one prequential loss sample through detection.
+
+        The primary detector runs inside a guarded region: an exception
+        (including an injected one at the ``drift.detect`` fault point)
+        is counted in ``detector_errors`` and detection falls through to
+        the watchdog for this and every subsequent sample.
+        """
+        self.examples += 1
+        fired_by = None
+        try:
+            inject("drift.detect")
+            if self.detector is not None and self.detector.update(loss):
+                fired_by = "detector"
+        except Exception:
+            self.detector_errors += 1
+            if telemetry.enabled():
+                telemetry.get_registry().counter("online/detector_errors").inc()
+        if self.watchdog.update(loss) and fired_by is None:
+            fired_by = "watchdog"
+        if self._cooldown_left > 0:
+            self._cooldown_left -= 1
+            return None
+        if fired_by is None:
+            return None
+        return self._raise_alarm(fired_by)
+
+    def _raise_alarm(self, source: str) -> DriftAlarm:
+        with telemetry.span("drift_adapt"):
+            if self.policy is not None:
+                action = self.policy.on_drift(self.learner, self)
+            else:
+                action = "alert"
+        alarm = DriftAlarm(index=self.examples - 1, source=source, action=action)
+        self.alarms.append(alarm)
+        if telemetry.enabled():
+            registry = telemetry.get_registry()
+            registry.counter("online/drift_alarms", source=source).inc()
+            if self.policy is not None:
+                registry.counter("online/adaptations").inc()
+        # Re-anchor both detection paths on the post-adaptation regime.
+        if self.detector is not None:
+            self.detector.reset()
+        self.watchdog.reset()
+        self._cooldown_left = self.cooldown
+        return alarm
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DriftMonitor(examples={self.examples}, alarms={len(self.alarms)}, "
+            f"detector_errors={self.detector_errors})"
+        )

@@ -1,0 +1,86 @@
+"""Pluggable adaptation policies: what to do when drift is flagged.
+
+A policy is invoked by :class:`~repro.online.drift.DriftMonitor` with
+the learner and the monitor, and returns a short human-readable action
+string (recorded on the alarm).  Three standard responses:
+
+* :class:`AlertOnly` — record the alarm, change nothing.  The right
+  default when a human owns the retrain decision.
+* :class:`FineTune` — run extra micro-batch update rounds on the replay
+  buffer.  Cheap, keeps the pre-drift weights as the starting point;
+  recovers fastest when the shift is partial.
+* :class:`ResetAndRetrain` — roll the model back to its attach-time
+  weights (fresh Adam moments) and retrain on the buffer, which by now
+  holds mostly post-drift sessions.  The heavy hammer for shifts that
+  invalidate the old decision boundary outright.
+"""
+
+from __future__ import annotations
+
+
+class AdaptationPolicy:
+    """Interface: react to one confirmed drift alarm."""
+
+    name = "abstract"
+
+    def on_drift(self, learner, monitor) -> str:
+        raise NotImplementedError
+
+
+class AlertOnly(AdaptationPolicy):
+    """Record the alarm; leave the model untouched."""
+
+    name = "alert-only"
+
+    def on_drift(self, learner, monitor) -> str:
+        return "alert-only"
+
+
+class FineTune(AdaptationPolicy):
+    """Extra update rounds on the replay buffer from the current weights."""
+
+    name = "fine-tune"
+
+    def __init__(self, rounds: int = 16):
+        if rounds < 1:
+            raise ValueError(f"rounds must be >= 1, got {rounds}")
+        self.rounds = rounds
+
+    def on_drift(self, learner, monitor) -> str:
+        if learner is None:
+            return "fine-tune skipped (no learner attached)"
+        stepped = learner.update(rounds=self.rounds)
+        return f"fine-tune: {stepped}/{self.rounds} rounds stepped"
+
+
+class ResetAndRetrain(AdaptationPolicy):
+    """Roll back to attach-time weights, then retrain on the buffer."""
+
+    name = "reset-retrain"
+
+    def __init__(self, rounds: int = 32):
+        if rounds < 1:
+            raise ValueError(f"rounds must be >= 1, got {rounds}")
+        self.rounds = rounds
+
+    def on_drift(self, learner, monitor) -> str:
+        if learner is None:
+            return "reset-retrain skipped (no learner attached)"
+        learner.reset_parameters()
+        stepped = learner.update(rounds=self.rounds)
+        return f"reset-retrain: {stepped}/{self.rounds} rounds stepped"
+
+
+#: Policy registry behind ``repro drift --policy``.
+POLICY_NAMES = ("alert-only", "fine-tune", "reset-retrain")
+
+
+def make_policy(name: str, **kwargs) -> AdaptationPolicy:
+    """Build an adaptation policy by registry name."""
+    if name == "alert-only":
+        return AlertOnly()
+    if name == "fine-tune":
+        return FineTune(**kwargs)
+    if name == "reset-retrain":
+        return ResetAndRetrain(**kwargs)
+    raise KeyError(f"unknown adaptation policy {name!r}; choose from {POLICY_NAMES}")

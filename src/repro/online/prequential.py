@@ -1,0 +1,148 @@
+"""Prequential (test-then-train) metrics and query-time evaluation.
+
+Two evaluation views of a model serving a live stream:
+
+* :class:`PrequentialMetrics` — the interleaved test-then-train
+  protocol: every streamed session is scored *before* the learner may
+  train on it, so the loss/AUC series measures generalisation to
+  genuinely unseen data at every point of the stream.  A sustained rise
+  in the prequential loss is the canonical concept-drift signal the
+  detectors in :mod:`repro.online.drift` consume.
+* :func:`score_at` / :func:`prefix_at` — continuous-prediction
+  evaluation at *arbitrary query times*: the probability the model
+  assigns a session given only the events with timestamp ``<= tau``,
+  for any ``tau`` between (or beyond) its events.  Prefixes are
+  zero-copy chronological store views, so sweeping many query times
+  over one session costs O(1) memory per query.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import telemetry
+from repro.graph.ctdn import CTDN
+from repro.tensor import no_grad
+from repro.training.metrics import roc_auc
+
+
+class PrequentialMetrics:
+    """Streaming test-then-train loss/AUC over an example stream.
+
+    ``record`` appends one scored example; AUC is computed on demand
+    over any index window through the rank statistic in
+    :func:`repro.training.metrics.roc_auc` (whose single-class fallback
+    of 0.5 makes small windows safe).  When telemetry is captured, every
+    loss lands in the ``online/prequential_loss`` histogram.
+    """
+
+    def __init__(self, window: int = 40):
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = window
+        self.labels: list[int] = []
+        self.scores: list[float] = []
+        self.losses: list[float] = []
+
+    def __len__(self) -> int:
+        return len(self.losses)
+
+    def record(self, label: int, score: float, loss: float) -> None:
+        """Log one prequential example (scored before any training)."""
+        self.labels.append(int(label))
+        self.scores.append(float(score))
+        self.losses.append(float(loss))
+        if telemetry.enabled():
+            telemetry.get_registry().histogram("online/prequential_loss").record(
+                float(loss)
+            )
+
+    @property
+    def last_loss(self) -> float:
+        if not self.losses:
+            raise ValueError("no prequential examples recorded yet")
+        return self.losses[-1]
+
+    def mean_loss(self, start: int = 0, end: int | None = None) -> float:
+        """Mean prequential loss over ``[start, end)`` (whole stream by default)."""
+        span = self.losses[start:end]
+        if not span:
+            raise ValueError(f"empty loss window [{start}, {end})")
+        return float(np.mean(span))
+
+    def rolling_loss(self, window: int | None = None) -> float:
+        """Mean loss over the trailing ``window`` examples."""
+        return self.mean_loss(start=-min(window or self.window, len(self.losses)))
+
+    def auc(self, start: int = 0, end: int | None = None) -> float:
+        """Prequential AUC over ``[start, end)`` (0.5 when single-class)."""
+        labels = self.labels[start:end]
+        scores = self.scores[start:end]
+        if not labels:
+            raise ValueError(f"empty AUC window [{start}, {end})")
+        return roc_auc(labels, scores)
+
+    def windowed_auc(self, window: int | None = None) -> float:
+        """AUC over the trailing ``window`` examples."""
+        return self.auc(start=-min(window or self.window, len(self.labels)))
+
+    def snapshot(self) -> dict[str, np.ndarray]:
+        return {
+            "labels": np.asarray(self.labels, dtype=np.int64),
+            "scores": np.asarray(self.scores, dtype=np.float64),
+            "losses": np.asarray(self.losses, dtype=np.float64),
+            "window": np.asarray(self.window, dtype=np.int64),
+        }
+
+    @classmethod
+    def restore(cls, arrays) -> "PrequentialMetrics":
+        metrics = cls(window=int(arrays["window"]))
+        metrics.labels = [int(v) for v in arrays["labels"]]
+        metrics.scores = [float(v) for v in arrays["scores"]]
+        metrics.losses = [float(v) for v in arrays["losses"]]
+        return metrics
+
+
+# ----------------------------------------------------------------------
+# Query-time evaluation
+# ----------------------------------------------------------------------
+def prefix_at(graph: CTDN, time: float) -> CTDN:
+    """The session as of query time ``time``: events with ``t <= time``.
+
+    Returns a zero-copy chronological prefix view (possibly empty).  The
+    full node-feature matrix is kept — TP-GNN reads node features only
+    through edge endpoints, so rows of not-yet-seen nodes are inert,
+    and the prefix scores identically to a stream that materialised
+    features on arrival.
+    """
+    chronological = graph.store.chronological()
+    count = int(np.searchsorted(chronological.t, float(time), side="right"))
+    return CTDN.from_store(
+        graph.num_nodes,
+        graph.features,
+        chronological.prefix(count),
+        label=graph.label,
+        graph_id=graph.graph_id,
+    )
+
+
+def score_at(model, graph: CTDN, time: float) -> float:
+    """P(label=1) for ``graph`` using only events up to query time ``time``.
+
+    Query times before the first event carry no information: the defined
+    result is 0.5 (matching the AUC no-information convention) rather
+    than an error, so sweeping a time grid across a session is safe.
+    For ``time >= graph.duration``'s end the score equals the model's
+    full-session probability.
+    """
+    prefix = prefix_at(graph, time)
+    if prefix.num_edges == 0:
+        return 0.5
+    with no_grad():
+        logit = float(model(prefix).item())
+    return float(1.0 / (1.0 + np.exp(-logit)))
+
+
+def score_curve(model, graph: CTDN, times) -> np.ndarray:
+    """Vector of :func:`score_at` probabilities over a query-time grid."""
+    return np.asarray([score_at(model, graph, t) for t in times], dtype=np.float64)

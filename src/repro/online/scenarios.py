@@ -1,0 +1,360 @@
+"""Seeded concept-drift scenarios and the detection/recovery harness.
+
+Each scenario is a workflow automaton emitting labelled session graphs
+(columns straight into :class:`~repro.graph.store.EventStore` via
+:class:`~repro.data.SessionBuilder`), with a distribution change
+injected at a known stream position — the chaos harness's
+seeded-scenario idiom applied to data drift instead of faults:
+
+* ``stationary`` — the control: one regime end to end.  Any alarm is a
+  false alarm.
+* ``transition-shift`` — the automaton's transition probabilities shift
+  mid-stream: healthy workflows suddenly route through warn/retry
+  stages (``warn_probability`` 0 → 0.7), so post-drift *positives*
+  carry the exception flag the pre-drift model learned to read as
+  "faulty".
+* ``fault-onset`` — a fault type that exists only after a deployment
+  point: pre-drift negatives are exception cascades; post-drift the
+  cascades are replaced by *silent bursts* (no exception flag, a
+  rapid-fire temporal/duration signature the pre-drift model has never
+  seen).
+
+:func:`run_drift_scenario` executes the full protocol — offline
+pretraining on the stream head, prequential test-then-train over the
+rest through a :class:`~repro.online.drift.DriftMonitor` — and reports
+detection delay, false alarms and pre/post/recovered prequential AUC.
+``repro drift`` renders these as the detection/recovery table and
+records them to ``BENCH_drift.json``; the slow suite under
+``benchmarks/`` gates on them.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass, replace
+
+import numpy as np
+
+from repro.core.model import TPGNN
+from repro.data.session import SessionBuilder
+from repro.graph.ctdn import CTDN
+from repro.graph.dataset import GraphDataset
+from repro.online.drift import DriftMonitor, make_detector
+from repro.online.learner import OnlineLearner
+from repro.online.policies import make_policy
+from repro.training.trainer import TrainConfig, train_model
+
+#: Node features are ``[stage_code, duration, exception_flag]``.
+FEATURE_DIM = 3
+
+
+@dataclass(frozen=True)
+class PhaseParams:
+    """One regime of the workflow automaton.
+
+    ``warn_probability`` is the transition probability of routing a
+    healthy workflow step through a warn/retry stage (which sets the
+    exception flag); ``gap_scale`` scales the exponential inter-event
+    gaps; ``negative_kind`` picks which fault family produces the
+    negative sessions.
+    """
+
+    warn_probability: float = 0.0
+    gap_scale: float = 1.0
+    negative_kind: str = "cascade"  # "cascade" | "burst"
+
+
+@dataclass(frozen=True)
+class DriftScenario:
+    """A seeded stream with (optionally) one mid-stream regime change."""
+
+    name: str
+    kind: str  # "stationary" | "transition-shift" | "fault-onset"
+    description: str
+    pre: PhaseParams = PhaseParams()
+    post: PhaseParams | None = None
+    sessions: int = 240
+    drift_at: float | None = 0.5  # stream fraction; None = stationary
+    negative_ratio: float = 0.5
+
+    def drift_index(self) -> int | None:
+        """Absolute stream index of the first post-drift session."""
+        if self.drift_at is None or self.post is None:
+            return None
+        return int(self.sessions * self.drift_at)
+
+    def generate(self, seed: int = 0) -> list[CTDN]:
+        """The full session stream, in arrival order (seeded)."""
+        rng = np.random.default_rng(seed)
+        drift = self.drift_index()
+        graphs = []
+        for index in range(self.sessions):
+            params = self.pre if drift is None or index < drift else self.post
+            graph_id = f"{self.name}-{index}"
+            if rng.random() < self.negative_ratio:
+                graphs.append(_negative_session(rng, params, graph_id))
+            else:
+                graphs.append(_positive_session(rng, params, graph_id))
+        return graphs
+
+
+def _positive_session(rng: np.random.Generator, params: PhaseParams, graph_id: str) -> CTDN:
+    """A healthy workflow chain; warn stages appear per the automaton."""
+    builder = SessionBuilder(FEATURE_DIM, graph_id=graph_id)
+    stages = int(rng.integers(4, 9))
+    previous = builder.add_event([0.0, 0.5, 0.0])
+    for stage in range(1, stages + 1):
+        gap = float(rng.exponential(params.gap_scale)) + 0.05
+        flag = 1.0 if rng.random() < params.warn_probability else 0.0
+        previous = builder.follow(previous, [stage / 10.0, 0.5, flag], gap)
+    return builder.build(label=1)
+
+
+def _negative_session(rng: np.random.Generator, params: PhaseParams, graph_id: str) -> CTDN:
+    """A faulty workflow of the regime's fault family."""
+    builder = SessionBuilder(FEATURE_DIM, graph_id=graph_id)
+    previous = builder.add_event([0.0, 0.5, 0.0])
+    # Normal prefix: the session starts healthy either way.
+    for stage in (1, 2):
+        gap = float(rng.exponential(params.gap_scale)) + 0.05
+        previous = builder.follow(previous, [stage / 10.0, 0.5, 0.0], gap)
+    if params.negative_kind == "cascade":
+        # Exception cascade: error events with the flag set, fanned out
+        # from the failing step in quick succession.
+        origin = previous
+        for _ in range(int(rng.integers(4, 8))):
+            gap = 0.05 + 0.1 * float(rng.random())
+            node = builder.follow(origin, [0.9, 0.9, 1.0], gap)
+            builder.add_edge(previous, node)
+            previous = node
+    elif params.negative_kind == "burst":
+        # Silent burst: no exception flag; the signature is rapid-fire
+        # repeats with a near-zero duration feature.
+        partner = builder.follow(previous, [0.5, 0.05, 0.0], 0.02)
+        for _ in range(int(rng.integers(6, 11))):
+            builder.advance(0.02)
+            builder.add_edge(previous, partner)
+            builder.add_edge(partner, previous)
+    else:  # pragma: no cover - registry-validated
+        raise KeyError(f"unknown negative kind {params.negative_kind!r}")
+    return builder.build(label=0)
+
+
+#: The scenario registry behind ``repro drift --scenarios``.
+SCENARIOS: dict[str, DriftScenario] = {
+    scenario.name: scenario
+    for scenario in (
+        DriftScenario(
+            name="stationary",
+            kind="stationary",
+            description="one regime end to end; any alarm is a false alarm",
+            drift_at=None,
+        ),
+        DriftScenario(
+            name="transition-shift",
+            kind="transition-shift",
+            description="healthy workflows start routing through warn stages "
+                        "mid-stream (transition probability 0 -> 0.7)",
+            post=PhaseParams(warn_probability=0.7),
+        ),
+        DriftScenario(
+            name="fault-onset",
+            kind="fault-onset",
+            description="exception cascades are replaced by silent bursts "
+                        "after the deployment point",
+            post=PhaseParams(negative_kind="burst"),
+        ),
+    )
+}
+
+SCENARIO_NAMES = tuple(SCENARIOS)
+
+
+# ----------------------------------------------------------------------
+# Detection / recovery harness
+# ----------------------------------------------------------------------
+@dataclass
+class DriftOutcome:
+    """What one scenario run measured (one row of the report table)."""
+
+    scenario: str
+    kind: str
+    detector: str
+    policy: str
+    sessions: int
+    pretrain: int
+    drift_index: int | None  # index within the *streamed* part
+    alarms: list[tuple[int, str]]
+    false_alarms: int
+    detection_delay: int | None
+    pre_auc: float
+    post_auc: float | None
+    recovered_auc: float
+    recovery_fraction: float | None
+    updates_applied: int
+    detector_errors: int
+    seconds: float
+
+    def to_dict(self) -> dict:
+        payload = asdict(self)
+        payload["alarms"] = [list(alarm) for alarm in self.alarms]
+        return payload
+
+
+def run_drift_scenario(
+    scenario: DriftScenario | str,
+    *,
+    seed: int = 0,
+    detector: str = "page-hinkley",
+    policy: str = "fine-tune",
+    sessions: int | None = None,
+    pretrain: int = 60,
+    pretrain_epochs: int = 4,
+    window: int = 30,
+    update_every: int = 2,
+    replay_buffer: int = 96,
+    batch_size: int = 8,
+    learning_rate: float = 1e-2,
+    hidden_size: int = 8,
+    time_dim: int = 4,
+) -> DriftOutcome:
+    """Run the full pretrain → stream → detect → adapt protocol.
+
+    The stream head (``pretrain`` sessions, all pre-drift) trains the
+    model offline; the rest is streamed prequentially through an
+    :class:`OnlineLearner` under a :class:`DriftMonitor`.  AUC windows
+    of ``window`` examples are read right before the drift point, right
+    after it, and at the stream tail; ``recovery_fraction`` is
+    tail AUC / pre-drift AUC.
+    """
+    if isinstance(scenario, str):
+        if scenario not in SCENARIOS:
+            raise KeyError(
+                f"unknown drift scenario {scenario!r}; choose from {SCENARIO_NAMES}"
+            )
+        scenario = SCENARIOS[scenario]
+    if sessions is not None:
+        scenario = replace(scenario, sessions=sessions)
+    drift_abs = scenario.drift_index()
+    if drift_abs is not None and pretrain >= drift_abs:
+        raise ValueError(
+            f"pretrain ({pretrain}) must end before the drift point ({drift_abs})"
+        )
+    if pretrain >= scenario.sessions:
+        raise ValueError(
+            f"pretrain ({pretrain}) must leave sessions to stream "
+            f"({scenario.sessions} total)"
+        )
+
+    started = time.perf_counter()
+    stream = scenario.generate(seed)
+    model = TPGNN(
+        in_features=FEATURE_DIM,
+        hidden_size=hidden_size,
+        gru_hidden_size=hidden_size,
+        time_dim=time_dim,
+        seed=seed,
+    )
+    config = TrainConfig(
+        epochs=pretrain_epochs,
+        learning_rate=learning_rate,
+        batch_size=batch_size,
+        seed=seed,
+        replay_buffer=replay_buffer,
+        online_update_every=update_every,
+    )
+    train_model(model, GraphDataset(stream[:pretrain], name=scenario.name), config)
+    model.eval()
+
+    learner = OnlineLearner(model, config, metrics_window=window)
+    monitor = DriftMonitor(
+        learner,
+        detector=make_detector(detector),
+        policy=make_policy(policy),
+    )
+    for graph in stream[pretrain:]:
+        monitor.observe(graph)
+
+    metrics = learner.metrics
+    streamed = len(stream) - pretrain
+    drift_index = None if drift_abs is None else drift_abs - pretrain
+    alarms = [(alarm.index, alarm.source) for alarm in monitor.alarms]
+    if drift_index is None:
+        false_alarms = len(alarms)
+        detection_delay = None
+        pre_auc = metrics.auc(0, min(window, streamed))
+        post_auc = None
+        recovery_fraction = None
+    else:
+        false_alarms = sum(1 for index, _ in alarms if index < drift_index)
+        detected = [index for index, _ in alarms if index >= drift_index]
+        detection_delay = (detected[0] - drift_index) if detected else None
+        pre_auc = metrics.auc(max(0, drift_index - window), drift_index)
+        post_auc = metrics.auc(drift_index, min(drift_index + window, streamed))
+        recovery_fraction = None
+    recovered_auc = metrics.windowed_auc(window)
+    if drift_index is not None and pre_auc > 0:
+        recovery_fraction = recovered_auc / pre_auc
+    return DriftOutcome(
+        scenario=scenario.name,
+        kind=scenario.kind,
+        detector=detector,
+        policy=policy,
+        sessions=scenario.sessions,
+        pretrain=pretrain,
+        drift_index=drift_index,
+        alarms=alarms,
+        false_alarms=false_alarms,
+        detection_delay=detection_delay,
+        pre_auc=float(pre_auc),
+        post_auc=None if post_auc is None else float(post_auc),
+        recovered_auc=float(recovered_auc),
+        recovery_fraction=None if recovery_fraction is None else float(recovery_fraction),
+        updates_applied=learner.updates_applied,
+        detector_errors=monitor.detector_errors,
+        seconds=time.perf_counter() - started,
+    )
+
+
+def run_drift_suite(names=None, **kwargs) -> list[DriftOutcome]:
+    """Run several scenarios (all registered ones by default)."""
+    chosen = list(names) if names is not None else list(SCENARIO_NAMES)
+    return [run_drift_scenario(name, **kwargs) for name in chosen]
+
+
+def render_drift_report(outcomes: list[DriftOutcome]) -> str:
+    """The detection-delay / recovery-AUC table ``repro drift`` prints."""
+
+    def fmt(value, pattern="{:.3f}") -> str:
+        return "-" if value is None else pattern.format(value)
+
+    header = (
+        f"{'scenario':<18} {'drift@':>6} {'delay':>5} {'false':>5} "
+        f"{'AUC pre':>8} {'AUC post':>8} {'AUC rec':>8} {'recover':>8}  action"
+    )
+    lines = [header, "-" * len(header)]
+    for outcome in outcomes:
+        recover = (
+            "-"
+            if outcome.recovery_fraction is None
+            else f"{100.0 * outcome.recovery_fraction:.0f}%"
+        )
+        lines.append(
+            f"{outcome.scenario:<18} {fmt(outcome.drift_index, '{:d}'):>6} "
+            f"{fmt(outcome.detection_delay, '{:d}'):>5} {outcome.false_alarms:>5} "
+            f"{fmt(outcome.pre_auc):>8} {fmt(outcome.post_auc):>8} "
+            f"{fmt(outcome.recovered_auc):>8} {recover:>8}  "
+            f"{outcome.detector}+{outcome.policy}"
+        )
+    survived = all(
+        (o.drift_index is None and o.false_alarms == 0)
+        or (o.drift_index is not None and o.detection_delay is not None)
+        for o in outcomes
+    )
+    lines.append("")
+    lines.append(
+        "every drift detected, no false alarms"
+        if survived and all(o.false_alarms == 0 for o in outcomes)
+        else "DETECTION GAPS OR FALSE ALARMS — see rows above"
+    )
+    return "\n".join(lines)

@@ -699,3 +699,104 @@ def _dying_then_ok_worker(spec, checkpoint_path, checkpoint_every, conn) -> None
             _trial_worker(spec, checkpoint_path, checkpoint_every, conn)
         return
     _trial_worker(spec, checkpoint_path, checkpoint_every, conn)
+
+
+# ----------------------------------------------------------------------
+# Continual-learning / drift scenarios
+# ----------------------------------------------------------------------
+@scenario(
+    "drift-detector-never-fires",
+    "a crashed drift detector degrades to watchdog alarms, not silence",
+)
+def _drift_detector_never_fires(ctx: ChaosContext) -> tuple[str, str]:
+    from repro.online.drift import DriftMonitor, PageHinkley
+
+    monitor = DriftMonitor(detector=PageHinkley(), policy=None)
+    rng = ctx.rng(salt=31)
+    # Every detector update raises: the monitor must count the errors
+    # and keep detecting through the watchdog fallback.
+    plan = FaultPlan(seed=ctx.seed).add("drift.detect", kind="raise")
+    with activate(plan):
+        for _ in range(40):  # in-control regime
+            monitor.step(0.2 + 0.02 * float(rng.random()))
+        for _ in range(60):  # drifted regime: loss jumps ~7x
+            monitor.step(1.5 + 0.05 * float(rng.random()))
+    if monitor.detector_errors == 0:
+        raise AssertionError("injected detector crashes were not counted")
+    if not monitor.alarms:
+        raise AssertionError("no alarm raised: the watchdog failed to back "
+                             "up the dead detector")
+    if any(alarm.source != "watchdog" for alarm in monitor.alarms):
+        raise AssertionError(f"unexpected alarm sources: {monitor.alarms!r}")
+    return (
+        f"primary detector dead (fault at drift.detect, "
+        f"{monitor.detector_errors} errors counted)",
+        f"watchdog fallback alarmed at example {monitor.alarms[0].index}",
+    )
+
+
+@scenario(
+    "drift-adaptation-mid-migration",
+    "a poisoned online update during a live rebalance is skipped; "
+    "migrated sessions and learner state stay healthy",
+)
+def _drift_adaptation_mid_migration(ctx: ChaosContext) -> tuple[str, str]:
+    import numpy as np
+
+    from repro.cluster import ShardedCluster
+    from repro.online import FineTune, OnlineLearner
+
+    model = ctx.model()
+    config = TrainConfig(
+        learning_rate=1e-2, batch_size=4, seed=ctx.seed,
+        replay_buffer=8, online_update_every=0,
+    )
+    with ShardedCluster(model, n_shards=2, backend="serial") as cluster:
+        learner = OnlineLearner(model, config)
+        cluster.attach_learner(learner)
+        cluster.ingest_many(ctx.feed(6))
+        cluster.flush()
+        for graph in ctx.dataset(6):
+            cluster.observe_example(graph)
+        before = set(cluster.live_sessions())
+
+        # Topology change in flight: a shard joins, and the adaptation
+        # fires while its sessions are still awaiting migration.  The
+        # first update round's gradients are poisoned with NaN.
+        cluster.add_shard()
+        plan = FaultPlan(seed=ctx.seed).add("online.update", kind="nan", at=(0,))
+        with activate(plan):
+            FineTune(rounds=3).on_drift(learner, None)
+            report = cluster.rebalance()
+
+        if learner.nonfinite_updates != 1:
+            raise AssertionError(
+                f"poisoned round not skipped: {learner.nonfinite_updates} nonfinite"
+            )
+        if learner.updates_applied < 1:
+            raise AssertionError("no healthy update round stepped")
+        for key, value in model.state_dict().items():
+            if not np.isfinite(value).all():
+                raise AssertionError(f"non-finite weights after adaptation: {key}")
+        if report.quarantined or cluster.quarantined:
+            raise AssertionError(f"migration quarantined sessions: {report!r}")
+        if set(cluster.live_sessions()) != before:
+            raise AssertionError("sessions lost across the rebalance")
+        for session_id, probability in cluster.predict_many().items():
+            if not np.isfinite(probability):
+                raise AssertionError(f"non-finite prediction for {session_id!r}")
+
+        # The updated learner state round-trips bit-exactly into a
+        # fresh replica (what a restarted destination shard would load).
+        snapshot = learner.snapshot()
+        replica = OnlineLearner(ctx.model(), config)
+        replica.restore(snapshot)
+        for key, value in model.state_dict().items():
+            if not np.array_equal(value, replica.model.state_dict()[key]):
+                raise AssertionError(f"restored weights differ at {key}")
+    return (
+        "NaN gradients caught by the finite-norm guard mid-migration "
+        "(1 update round skipped)",
+        f"{report.moved} sessions migrated clean; adapted weights finite and "
+        "bit-exact through snapshot/restore",
+    )

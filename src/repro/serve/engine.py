@@ -94,6 +94,13 @@ class StreamingEngine:
         ``metrics.deadline_breaches``, recorded as a breaker failure,
         and — on the read path only — raised as
         :class:`~repro.resilience.DeadlineExceededError`.
+    learner:
+        Optional :class:`~repro.online.OnlineLearner` co-deployed with
+        this engine (continual learning on the served model).  Its full
+        state — weights, optimizer moments, replay buffer — is folded
+        into :meth:`checkpoint` archives and restored by
+        :meth:`restore`, so online updates survive restarts and
+        cluster live migration.
     """
 
     def __init__(
@@ -110,11 +117,15 @@ class StreamingEngine:
         max_node: int | None = None,
         breaker: CircuitBreaker | None = None,
         deadline_seconds: float | None = None,
+        learner=None,
     ):
         if deadline_seconds is not None and deadline_seconds <= 0:
             raise ValueError(f"deadline_seconds must be positive, got {deadline_seconds}")
         self.classifier = IncrementalClassifier(model, missing_features=missing_features)
         self.metrics = metrics if metrics is not None else ServeMetrics()
+        self.learner = None
+        if learner is not None:
+            self.attach_learner(learner)
         self._user_on_evict = on_evict
         self.validator = self._build_validator(validate, max_node)
         self.breaker = breaker
@@ -144,6 +155,19 @@ class StreamingEngine:
     def model(self) -> TPGNN:
         """The served model (parameters shared, not copied)."""
         return self.classifier.model
+
+    def attach_learner(self, learner) -> None:
+        """Co-deploy an online learner updating this engine's model.
+
+        The learner must hold the *same* model object the engine serves
+        — parameter updates are shared by identity, never copied — so a
+        mismatch is a wiring bug and raises.
+        """
+        if learner.model is not self.classifier.model:
+            raise ValueError(
+                "learner must wrap the same model object this engine serves"
+            )
+        self.learner = learner
 
     def _new_session(self, session_id: str) -> SessionState:
         self.metrics.sessions_started += 1
@@ -328,10 +352,14 @@ class StreamingEngine:
             for key, value in self.classifier.snapshot(state).items():
                 arrays[f"session.{index}.{key}"] = value
             labels[session_id] = state.label
+        if self.learner is not None:
+            for key, value in self.learner.snapshot().items():
+                arrays[f"learner.{key}"] = value
         meta = {
             "format": _FORMAT,
             "format_version": _FORMAT_VERSION,
             "model_class": type(self.model).__name__,
+            "has_learner": self.learner is not None,
             "sessions": session_ids,
             "config": {
                 "max_sessions": self.router.max_sessions,
@@ -351,6 +379,7 @@ class StreamingEngine:
         model: TPGNN,
         on_evict: Callable[[str, SessionState], None] | None = None,
         max_sessions: int | None = None,
+        learner=None,
     ) -> "StreamingEngine":
         """Rebuild an engine (weights + sessions + counters) from disk.
 
@@ -363,6 +392,13 @@ class StreamingEngine:
         checkpoint lists least-recently-active first) are evicted and
         counted in ``metrics.sessions_restore_evicted`` rather than
         silently over-filling the router.
+
+        ``learner`` restores a co-deployed online learner: pass a fresh
+        :class:`~repro.online.OnlineLearner` built over ``model`` with
+        the same config, and its weights, optimizer moments and replay
+        buffer are loaded from the checkpoint (written there by
+        :meth:`checkpoint` when a learner was attached).  Restoring a
+        learner from a checkpoint that carries none raises.
         """
         arrays, meta = read_archive(path)
         if meta.get("format") != _FORMAT:
@@ -400,6 +436,19 @@ class StreamingEngine:
             state = engine.classifier.restore(session_id, session_arrays)
             evicted = engine.adopt_session(session_id, state)
             engine.metrics.sessions_restore_evicted += len(evicted)
+        if learner is not None:
+            if not meta.get("has_learner"):
+                raise ValueError(
+                    f"{path} carries no learner state but a learner was passed"
+                )
+            learner.restore(
+                {
+                    key[len("learner."):]: value
+                    for key, value in arrays.items()
+                    if key.startswith("learner.")
+                }
+            )
+            engine.attach_learner(learner)
         return engine
 
     # ------------------------------------------------------------------

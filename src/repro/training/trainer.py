@@ -51,6 +51,14 @@ class TrainConfig:
     edge-tie shuffling each epoch.  ``batch_size`` controls gradient
     accumulation (the paper does not specify; 8 balances stability and
     wall-clock on CPU).
+
+    The ``replay_buffer`` / ``online_update_every`` fields configure the
+    continual-learning path (:class:`repro.online.OnlineLearner`): the
+    bounded replay-buffer capacity and how many prequential examples
+    arrive between micro-batch update rounds (0 disables updates — the
+    online path then equals offline inference exactly).  They are unused
+    by offline :func:`train_model` but participate in the trial-cache
+    key like every other hyperparameter.
     """
 
     epochs: int = 10
@@ -60,6 +68,8 @@ class TrainConfig:
     shuffle_ties: bool = True
     shuffle_graphs: bool = True
     seed: int = 0
+    replay_buffer: int = 256
+    online_update_every: int = 0
 
 
 @dataclass

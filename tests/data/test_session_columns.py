@@ -1,0 +1,56 @@
+"""Tests for the chunked scalar columns behind SessionBuilder."""
+
+import numpy as np
+import pytest
+
+from repro.data import SessionBuilder
+from repro.data.session import _CHUNK, _ScalarColumn
+
+
+class TestScalarColumn:
+    def test_empty_column_materializes_empty(self):
+        column = _ScalarColumn(np.int64)
+        assert len(column) == 0
+        out = column.materialize()
+        assert out.shape == (0,)
+        assert out.dtype == np.int64
+
+    @pytest.mark.parametrize("count", [1, _CHUNK - 1, _CHUNK, _CHUNK + 1, 3 * _CHUNK + 5])
+    def test_order_preserved_across_chunk_spills(self, count):
+        column = _ScalarColumn(np.float64)
+        for value in range(count):
+            column.append(float(value))
+        assert len(column) == count
+        assert np.array_equal(column.materialize(), np.arange(count, dtype=np.float64))
+
+    def test_materialize_copies_single_chunk(self):
+        column = _ScalarColumn(np.int64)
+        column.append(7)
+        out = column.materialize()
+        column.append(8)  # must not alias the materialized array
+        assert np.array_equal(out, [7])
+
+
+class TestBuilderAcrossChunkBoundaries:
+    def test_long_session_spans_sealed_chunks(self):
+        edges = 2 * _CHUNK + 17  # head chunk seals twice
+        builder = SessionBuilder(feature_dim=1, graph_id="long")
+        previous = builder.add_event([0.0])
+        for index in range(edges):
+            previous = builder.follow(previous, [float(index + 1)], gap=0.5)
+        graph = builder.build(label=1)
+        assert graph.num_edges == edges
+        assert np.array_equal(graph.store.src, np.arange(edges))
+        assert np.array_equal(graph.store.dst, np.arange(1, edges + 1))
+        assert np.array_equal(graph.store.t, 0.5 * np.arange(1, edges + 1))
+
+    def test_columns_are_contiguous_exact_dtypes(self):
+        builder = SessionBuilder(feature_dim=1)
+        previous = builder.add_event([0.0])
+        for index in range(_CHUNK + 3):
+            previous = builder.follow(previous, [float(index)], gap=1.0)
+        graph = builder.build(label=0)
+        assert graph.store.src.dtype == np.int64
+        assert graph.store.dst.dtype == np.int64
+        assert graph.store.t.dtype == np.float64
+        assert graph.store.src.flags["C_CONTIGUOUS"]

@@ -130,6 +130,25 @@ class TestCacheKey:
         spec = make_spec()
         assert trial_cache_key(spec, version="trial-v999") != trial_cache_key(spec)
 
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"train": TrainConfig(epochs=1, seed=0, replay_buffer=512)},
+            {"train": TrainConfig(epochs=1, seed=0, online_update_every=4)},
+        ],
+    )
+    def test_sensitive_to_online_fields(self, overrides):
+        # The online-learning TrainConfig fields must invalidate cached
+        # trials, same as every offline hyperparameter.
+        assert trial_cache_key(make_spec(**overrides)) != trial_cache_key(make_spec())
+
+    def test_version_bumped_for_online_fields(self):
+        # TrainConfig grew replay_buffer / online_update_every in
+        # trial-v3; keys minted under the previous version must miss.
+        assert CODE_VERSION == "trial-v3"
+        spec = make_spec()
+        assert trial_cache_key(spec, version="trial-v2") != trial_cache_key(spec)
+
     def test_specs_follow_serial_seed_protocol(self):
         specs = trial_specs("GCN", "HDFS", TINY)
         assert [spec.run_index for spec in specs] == [0, 1]

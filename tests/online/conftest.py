@@ -1,0 +1,46 @@
+"""Shared builders for the continual-learning test-suite."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core import TPGNN
+from repro.graph import CTDN
+from repro.online import SCENARIOS
+from repro.training import TrainConfig
+
+
+def make_model(seed: int = 0) -> TPGNN:
+    """A small TP-GNN over the scenario feature space, in eval mode."""
+    model = TPGNN(in_features=3, hidden_size=8, gru_hidden_size=8, time_dim=4, seed=seed)
+    model.eval()
+    return model
+
+
+def make_stream(count: int = 16, seed: int = 0, name: str = "stationary") -> list[CTDN]:
+    """``count`` labelled sessions from a registered drift scenario."""
+    return replace(SCENARIOS[name], sessions=count).generate(seed)
+
+
+def make_config(**overrides) -> TrainConfig:
+    fields = dict(
+        learning_rate=1e-2,
+        batch_size=4,
+        seed=0,
+        replay_buffer=12,
+        online_update_every=2,
+    )
+    fields.update(overrides)
+    return TrainConfig(**fields)
+
+
+@pytest.fixture
+def model() -> TPGNN:
+    return make_model()
+
+
+@pytest.fixture
+def stream() -> list[CTDN]:
+    return make_stream()

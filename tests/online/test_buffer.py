@@ -1,0 +1,71 @@
+"""Tests for the bounded replay buffer."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CTDN
+from repro.online import ReplayBuffer
+from tests.online.conftest import make_stream
+
+
+@pytest.mark.drift
+class TestReplayBuffer:
+    def test_fifo_eviction_keeps_most_recent(self):
+        stream = make_stream(8)
+        buffer = ReplayBuffer(capacity=3)
+        for graph in stream:
+            buffer.add(graph)
+        assert len(buffer) == 3
+        assert buffer.total_added == 8
+        assert [g.graph_id for g in buffer] == [g.graph_id for g in stream[-3:]]
+
+    def test_rejects_unlabelled_and_empty_sessions(self):
+        buffer = ReplayBuffer(capacity=2)
+        graph = make_stream(1)[0]
+        unlabelled = CTDN(graph.num_nodes, graph.features, graph.edges, label=None)
+        with pytest.raises(ValueError, match="labelled"):
+            buffer.add(unlabelled)
+        empty = CTDN(3, np.zeros((3, 3)), [], label=1)
+        with pytest.raises(ValueError, match="empty"):
+            buffer.add(empty)
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            ReplayBuffer(capacity=0)
+
+    def test_sample_is_seeded_and_without_replacement(self):
+        buffer = ReplayBuffer(capacity=8)
+        for graph in make_stream(8):
+            buffer.add(graph)
+        first = buffer.sample(4, np.random.default_rng(7))
+        again = buffer.sample(4, np.random.default_rng(7))
+        assert [g.graph_id for g in first] == [g.graph_id for g in again]
+        assert len({g.graph_id for g in first}) == 4
+
+    def test_sample_underfull_returns_whole_buffer(self):
+        buffer = ReplayBuffer(capacity=8)
+        for graph in make_stream(3):
+            buffer.add(graph)
+        batch = buffer.sample(10, np.random.default_rng(0))
+        assert sorted(g.graph_id for g in batch) == sorted(g.graph_id for g in buffer)
+        assert ReplayBuffer(capacity=2).sample(4, np.random.default_rng(0)) == []
+
+    def test_snapshot_restore_round_trip_bit_exact(self):
+        buffer = ReplayBuffer(capacity=4)
+        for graph in make_stream(6):
+            buffer.add(graph)
+        restored = ReplayBuffer.restore(buffer.snapshot())
+        assert restored.equals(buffer)
+        assert buffer.equals(restored)
+        assert restored.capacity == 4
+        assert restored.total_added == 6
+        assert np.array_equal(restored.labels(), buffer.labels())
+
+    def test_equals_detects_differences(self):
+        a, b = ReplayBuffer(4), ReplayBuffer(4)
+        stream = make_stream(4)
+        for graph in stream:
+            a.add(graph)
+        for graph in stream[:3]:
+            b.add(graph)
+        assert not a.equals(b)

@@ -1,0 +1,50 @@
+"""Tests for the ``repro drift`` CLI verb."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.mark.drift
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["drift"])
+        assert args.command == "drift"
+        assert args.detector == "page-hinkley"
+        assert args.policy == "fine-tune"
+        assert args.scenarios is None
+        assert args.sessions == 240
+
+    def test_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["drift", "--detector", "kswin"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["drift", "--policy", "pray"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["drift", "--scenarios", "earthquake"])
+
+
+@pytest.mark.drift
+class TestExecution:
+    def test_drift_run_writes_report_and_json(self, tmp_path, capsys):
+        out = tmp_path / "drift.json"
+        code = main([
+            "drift",
+            "--scenarios", "stationary",
+            "--sessions", "60",
+            "--pretrain", "30",
+            "--window", "12",
+            "--pretrain-epochs", "2",
+            "--output", str(out),
+        ])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "stationary" in printed
+        assert "every drift detected, no false alarms" in printed
+        payload = json.loads(out.read_text())
+        assert payload["detector"] == "page-hinkley"
+        assert payload["policy"] == "fine-tune"
+        assert len(payload["outcomes"]) == 1
+        assert payload["outcomes"][0]["false_alarms"] == 0

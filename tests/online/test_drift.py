@@ -1,0 +1,187 @@
+"""Tests for drift detectors, the watchdog fallback and the monitor."""
+
+import numpy as np
+import pytest
+
+from repro.online import (
+    DETECTOR_NAMES,
+    POLICY_NAMES,
+    AdaptiveWindow,
+    AlertOnly,
+    DriftMonitor,
+    FineTune,
+    OnlineLearner,
+    PageHinkley,
+    ResetAndRetrain,
+    make_detector,
+    make_policy,
+)
+from repro.online.drift import _Watchdog
+from tests.online.conftest import make_config, make_model, make_stream
+
+
+def in_control(rng, n, level=0.2):
+    return level + 0.02 * rng.random(n)
+
+
+def drifted(rng, n, level=1.2):
+    return level + 0.05 * rng.random(n)
+
+
+@pytest.mark.drift
+class TestDetectors:
+    @pytest.mark.parametrize("name", DETECTOR_NAMES)
+    def test_fires_on_upward_shift(self, name):
+        detector = make_detector(name)
+        rng = np.random.default_rng(0)
+        fired_at = None
+        # A drift-sized loss jump (confidently-wrong BCE ~3+ vs an
+        # in-control ~0.2): ADWIN's Hoeffding cut at value_range=4 needs
+        # a gap of a couple of units, by design — small wobbles must
+        # never alarm.
+        series = np.concatenate([in_control(rng, 60), drifted(rng, 60, level=3.2)])
+        for index, value in enumerate(series):
+            if detector.update(float(value)):
+                fired_at = index
+                break
+        assert fired_at is not None, f"{name} never fired"
+        assert fired_at >= 60, f"{name} fired before the shift (at {fired_at})"
+        assert fired_at < 110, f"{name} took too long (at {fired_at})"
+
+    @pytest.mark.parametrize("name", DETECTOR_NAMES)
+    def test_silent_on_stationary_stream(self, name):
+        detector = make_detector(name)
+        rng = np.random.default_rng(1)
+        assert not any(detector.update(float(v)) for v in in_control(rng, 400))
+
+    def test_page_hinkley_reset_forgets_history(self):
+        detector = PageHinkley()
+        rng = np.random.default_rng(2)
+        for value in np.concatenate([in_control(rng, 60), drifted(rng, 60)]):
+            detector.update(float(value))
+        detector.reset()
+        assert not any(detector.update(float(v)) for v in drifted(rng, 40))
+
+    def test_adaptive_window_reanchors_after_alarm(self):
+        detector = AdaptiveWindow()
+        rng = np.random.default_rng(3)
+        series = np.concatenate([in_control(rng, 60), drifted(rng, 120, level=3.2)])
+        alarms = sum(detector.update(float(v)) for v in series)
+        assert alarms == 1  # the dropped pre-change half must not re-alarm
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            PageHinkley(threshold=0.0)
+        with pytest.raises(ValueError):
+            PageHinkley(burn_in=0)
+        with pytest.raises(ValueError):
+            AdaptiveWindow(delta=1.5)
+        with pytest.raises(ValueError):
+            AdaptiveWindow(min_split=1)
+        with pytest.raises(ValueError):
+            AdaptiveWindow(max_window=4, min_split=12)
+
+    def test_registries_reject_unknown_names(self):
+        with pytest.raises(KeyError):
+            make_detector("kswin")
+        with pytest.raises(KeyError):
+            make_policy("pray")
+
+
+@pytest.mark.drift
+class TestMonitor:
+    def test_single_alarm_per_drift_with_cooldown(self):
+        monitor = DriftMonitor(detector=PageHinkley(), cooldown=200)
+        rng = np.random.default_rng(4)
+        for value in np.concatenate([in_control(rng, 60), drifted(rng, 80)]):
+            monitor.step(float(value))
+        assert len(monitor.alarms) == 1
+        alarm = monitor.alarms[0]
+        assert alarm.source == "detector"
+        assert alarm.index >= 60
+        assert alarm.action == "alert"
+
+    def test_crashed_detector_degrades_to_watchdog(self):
+        class Crashing:
+            def update(self, value):
+                raise RuntimeError("detector dead")
+
+            def reset(self):
+                pass
+
+        monitor = DriftMonitor(detector=Crashing())
+        rng = np.random.default_rng(5)
+        for value in np.concatenate([in_control(rng, 40), drifted(rng, 60)]):
+            monitor.step(float(value))
+        assert monitor.detector_errors == 100
+        assert monitor.alarms, "watchdog never backed up the dead detector"
+        assert all(alarm.source == "watchdog" for alarm in monitor.alarms)
+
+    def test_watchdog_is_slower_than_detector_but_not_silent(self):
+        rng = np.random.default_rng(6)
+        series = [float(v) for v in np.concatenate([in_control(rng, 40), drifted(rng, 60)])]
+        watchdog_alarm = detector_alarm = None
+        watchdog = _Watchdog()
+        detector = PageHinkley()
+        for index, value in enumerate(series):
+            if watchdog_alarm is None and watchdog.update(value):
+                watchdog_alarm = index
+            if detector_alarm is None and detector.update(value):
+                detector_alarm = index
+        assert detector_alarm is not None and watchdog_alarm is not None
+        assert detector_alarm <= watchdog_alarm
+
+    def test_observe_requires_learner(self):
+        monitor = DriftMonitor(detector=PageHinkley())
+        with pytest.raises(ValueError, match="learner"):
+            monitor.observe(make_stream(1)[0])
+        with pytest.raises(ValueError):
+            DriftMonitor(cooldown=-1)
+
+    def test_observe_runs_prequential_step(self):
+        learner = OnlineLearner(make_model(), make_config())
+        monitor = DriftMonitor(learner, detector=PageHinkley())
+        for graph in make_stream(6):
+            monitor.observe(graph)
+        assert monitor.examples == 6
+        assert len(learner.metrics) == 6
+
+
+@pytest.mark.drift
+class TestPolicies:
+    def test_alert_only_leaves_weights_alone(self):
+        model = make_model()
+        before = {k: v.copy() for k, v in model.state_dict().items()}
+        learner = OnlineLearner(model, make_config(online_update_every=0))
+        for graph in make_stream(6):
+            learner.observe(graph)
+        assert AlertOnly().on_drift(learner, None) == "alert-only"
+        assert all(np.array_equal(model.state_dict()[k], before[k]) for k in before)
+
+    def test_fine_tune_steps_from_current_weights(self):
+        learner = OnlineLearner(make_model(), make_config(online_update_every=0))
+        for graph in make_stream(6):
+            learner.observe(graph)
+        action = FineTune(rounds=3).on_drift(learner, None)
+        assert action == "fine-tune: 3/3 rounds stepped"
+        assert learner.updates_applied == 3
+
+    def test_reset_retrain_discards_online_progress_first(self):
+        model = make_model()
+        learner = OnlineLearner(model, make_config(online_update_every=1))
+        for graph in make_stream(8):
+            learner.observe(graph)
+        action = ResetAndRetrain(rounds=2).on_drift(learner, None)
+        assert action.startswith("reset-retrain: 2/2")
+
+    def test_policies_without_learner_are_safe(self):
+        assert "skipped" in FineTune().on_drift(None, None)
+        assert "skipped" in ResetAndRetrain().on_drift(None, None)
+
+    def test_registry_round_trip(self):
+        for name in POLICY_NAMES:
+            assert make_policy(name).name == name
+        with pytest.raises(ValueError):
+            FineTune(rounds=0)
+        with pytest.raises(ValueError):
+            ResetAndRetrain(rounds=0)

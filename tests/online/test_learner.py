@@ -1,0 +1,149 @@
+"""Tests for the OnlineLearner: prequential updates, snapshots, guards."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CTDN
+from repro.online import OnlineLearner
+from repro.resilience.faults import FaultPlan, activate
+from repro.tensor import no_grad
+from tests.online.conftest import make_config, make_model, make_stream
+
+
+def state_dicts_equal(a, b) -> bool:
+    return set(a) == set(b) and all(np.array_equal(a[k], b[k]) for k in a)
+
+
+@pytest.mark.drift
+class TestObserve:
+    def test_rejects_unlabelled_sessions(self, model):
+        learner = OnlineLearner(model, make_config())
+        graph = make_stream(1)[0]
+        unlabelled = CTDN(graph.num_nodes, graph.features, graph.edges, label=None)
+        with pytest.raises(ValueError, match="labelled"):
+            learner.observe(unlabelled)
+
+    def test_negative_update_every_rejected(self, model):
+        with pytest.raises(ValueError):
+            OnlineLearner(model, make_config(online_update_every=-1))
+
+    def test_returns_pre_update_probability(self, model):
+        learner = OnlineLearner(model, make_config(online_update_every=1, batch_size=2))
+        for graph in make_stream(6):
+            with no_grad():
+                expected = float(model.predict_proba(graph))
+            observed = learner.observe(graph)  # updates *after* scoring
+            assert observed == pytest.approx(expected, abs=1e-12)
+
+    def test_update_cadence(self, model):
+        learner = OnlineLearner(model, make_config(online_update_every=3))
+        for graph in make_stream(9):
+            learner.observe(graph)
+        assert learner.examples_seen == 9
+        assert learner.updates_applied == 3
+
+
+@pytest.mark.drift
+class TestOnlineEqualsOfflineWhenDisabled:
+    """Property: update rate 0 makes the online path exactly inference."""
+
+    def test_weights_untouched_and_scores_bit_exact(self):
+        frozen = make_model(seed=3)
+        reference = make_model(seed=3)
+        before = {k: v.copy() for k, v in frozen.state_dict().items()}
+        learner = OnlineLearner(frozen, make_config(online_update_every=0))
+        for graph in make_stream(12, seed=5, name="transition-shift"):
+            with no_grad():
+                offline = float(reference.predict_proba(graph))
+            assert learner.observe(graph) == offline
+        assert learner.updates_applied == 0
+        assert state_dicts_equal(frozen.state_dict(), before)
+        assert state_dicts_equal(frozen.state_dict(), reference.state_dict())
+
+    def test_updates_actually_move_weights_when_enabled(self, model):
+        before = {k: v.copy() for k, v in model.state_dict().items()}
+        learner = OnlineLearner(model, make_config(online_update_every=2))
+        for graph in make_stream(6):
+            learner.observe(graph)
+        assert learner.updates_applied > 0
+        assert not state_dicts_equal(model.state_dict(), before)
+        assert model.training is False  # update() restores eval mode
+
+
+@pytest.mark.drift
+class TestUpdateGuards:
+    def test_empty_buffer_update_is_noop(self, model):
+        learner = OnlineLearner(model, make_config())
+        assert learner.update(rounds=3) == 0
+        assert learner.updates_applied == 0
+
+    def test_poisoned_gradients_skip_the_step(self, model):
+        learner = OnlineLearner(model, make_config(online_update_every=0))
+        for graph in make_stream(6):
+            learner.observe(graph)
+        before = {k: v.copy() for k, v in model.state_dict().items()}
+        plan = FaultPlan(seed=0).add("online.update", kind="nan")
+        with activate(plan):
+            stepped = learner.update(rounds=2)
+        assert stepped == 0
+        assert learner.nonfinite_updates == 2
+        assert state_dicts_equal(model.state_dict(), before)
+        assert learner.optimizer.state_dict()["step_count"] == 0
+
+    def test_reset_parameters_restores_attach_time_weights(self, model):
+        attach = {k: v.copy() for k, v in model.state_dict().items()}
+        learner = OnlineLearner(model, make_config(online_update_every=1))
+        for graph in make_stream(6):
+            learner.observe(graph)
+        assert not state_dicts_equal(model.state_dict(), attach)
+        learner.reset_parameters()
+        assert state_dicts_equal(model.state_dict(), attach)
+        assert learner.optimizer.state_dict()["step_count"] == 0
+
+
+@pytest.mark.drift
+class TestSnapshotRestore:
+    def test_round_trip_continues_bit_exactly(self):
+        stream = make_stream(20, seed=2)
+        source_model = make_model(seed=1)
+        source = OnlineLearner(source_model, make_config(online_update_every=2))
+        for graph in stream[:10]:
+            source.observe(graph)
+        snapshot = source.snapshot()
+
+        replica_model = make_model(seed=9)  # different init: restore overwrites
+        replica = OnlineLearner(replica_model, make_config(online_update_every=2))
+        replica.restore(snapshot)
+        assert state_dicts_equal(replica_model.state_dict(), source_model.state_dict())
+        source_moments = source.optimizer.state_dict()
+        replica_moments = replica.optimizer.state_dict()
+        assert set(source_moments) == set(replica_moments)
+        for key in source_moments:
+            assert np.array_equal(source_moments[key], replica_moments[key]), key
+        assert replica.buffer.equals(source.buffer)
+        assert replica.examples_seen == source.examples_seen
+
+        # Both learners must now walk the rest of the stream identically:
+        # same scores, same sampled batches, same post-update weights.
+        for graph in stream[10:]:
+            assert replica.observe(graph) == source.observe(graph)
+        assert state_dicts_equal(replica_model.state_dict(), source_model.state_dict())
+        assert replica.updates_applied == source.updates_applied
+
+    def test_restore_refuses_config_mismatch(self, model):
+        learner = OnlineLearner(model, make_config())
+        for graph in make_stream(4):
+            learner.observe(graph)
+        snapshot = learner.snapshot()
+        other = OnlineLearner(make_model(), make_config(learning_rate=0.5))
+        with pytest.raises(ValueError, match="TrainConfig"):
+            other.restore(snapshot)
+
+    def test_snapshot_namespaces_cover_all_state(self, model):
+        learner = OnlineLearner(model, make_config())
+        for graph in make_stream(3):
+            learner.observe(graph)
+        arrays = learner.snapshot()
+        prefixes = {key.split(".")[0] for key in arrays}
+        assert {"model", "optim", "init", "buffer", "metrics", "counters",
+                "rng", "config"} <= prefixes

@@ -1,0 +1,91 @@
+"""Tests for prequential metrics and query-time evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.online import PrequentialMetrics, prefix_at, score_at, score_curve
+from repro.tensor import no_grad
+from tests.online.conftest import make_model, make_stream
+
+
+@pytest.mark.drift
+class TestPrequentialMetrics:
+    def test_records_and_windows(self):
+        metrics = PrequentialMetrics(window=4)
+        for i, loss in enumerate([0.1, 0.2, 0.3, 0.4, 0.5, 0.6]):
+            metrics.record(label=i % 2, score=0.5 + 0.05 * i, loss=loss)
+        assert len(metrics) == 6
+        assert metrics.last_loss == pytest.approx(0.6)
+        assert metrics.mean_loss() == pytest.approx(0.35)
+        assert metrics.mean_loss(2, 4) == pytest.approx(0.35)
+        assert metrics.rolling_loss() == pytest.approx(np.mean([0.3, 0.4, 0.5, 0.6]))
+
+    def test_auc_perfect_ranking_and_single_class_fallback(self):
+        metrics = PrequentialMetrics(window=8)
+        for label, score in [(0, 0.1), (1, 0.9), (0, 0.2), (1, 0.8)]:
+            metrics.record(label, score, loss=0.1)
+        assert metrics.auc() == pytest.approx(1.0)
+        assert metrics.windowed_auc(2) == pytest.approx(1.0)
+        single = PrequentialMetrics()
+        single.record(1, 0.9, 0.1)
+        single.record(1, 0.8, 0.1)
+        assert single.auc() == pytest.approx(0.5)
+
+    def test_empty_windows_raise(self):
+        metrics = PrequentialMetrics()
+        with pytest.raises(ValueError):
+            metrics.last_loss
+        with pytest.raises(ValueError):
+            metrics.mean_loss()
+        with pytest.raises(ValueError):
+            metrics.auc()
+        with pytest.raises(ValueError):
+            PrequentialMetrics(window=0)
+
+    def test_snapshot_restore_round_trip(self):
+        metrics = PrequentialMetrics(window=7)
+        for i in range(9):
+            metrics.record(i % 2, 0.1 * i, 0.05 * i)
+        restored = PrequentialMetrics.restore(metrics.snapshot())
+        assert restored.window == 7
+        assert restored.labels == metrics.labels
+        assert restored.scores == metrics.scores
+        assert restored.losses == metrics.losses
+
+
+@pytest.mark.drift
+class TestQueryTime:
+    def test_prefix_counts_monotone_in_time(self):
+        graph = make_stream(1)[0]
+        times = np.linspace(-1.0, float(graph.store.t.max()) + 1.0, 12)
+        counts = [prefix_at(graph, t).num_edges for t in times]
+        assert counts == sorted(counts)
+        assert counts[0] == 0
+        assert counts[-1] == graph.num_edges
+
+    def test_prefix_keeps_label_and_identity(self):
+        graph = make_stream(1)[0]
+        prefix = prefix_at(graph, float(np.median(graph.store.t)))
+        assert prefix.label == graph.label
+        assert prefix.graph_id == graph.graph_id
+        assert prefix.num_nodes == graph.num_nodes
+
+    def test_score_before_first_event_is_half(self, model):
+        graph = make_stream(1)[0]
+        assert score_at(model, graph, float(graph.store.t.min()) - 1.0) == 0.5
+
+    def test_score_at_stream_end_matches_full_session(self, model):
+        for graph in make_stream(4):
+            with no_grad():
+                full = float(model.predict_proba(graph))
+            tail = score_at(model, graph, float(graph.store.t.max()))
+            assert tail == pytest.approx(full, abs=1e-12)
+            beyond = score_at(model, graph, float(graph.store.t.max()) + 100.0)
+            assert beyond == pytest.approx(full, abs=1e-12)
+
+    def test_score_curve_shape_and_bounds(self, model):
+        graph = make_stream(1)[0]
+        times = np.linspace(0.0, float(graph.store.t.max()), 9)
+        curve = score_curve(model, graph, times)
+        assert curve.shape == (9,)
+        assert np.all((curve >= 0.0) & (curve <= 1.0))

@@ -1,0 +1,112 @@
+"""Tests for the seeded drift scenarios and the detection harness."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.online import (
+    SCENARIO_NAMES,
+    SCENARIOS,
+    render_drift_report,
+    run_drift_scenario,
+    run_drift_suite,
+)
+
+
+def stores_equal(a, b) -> bool:
+    return (
+        np.array_equal(a.store.src, b.store.src)
+        and np.array_equal(a.store.dst, b.store.dst)
+        and np.array_equal(a.store.t, b.store.t)
+        and np.array_equal(a.features, b.features)
+        and a.label == b.label
+    )
+
+
+@pytest.mark.drift
+class TestGenerators:
+    def test_registry_names(self):
+        assert SCENARIO_NAMES == ("stationary", "transition-shift", "fault-onset")
+        assert SCENARIOS["stationary"].drift_index() is None
+        assert SCENARIOS["transition-shift"].drift_index() == 120
+
+    @pytest.mark.parametrize("name", SCENARIO_NAMES)
+    def test_generation_is_seed_deterministic(self, name):
+        scenario = replace(SCENARIOS[name], sessions=20)
+        first = scenario.generate(seed=7)
+        again = scenario.generate(seed=7)
+        other = scenario.generate(seed=8)
+        assert all(stores_equal(a, b) for a, b in zip(first, again))
+        assert not all(stores_equal(a, b) for a, b in zip(first, other))
+
+    @pytest.mark.parametrize("name", SCENARIO_NAMES)
+    def test_streams_are_labelled_and_non_empty(self, name):
+        stream = replace(SCENARIOS[name], sessions=30).generate(seed=0)
+        assert len(stream) == 30
+        labels = {graph.label for graph in stream}
+        assert labels == {0, 1}
+        assert all(graph.num_edges > 0 for graph in stream)
+
+    def test_regimes_differ_after_the_drift_point(self):
+        scenario = replace(SCENARIOS["transition-shift"], sessions=40)
+        stream = scenario.generate(seed=0)
+        drift = scenario.drift_index()
+
+        def flag_rate(graphs):
+            positives = [g for g in graphs if g.label == 1]
+            return float(np.mean([g.features[:, 2].max() for g in positives]))
+
+        # Pre-drift positives never set the exception flag; post-drift
+        # most of them do (warn_probability jumps 0 -> 0.7).
+        assert flag_rate(stream[:drift]) == 0.0
+        assert flag_rate(stream[drift:]) > 0.5
+
+
+@pytest.mark.drift
+class TestHarness:
+    def test_end_to_end_detects_and_recovers(self):
+        outcome = run_drift_scenario(
+            "transition-shift",
+            sessions=90,
+            pretrain=30,
+            window=15,
+            pretrain_epochs=3,
+        )
+        assert outcome.drift_index == 15  # 45 absolute - 30 pretrain
+        assert outcome.false_alarms == 0
+        assert outcome.detection_delay is not None
+        assert outcome.detection_delay <= 30
+        assert outcome.updates_applied > 0
+        assert outcome.detector_errors == 0
+        assert 0.0 <= outcome.recovered_auc <= 1.0
+        payload = outcome.to_dict()
+        assert payload["scenario"] == "transition-shift"
+        assert isinstance(payload["alarms"], list)
+
+    def test_stationary_control_has_no_false_alarms(self):
+        outcome = run_drift_scenario(
+            "stationary", sessions=70, pretrain=30, window=15, pretrain_epochs=3
+        )
+        assert outcome.drift_index is None
+        assert outcome.false_alarms == 0
+        assert outcome.detection_delay is None
+        assert outcome.recovery_fraction is None
+
+    def test_pretrain_must_end_before_drift(self):
+        with pytest.raises(ValueError, match="drift point"):
+            run_drift_scenario("transition-shift", sessions=40, pretrain=25)
+        with pytest.raises(ValueError, match="sessions to stream"):
+            run_drift_scenario("stationary", sessions=30, pretrain=30)
+        with pytest.raises(KeyError):
+            run_drift_scenario("earthquake")
+
+    def test_suite_and_report(self):
+        outcomes = run_drift_suite(
+            names=["stationary"], sessions=60, pretrain=30, window=12,
+            pretrain_epochs=2,
+        )
+        report = render_drift_report(outcomes)
+        assert "stationary" in report
+        assert "scenario" in report
+        assert ("every drift detected" in report) or ("DETECTION GAPS" in report)

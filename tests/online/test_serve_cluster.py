@@ -1,0 +1,108 @@
+"""Learner state through serve checkpoints and cluster live migration."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ShardedCluster
+from repro.online import OnlineLearner
+from repro.serve import StreamingEngine, dataset_to_feed
+from tests.online.conftest import make_config, make_model, make_stream
+
+
+def state_dicts_equal(a, b) -> bool:
+    return set(a) == set(b) and all(np.array_equal(a[k], b[k]) for k in a)
+
+
+@pytest.mark.drift
+class TestEngineCheckpoint:
+    def test_attach_rejects_foreign_model(self, model):
+        engine = StreamingEngine(model)
+        stranger = OnlineLearner(make_model(seed=4), make_config())
+        with pytest.raises(ValueError, match="same model"):
+            engine.attach_learner(stranger)
+
+    def test_checkpoint_round_trips_learner_state(self, model, tmp_path):
+        stream = make_stream(10)
+        learner = OnlineLearner(model, make_config(online_update_every=2))
+        engine = StreamingEngine(model, learner=learner)
+        engine.ingest_many(dataset_to_feed(stream[:6]))
+        for graph in stream[:6]:
+            learner.observe(graph)
+        path = engine.checkpoint(tmp_path / "serve.npz")
+
+        restored_model = make_model(seed=8)
+        restored_learner = OnlineLearner(restored_model, make_config(online_update_every=2))
+        restored = StreamingEngine.restore(path, restored_model, learner=restored_learner)
+        assert restored.learner is restored_learner
+        assert state_dicts_equal(restored_model.state_dict(), model.state_dict())
+        assert restored_learner.buffer.equals(learner.buffer)
+        assert restored_learner.examples_seen == learner.examples_seen
+
+        # The restored replica continues the prequential stream exactly.
+        for graph in stream[6:]:
+            assert restored_learner.observe(graph) == learner.observe(graph)
+        assert state_dicts_equal(restored_model.state_dict(), model.state_dict())
+
+    def test_checkpoint_without_learner_refuses_learner_restore(self, model, tmp_path):
+        engine = StreamingEngine(model)
+        engine.ingest_many(dataset_to_feed(make_stream(3)))
+        path = engine.checkpoint(tmp_path / "plain.npz")
+        fresh = make_model(seed=2)
+        with pytest.raises(ValueError, match="no learner state"):
+            StreamingEngine.restore(path, fresh, learner=OnlineLearner(fresh, make_config()))
+
+
+@pytest.mark.drift
+class TestClusterMigration:
+    def test_attach_rejects_foreign_model(self, model):
+        with ShardedCluster(model, n_shards=2, backend="serial") as cluster:
+            stranger = OnlineLearner(make_model(seed=4), make_config())
+            with pytest.raises(ValueError, match="same model"):
+                cluster.attach_learner(stranger)
+            with pytest.raises(ValueError, match="learner"):
+                cluster.observe_example(make_stream(1)[0])
+
+    def test_learner_updates_survive_rebalance(self, model):
+        """Satellite: weights + Adam moments identical on the destination."""
+        stream = make_stream(14, seed=3)
+        config = make_config(online_update_every=2)
+        with ShardedCluster(model, n_shards=2, backend="serial") as cluster:
+            learner = OnlineLearner(model, config)
+            cluster.attach_learner(learner)
+            cluster.ingest_many(dataset_to_feed(stream[:8]))
+            cluster.flush()
+            for graph in stream[:8]:
+                cluster.observe_example(graph)
+            assert learner.updates_applied > 0
+            sessions_before = set(cluster.live_sessions())
+            scores_before = cluster.predict_many()
+
+            cluster.add_shard()
+            report = cluster.rebalance()
+            assert report.moved > 0
+            assert report.quarantined == 0
+            assert set(cluster.live_sessions()) == sessions_before
+
+            # Migration must not perturb the learned state: the same
+            # sessions score identically on their destination shards.
+            scores_after = cluster.predict_many()
+            for session_id, score in scores_before.items():
+                assert scores_after[session_id] == pytest.approx(score, abs=1e-12)
+
+            # A destination shard restoring the learner snapshot gets
+            # bit-identical weights and optimizer moments...
+            snapshot = learner.snapshot()
+            destination_model = make_model(seed=7)
+            destination = OnlineLearner(destination_model, config)
+            destination.restore(snapshot)
+            assert state_dicts_equal(destination_model.state_dict(), model.state_dict())
+            src_moments = learner.optimizer.state_dict()
+            dst_moments = destination.optimizer.state_dict()
+            assert set(src_moments) == set(dst_moments)
+            for key in src_moments:
+                assert np.array_equal(src_moments[key], dst_moments[key]), key
+
+            # ...and keeps learning in lockstep with the original.
+            for graph in stream[8:]:
+                assert destination.observe(graph) == learner.observe(graph)
+            assert state_dicts_equal(destination_model.state_dict(), model.state_dict())
