@@ -27,6 +27,7 @@ from repro.core.propagation import (
     TemporalPropagationSum,
 )
 from repro.graph.ctdn import CTDN
+from repro.graph.megaplan import mega_plan
 from repro.nn import FeatureEncoder
 from repro.tensor import Tensor
 
@@ -67,6 +68,8 @@ class TPGNNWithoutTemporalPropagation(GraphClassifierBase):
             node_dim=hidden_size, hidden_size=gru_hidden_size, rng=rng
         )
 
+    SUPPORTS_MEGABATCH = True
+
     def embed(self, graph: CTDN, rng: np.random.Generator | None = None) -> Tensor:
         """Feed raw (encoded) node features through the edge-sequence GRU."""
         if graph.num_edges == 0:
@@ -74,6 +77,16 @@ class TPGNNWithoutTemporalPropagation(GraphClassifierBase):
         plan = graph.propagation_plan(rng=rng)
         encoded = self.encoder(Tensor(graph.features)).tanh()
         return self.extractor(encoded, graph, plan=plan)
+
+    def embed_batch(
+        self, graphs: list[CTDN], rng: np.random.Generator | None = None
+    ) -> Tensor:
+        """Batched variant: one encode + one fused extractor scan."""
+        mega = mega_plan(graphs, rng=rng)
+        if np.any(mega.member_edge_counts == 0):
+            raise ValueError("variant requires at least one temporal edge per graph")
+        encoded = self.encoder(Tensor(mega.features)).tanh()
+        return self.extractor.forward_mega(encoded, mega)
 
 
 class TPGNNTempVariant(GraphClassifierBase):
@@ -87,9 +100,18 @@ class TPGNNTempVariant(GraphClassifierBase):
         self.propagation = propagation
         self.readout = MeanReadout()
 
+    SUPPORTS_MEGABATCH = True
+
     def embed(self, graph: CTDN, rng: np.random.Generator | None = None) -> Tensor:
         """Mean-pool time-blind temporal-propagation embeddings."""
         return self.readout(self.propagation(graph, rng=rng))
+
+    def embed_batch(
+        self, graphs: list[CTDN], rng: np.random.Generator | None = None
+    ) -> Tensor:
+        """Batched variant: merged-wave propagation + segment-mean readout."""
+        mega = mega_plan(graphs, rng=rng)
+        return self.readout.forward_mega(self.propagation(mega), mega)
 
 
 class TPGNNTime2VecVariant(GraphClassifierBase):
@@ -110,9 +132,18 @@ class TPGNNTime2VecVariant(GraphClassifierBase):
         self.propagation = propagation
         self.readout = MeanReadout()
 
+    SUPPORTS_MEGABATCH = True
+
     def embed(self, graph: CTDN, rng: np.random.Generator | None = None) -> Tensor:
         """Mean-pool full temporal-propagation embeddings."""
         return self.readout(self.propagation(graph, rng=rng))
+
+    def embed_batch(
+        self, graphs: list[CTDN], rng: np.random.Generator | None = None
+    ) -> Tensor:
+        """Batched variant: merged-wave propagation + segment-mean readout."""
+        mega = mega_plan(graphs, rng=rng)
+        return self.readout.forward_mega(self.propagation(mega), mega)
 
 
 def make_ablation_variant(

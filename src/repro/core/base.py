@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.graph.ctdn import CTDN
 from repro.nn import Linear, Module
-from repro.tensor import Tensor
+from repro.tensor import Tensor, ops
 
 
 class MeanReadout(Module):
@@ -28,6 +28,16 @@ class MeanReadout(Module):
     def forward(self, node_embeddings: Tensor) -> Tensor:
         """Average node embeddings into a single graph vector."""
         return node_embeddings.mean(axis=0)
+
+    def forward_mega(self, node_embeddings: Tensor, mega) -> Tensor:
+        """Per-member mean pooling of a packed ``(Σn, k)`` matrix → ``(B, k)``.
+
+        One :func:`~repro.tensor.ops.segment_mean` over the mega-plan's
+        per-node member ids replaces ``B`` per-graph means.
+        """
+        return ops.segment_mean(
+            node_embeddings, mega.member_node_ids, mega.num_members
+        )
 
 
 class GraphClassifierBase(Module):
@@ -45,6 +55,12 @@ class GraphClassifierBase(Module):
         Generator for the classifier head initialisation.
     """
 
+    #: True when :meth:`embed_batch` packs a whole minibatch into one
+    #: block-diagonal mega-plan (see :mod:`repro.graph.megaplan`); the
+    #: trainer folds its accumulate-then-average loop into a single
+    #: batched forward/backward for such models.
+    SUPPORTS_MEGABATCH = False
+
     def __init__(self, embedding_dim: int, rng: np.random.Generator | None = None):
         super().__init__()
         self.embedding_dim = embedding_dim
@@ -53,6 +69,26 @@ class GraphClassifierBase(Module):
     def embed(self, graph: CTDN, rng: np.random.Generator | None = None) -> Tensor:
         """Return the graph embedding ``g`` (shape ``(embedding_dim,)``)."""
         raise NotImplementedError
+
+    def embed_batch(
+        self, graphs: list[CTDN], rng: np.random.Generator | None = None
+    ) -> Tensor:
+        """Graph embeddings of a minibatch — shape ``(B, embedding_dim)``.
+
+        Mega-batch-capable subclasses (``SUPPORTS_MEGABATCH = True``)
+        override this with a single block-diagonal pass equivalent to
+        ``B`` calls of :meth:`embed` (including rng-stream consumption,
+        so tie shuffling stays bit-compatible with the per-graph path).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement mega-batched embedding"
+        )
+
+    def forward_batch(
+        self, graphs: list[CTDN], rng: np.random.Generator | None = None
+    ) -> Tensor:
+        """Raw logits for a minibatch of graphs — shape ``(B,)``."""
+        return self.logits(self.embed_batch(graphs, rng=rng))
 
     def logit(self, embedding: Tensor) -> Tensor:
         """Classifier head on one graph embedding ``g`` — shape ``(1,)``.

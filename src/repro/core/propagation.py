@@ -55,6 +55,7 @@ import numpy as np
 
 from repro.graph.ctdn import CTDN
 from repro.graph.edge import TemporalEdge
+from repro.graph.megaplan import MegaPlan
 from repro.graph.plan import PropagationPlan
 from repro.nn import FeatureEncoder, GRUCell, Module, Time2Vec
 from repro.resilience.faults import inject
@@ -212,7 +213,7 @@ class TemporalPropagationBase(Module):
 
     def forward(
         self,
-        graph: CTDN,
+        graph: CTDN | MegaPlan,
         rng: np.random.Generator | None = None,
         plan: PropagationPlan | None = None,
         engine: str | None = None,
@@ -222,7 +223,10 @@ class TemporalPropagationBase(Module):
         Parameters
         ----------
         graph:
-            The dynamic network to embed.
+            The dynamic network to embed — or a
+            :class:`~repro.graph.megaplan.MegaPlan` packing a whole
+            minibatch, which dispatches to :meth:`forward_mega` and
+            returns the packed ``(Σn, k)`` matrix.
         rng:
             When given, edges sharing a timestamp are shuffled (the
             paper applies this during training).  Ignored when ``plan``
@@ -245,6 +249,8 @@ class TemporalPropagationBase(Module):
         sets :attr:`fallback`, logs a warning, and bumps the
         ``resilience/fallback_engine_activations`` telemetry counter.
         """
+        if isinstance(graph, MegaPlan):
+            return self.forward_mega(graph, engine=engine)
         engine = engine if engine is not None else self.engine
         if engine not in self.ENGINES:
             raise KeyError(f"unknown engine {engine!r}; choose from {self.ENGINES}")
@@ -271,6 +277,44 @@ class TemporalPropagationBase(Module):
                 self._activate_fallback("wave", error)
                 state = self.init_state(graph.features)
                 for edge in plan.edges():
+                    self.step(state, edge)
+        self.last_update_count = state.updates
+        return self.finalize(state)
+
+    def forward_mega(self, mega: MegaPlan, engine: str | None = None) -> Tensor:
+        """Node embeddings of a whole minibatch — one packed ``(Σn, k)`` matrix.
+
+        Executes the block-diagonal plan over one shared state matrix:
+        each merged wave is a single gather → update → scatter kernel
+        covering wave ``k`` of every member graph.  Members are
+        node-disjoint, so the result rows equal the per-graph
+        :meth:`forward` outputs exactly (slice with
+        :meth:`~repro.graph.megaplan.MegaPlan.member_node_slice`).
+
+        Mega-plan times are session-relative per member, so the state
+        runs with origin 0 — Time2Vec sees the same ``t - origin``
+        inputs as the per-graph path.  The wave-failure fallback replays
+        the merged order per edge, mirroring :meth:`forward`'s degraded
+        mode.
+        """
+        engine = engine if engine is not None else self.engine
+        if engine not in self.ENGINES:
+            raise KeyError(f"unknown engine {engine!r}; choose from {self.ENGINES}")
+        self.fallback = False
+        state = self.init_state(mega.features)
+        state.origin = 0.0
+        if engine == "per-edge":
+            for edge in mega.edges():
+                self.step(state, edge)
+        else:
+            try:
+                inject("propagation.wave")
+                self._run_waves(state, mega)
+            except Exception as error:
+                self._activate_fallback("wave", error)
+                state = self.init_state(mega.features)
+                state.origin = 0.0
+                for edge in mega.edges():
                     self.step(state, edge)
         self.last_update_count = state.updates
         return self.finalize(state)

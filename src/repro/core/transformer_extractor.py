@@ -110,6 +110,21 @@ class GlobalTemporalTransformer(Module):
         encoded = self.norm2(attended + self.ffn2(ops.relu(self.ffn1(attended))))
         return encoded.mean(axis=0)
 
+    def forward_mega(self, node_embeddings: Tensor, mega) -> Tensor:
+        """Graph embeddings of a mega-batched minibatch — ``(B, hidden_size)``.
+
+        Attention mixes every position of a sequence, so members are
+        encoded one at a time over their node-row slice of the packed
+        matrix (each member's plan holds local node ids, matching the
+        slice); the expensive merged-wave propagation pass is still
+        shared across the batch.
+        """
+        rows = []
+        for b, plan in enumerate(mega.member_plans):
+            member_rows = node_embeddings[mega.member_node_slice(b)]
+            rows.append(self.forward(member_rows, None, plan=plan))
+        return ops.stack(rows, axis=0)
+
 
 def make_tpgnn_with_extractor(
     in_features: int,

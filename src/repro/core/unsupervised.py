@@ -27,9 +27,10 @@ import numpy as np
 from repro.core.extractor import GlobalTemporalExtractor
 from repro.core.propagation import TemporalPropagationGRU, TemporalPropagationSum
 from repro.graph.ctdn import CTDN
+from repro.graph.megaplan import mega_plan
 from repro.nn import Linear, Module
 from repro.optim import Adam, clip_grad_norm
-from repro.tensor import Tensor, no_grad
+from repro.tensor import Tensor, no_grad, ops
 
 
 class UnsupervisedTPGNN(Module):
@@ -102,6 +103,42 @@ class UnsupervisedTPGNN(Module):
         target = sequence[1:].detach()
         difference = predicted - target
         return (difference * difference).mean()
+
+    def prediction_loss_batch(
+        self, graphs: list[CTDN], rng: np.random.Generator | None = None
+    ) -> Tensor:
+        """Per-graph pretext losses for a minibatch — shape ``(B,)``.
+
+        One mega-batched propagation pass and one fused GRU scan over
+        the end-padded edge grid replace ``B`` :meth:`prediction_loss`
+        calls; entry ``b`` equals ``prediction_loss(graphs[b])`` to
+        machine precision (single-edge members score 0, as per graph).
+        """
+        mega = mega_plan(graphs, rng=rng)
+        if np.any(mega.member_edge_counts == 0):
+            raise ValueError("cannot score a graph with no edges")
+        node_embeddings = self.propagation(mega)
+        sequence = self.extractor._edge_matrix(
+            node_embeddings, mega.chrono_src, mega.chrono_dst
+        )
+        index, lengths = mega.padded_sequence_index()
+        steps = int(lengths.max())
+        grid = ops.index_rows(sequence, index).reshape(
+            steps, mega.num_members, sequence.shape[1]
+        )
+        states, _ = self.extractor.gru(grid)
+        losses = []
+        for b in range(mega.num_members):
+            m = int(lengths[b])
+            if m < 2:
+                losses.append(Tensor(np.zeros(1), requires_grad=False).sum())
+                continue
+            predicted = self.predictor(states[(slice(0, m - 1), b)])
+            start = int(mega.edge_offsets[b])
+            target = sequence[start + 1 : start + m].detach()
+            difference = predicted - target
+            losses.append((difference * difference).mean())
+        return ops.stack(losses, axis=0)
 
     # ------------------------------------------------------------------
     # Fit / score / predict

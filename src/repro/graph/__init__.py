@@ -4,6 +4,7 @@ from repro.graph.edge import TemporalEdge
 from repro.graph.store import EdgeView, EventStore
 from repro.graph.ctdn import CTDN
 from repro.graph.plan import PropagationPlan
+from repro.graph.megaplan import BatchLayout, MegaPlan, MegaPlanCache, mega_plan
 from repro.graph.dataset import DatasetStatistics, GraphDataset
 from repro.graph.io import iter_dataset_chunks, load_dataset, save_dataset
 from repro.graph.static import (
@@ -31,6 +32,10 @@ __all__ = [
     "EdgeView",
     "CTDN",
     "PropagationPlan",
+    "BatchLayout",
+    "MegaPlan",
+    "MegaPlanCache",
+    "mega_plan",
     "GraphDataset",
     "DatasetStatistics",
     "save_dataset",

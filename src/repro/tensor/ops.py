@@ -466,6 +466,29 @@ def segment_sum(a: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor
     return Tensor.from_op(out, (a,), backward)
 
 
+def segment_mean(a: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Mean of the rows of ``a`` per segment (empty segments stay zero).
+
+    The batched counterpart of per-graph ``rows.mean(axis=0)``: the
+    mega-batched readout pools every member's node rows with one call
+    using the per-graph segment ids.  Backward gathers the upstream row
+    gradient scaled by ``1 / segment_size``.
+    """
+    ids = np.asarray(segment_ids, dtype=np.int64)
+    counts = np.bincount(ids, minlength=num_segments).astype(np.float64)
+    scale = (1.0 / np.maximum(counts, 1.0)).reshape(
+        (num_segments,) + (1,) * (a.data.ndim - 1)
+    )
+    out = np.zeros((num_segments,) + a.shape[1:], dtype=a.data.dtype)
+    np.add.at(out, ids, a.data)
+    out *= scale
+
+    def backward(grad):
+        return ((grad * scale)[ids],)
+
+    return Tensor.from_op(out, (a,), backward)
+
+
 def gru_sequence(
     sequence: Tensor,
     h0: Tensor,

@@ -59,6 +59,14 @@ class TrainConfig:
     online path then equals offline inference exactly).  They are unused
     by offline :func:`train_model` but participate in the trial-cache
     key like every other hyperparameter.
+
+    ``megabatch`` selects the mega-batched training path for models
+    that support it (``SUPPORTS_MEGABATCH``): each minibatch is packed
+    into one block-diagonal plan (:mod:`repro.graph.megaplan`) and
+    trained as a single batched forward/backward instead of
+    ``batch_size`` accumulated per-graph passes.  The two paths match
+    to 1e-9 in final weights (property-tested); set ``False`` to force
+    the per-graph reference loop.
     """
 
     epochs: int = 10
@@ -70,6 +78,7 @@ class TrainConfig:
     seed: int = 0
     replay_buffer: int = 256
     online_update_every: int = 0
+    megabatch: bool = True
 
 
 @dataclass
@@ -176,9 +185,19 @@ def train_model(
     epoch, reproducing the uninterrupted trajectory bit-for-bit.
 
     When telemetry is enabled (see :func:`repro.telemetry.capture`),
-    the loop emits ``train/epoch/batch/forward|backward`` spans and
-    records per-batch loss and per-step gradient-norm histograms; when
-    disabled (the default) the instrumentation is a near-free no-op.
+    the loop emits ``train/epoch/batch/forward|backward`` spans (or
+    ``train/epoch/megabatch/...`` on the mega-batched path) and records
+    per-batch loss and per-step gradient-norm histograms; when disabled
+    (the default) the instrumentation is a near-free no-op.
+
+    Mega-batching: when ``config.megabatch`` is set and the model
+    declares ``SUPPORTS_MEGABATCH``, each minibatch trains as ONE
+    block-diagonal forward/backward (see :mod:`repro.graph.megaplan`)
+    — ``bce_with_logits`` over the ``(B,)`` logits already averages
+    over the batch, which is exactly the accumulate-then-divide scale
+    of the per-graph loop, and the rng stream (graph shuffle + per-member
+    tie shuffles) is consumed identically, so checkpoints and final
+    weights stay compatible between the two paths.
     """
     if checkpoint_every < 1:
         raise ValueError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
@@ -188,7 +207,9 @@ def train_model(
     if checkpoint_path is not None and Path(checkpoint_path).exists():
         result = load_train_state(checkpoint_path, model, optimizer, config, rng)
     model.train()
+    use_mega = config.megabatch and getattr(model, "SUPPORTS_MEGABATCH", False)
     instrumented = telemetry.enabled()
+    loss_hist = grad_hist = None
     if instrumented:
         registry = telemetry.get_registry()
         loss_hist = registry.histogram("train/batch_loss")
@@ -207,55 +228,19 @@ def train_model(
                     if config.shuffle_graphs
                     else np.arange(len(train_data))
                 )
-                epoch_loss = 0.0
-                pending = 0
-                optimizer.zero_grad()
-                for position, index in enumerate(indices):
-                    with telemetry.span("batch"):
-                        graph = train_data[int(index)]
-                        tie_rng = rng if config.shuffle_ties else None
-                        with telemetry.span("forward"):
-                            logit = model(graph, rng=tie_rng)
-                            loss = bce_with_logits(
-                                logit, np.array([float(graph.label)])
-                            )
-                        with telemetry.span("backward"):
-                            loss.backward()
-                        # Chaos hook: "nan"/"inf" plans poison gradients
-                        # here; the non-finite-norm guard below must then
-                        # skip the batch instead of stepping the poison
-                        # into the Adam moments.
-                        inject(
-                            "train.gradients",
-                            context=lambda: [
-                                param.grad
-                                for param in model.parameters()
-                                if param.grad is not None
-                            ],
-                        )
-                        batch_loss = loss.item()
-                        epoch_loss += batch_loss
-                        if instrumented:
-                            loss_hist.record(batch_loss)
-                        pending += 1
-                        last = position == len(indices) - 1
-                        if pending >= config.batch_size or last:
-                            with telemetry.span("optimizer_step"):
-                                if pending > 1:
-                                    for param in model.parameters():
-                                        if param.grad is not None:
-                                            param.grad /= pending
-                                norm = clip_grad_norm(
-                                    model.parameters(), config.grad_clip
-                                )
-                                if np.isfinite(norm):
-                                    optimizer.step()
-                                else:
-                                    result.nonfinite_batches += 1
-                                optimizer.zero_grad()
-                            if instrumented and np.isfinite(norm):
-                                grad_hist.record(float(norm))
-                            pending = 0
+                tie_rng = rng if config.shuffle_ties else None
+                epoch_fn = _megabatch_epoch if use_mega else _pergraph_epoch
+                epoch_loss = epoch_fn(
+                    model,
+                    train_data,
+                    config,
+                    indices,
+                    tie_rng,
+                    optimizer,
+                    result,
+                    loss_hist,
+                    grad_hist,
+                )
                 result.losses.append(epoch_loss / max(1, len(indices)))
                 result.epochs_run += 1
                 if instrumented:
@@ -273,6 +258,150 @@ def train_model(
                     )
     result.train_seconds += time.perf_counter() - start
     return result
+
+
+def _pergraph_epoch(
+    model: GraphClassifierBase,
+    train_data: GraphDataset,
+    config: TrainConfig,
+    indices: np.ndarray,
+    tie_rng: np.random.Generator | None,
+    optimizer: Adam,
+    result: TrainResult,
+    loss_hist,
+    grad_hist,
+) -> float:
+    """One epoch of the reference loop: accumulate-then-average minibatches.
+
+    Every model supports this path; it is also the semantics the
+    mega-batched path must reproduce (to 1e-9) and the fallback for
+    models without ``SUPPORTS_MEGABATCH``.
+    """
+    epoch_loss = 0.0
+    pending = 0
+    optimizer.zero_grad()
+    for position, index in enumerate(indices):
+        with telemetry.span("batch"):
+            graph = train_data[int(index)]
+            with telemetry.span("forward"):
+                logit = model(graph, rng=tie_rng)
+                loss = bce_with_logits(
+                    logit, np.array([float(graph.label)])
+                )
+            with telemetry.span("backward"):
+                loss.backward()
+            # Chaos hook: "nan"/"inf" plans poison gradients
+            # here; the non-finite-norm guard below must then
+            # skip the batch instead of stepping the poison
+            # into the Adam moments.
+            inject(
+                "train.gradients",
+                context=lambda: [
+                    param.grad
+                    for param in model.parameters()
+                    if param.grad is not None
+                ],
+            )
+            batch_loss = loss.item()
+            epoch_loss += batch_loss
+            if loss_hist is not None:
+                loss_hist.record(batch_loss)
+            pending += 1
+            last = position == len(indices) - 1
+            if pending >= config.batch_size or last:
+                with telemetry.span("optimizer_step"):
+                    if pending > 1:
+                        for param in model.parameters():
+                            if param.grad is not None:
+                                param.grad /= pending
+                    norm = clip_grad_norm(
+                        model.parameters(), config.grad_clip
+                    )
+                    if np.isfinite(norm):
+                        optimizer.step()
+                    else:
+                        result.nonfinite_batches += 1
+                    optimizer.zero_grad()
+                if grad_hist is not None and np.isfinite(norm):
+                    grad_hist.record(float(norm))
+                pending = 0
+    return epoch_loss
+
+
+def _megabatch_epoch(
+    model: GraphClassifierBase,
+    train_data: GraphDataset,
+    config: TrainConfig,
+    indices: np.ndarray,
+    tie_rng: np.random.Generator | None,
+    optimizer: Adam,
+    result: TrainResult,
+    loss_hist,
+    grad_hist,
+) -> float:
+    """One epoch of mega-batched training: one forward/backward per minibatch.
+
+    Each chunk of ``batch_size`` graphs (the same chunks the per-graph
+    loop's accumulation boundaries produce) is packed into a
+    block-diagonal mega-plan and trained as a single batched kernel
+    sequence.  ``bce_with_logits`` over the ``(B,)`` logits is the mean
+    over the batch — exactly the explicit ``grad /= pending`` scale of
+    the accumulation path — and tie shuffling consumes ``tie_rng``
+    member by member in batch order, keeping the rng stream
+    bit-identical to the per-graph loop.
+    """
+    epoch_loss = 0.0
+    optimizer.zero_grad()
+    for chunk_start in range(0, len(indices), config.batch_size):
+        chunk = indices[chunk_start : chunk_start + config.batch_size]
+        batch = [train_data[int(index)] for index in chunk]
+        with telemetry.span("megabatch"):
+            with telemetry.span("forward"):
+                logits = model.forward_batch(batch, rng=tie_rng)
+                targets = np.array([float(graph.label) for graph in batch])
+                loss = bce_with_logits(logits, targets)
+            with telemetry.span("backward"):
+                loss.backward()
+            # Chaos hook: same injection point (and per-batch call
+            # cadence) as the per-graph loop, so existing fault plans
+            # poison mega-batched gradients identically.
+            inject(
+                "train.gradients",
+                context=lambda: [
+                    param.grad
+                    for param in model.parameters()
+                    if param.grad is not None
+                ],
+            )
+            graph_losses = _per_example_bce(np.asarray(logits.data), targets)
+            epoch_loss += float(graph_losses.sum())
+            if loss_hist is not None:
+                for value in graph_losses:
+                    loss_hist.record(float(value))
+            with telemetry.span("optimizer_step"):
+                norm = clip_grad_norm(model.parameters(), config.grad_clip)
+                if np.isfinite(norm):
+                    optimizer.step()
+                else:
+                    result.nonfinite_batches += 1
+                optimizer.zero_grad()
+            if grad_hist is not None and np.isfinite(norm):
+                grad_hist.record(float(norm))
+    return epoch_loss
+
+
+def _per_example_bce(logits: np.ndarray, targets: np.ndarray) -> np.ndarray:
+    """Per-graph BCE values — raw-array mirror of :func:`bce_with_logits`.
+
+    The mega-batched loss is the batch mean; epoch-loss accounting and
+    the per-batch loss histogram still need the per-graph terms, so
+    they are recomputed off-tape with the same stable formula.
+    """
+    return (
+        np.maximum(logits, 0.0)
+        - logits * targets
+        + np.log(1.0 + np.exp(-np.abs(logits)))
+    )
 
 
 def evaluate(model: GraphClassifierBase, data: GraphDataset, threshold: float = 0.5) -> Metrics:

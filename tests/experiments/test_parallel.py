@@ -145,9 +145,16 @@ class TestCacheKey:
     def test_version_bumped_for_online_fields(self):
         # TrainConfig grew replay_buffer / online_update_every in
         # trial-v3; keys minted under the previous version must miss.
-        assert CODE_VERSION == "trial-v3"
         spec = make_spec()
         assert trial_cache_key(spec, version="trial-v2") != trial_cache_key(spec)
+
+    def test_version_bumped_for_megabatch_training(self):
+        # trial-v4 switched the training loop to mega-batched
+        # forward/backward passes; cells minted under trial-v3 (per-graph
+        # accumulation) must not be reused.
+        assert CODE_VERSION == "trial-v4"
+        spec = make_spec()
+        assert trial_cache_key(spec, version="trial-v3") != trial_cache_key(spec)
 
     def test_specs_follow_serial_seed_protocol(self):
         specs = trial_specs("GCN", "HDFS", TINY)

@@ -61,6 +61,30 @@ class TestWavePartition:
         assert plan.num_waves == 0
         assert list(plan.waves()) == []
 
+    def test_empty_store_produces_valid_empty_schedule(self):
+        # Regression: zero-edge stores must build a plan whose wave
+        # bounds are well-formed (no negative-size waves, no IndexError).
+        from repro.graph.store import EventStore
+
+        plan = PropagationPlan.from_store(EventStore.empty(3))
+        assert plan.num_edges == 0
+        assert plan.num_waves == 0
+        assert list(plan.waves()) == []
+        assert plan.wave_bounds.shape == (1,)
+        # Tie shuffling an empty plan is a no-op, not a crash.
+        shuffled = plan.tie_shuffled(np.random.default_rng(0))
+        assert shuffled.num_edges == 0
+
+    def test_single_node_edgeless_graph_plans(self):
+        # Regression: 1-node graphs with no events appear as ragged
+        # minibatch members; their plan must be a valid empty schedule.
+        g = CTDN(1, np.ones((1, 4)), [])
+        plan = g.propagation_plan()
+        assert plan.num_edges == 0
+        assert plan.num_waves == 0
+        rng_plan = g.propagation_plan(rng=np.random.default_rng(1))
+        assert rng_plan.num_edges == 0
+
     def test_times_sorted_and_order_matches_edges_sorted(self):
         edges = [(0, 1, 3.0), (1, 2, 1.0), (2, 3, 2.0), (3, 4, 1.0)]
         g = CTDN(5, np.eye(5), edges)
