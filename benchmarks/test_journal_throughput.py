@@ -1,0 +1,117 @@
+"""Journal overhead benchmark: write-ahead durability must stay cheap.
+
+The point of :mod:`repro.resilience.journal`: the ``interval`` fsync
+policy buys crash recovery (survives process death; power-loss exposure
+bounded by the fsync clock) for a bounded ingest tax.  Over an
+identical seeded feed, a journaled :class:`StreamingEngine` must stay
+within 15% of the bare engine's throughput; the measured overhead is
+merged into ``BENCH_serve.json`` next to the loadtest report.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from time import perf_counter
+
+import pytest
+
+from benchmarks.conftest import print_block
+from repro.cluster import LoadtestConfig, build_model, generate_feed
+from repro.resilience import Journal
+from repro.serve import StreamingEngine
+
+# The benchmark suite regenerates full tables/figures (minutes at
+# smoke scale); `pytest -m "not slow"` skips it for the fast loop.
+pytestmark = pytest.mark.slow
+
+MAX_OVERHEAD = 0.15  # journaled ingest may cost at most 15% at `interval`
+BEST_OF = 3
+BENCH_PATH = Path("BENCH_serve.json")
+
+
+def ingest_seconds(model, feed, journal=None) -> float:
+    engine = StreamingEngine(model, max_sessions=4096, journal=journal)
+    start = perf_counter()
+    for event in feed:
+        engine.ingest(event)
+    engine.flush()
+    elapsed = perf_counter() - start
+    assert engine.metrics.events_applied == len(feed)
+    return elapsed
+
+
+def record_bench(section: dict) -> None:
+    payload = {}
+    if BENCH_PATH.exists():
+        try:
+            payload = json.loads(BENCH_PATH.read_text())
+        except (json.JSONDecodeError, OSError):
+            payload = {}
+    payload["journal"] = section
+    BENCH_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+class TestJournalThroughput:
+    def test_interval_fsync_overhead_within_budget(self, tmp_path):
+        config = LoadtestConfig(sessions=400, events=8000, seed=0)
+        model = build_model(config)
+        feed = generate_feed(config)
+
+        bare = journaled = float("inf")
+        for attempt in range(BEST_OF):
+            bare = min(bare, ingest_seconds(model, feed))
+            with Journal(
+                tmp_path / f"wal-{attempt}", fsync="interval"
+            ) as journal:
+                journaled = min(journaled, ingest_seconds(model, feed, journal))
+
+        overhead = journaled / bare - 1.0
+        bare_eps = len(feed) / bare
+        journaled_eps = len(feed) / journaled
+        record_bench({
+            "events": len(feed),
+            "fsync": "interval",
+            "bare_events_per_sec": bare_eps,
+            "journaled_events_per_sec": journaled_eps,
+            "overhead_fraction": overhead,
+            "budget_fraction": MAX_OVERHEAD,
+        })
+        print_block(
+            f"write-ahead journal overhead, {len(feed)} events, "
+            f"fsync=interval (best of {BEST_OF})\n"
+            f"  bare engine       {bare_eps:10.0f} events/sec\n"
+            f"  journaled         {journaled_eps:10.0f} events/sec\n"
+            f"  overhead          {100 * overhead:9.1f}% "
+            f"(budget <= {100 * MAX_OVERHEAD:.0f}%)"
+        )
+        assert overhead <= MAX_OVERHEAD, (
+            f"journaled ingest {100 * overhead:.1f}% over the bare engine "
+            f"(budget {100 * MAX_OVERHEAD:.0f}%)"
+        )
+
+    def test_fsync_policy_cost_ordering(self, tmp_path):
+        # Sanity on the durability tiers: `off` must never be slower
+        # than `always` (if it is, the policy plumbing is broken).
+        config = LoadtestConfig(sessions=200, events=3000, seed=1)
+        model = build_model(config)
+        feed = generate_feed(config)
+        costs = {}
+        for policy in ("off", "interval", "always"):
+            best = float("inf")
+            for attempt in range(BEST_OF):
+                with Journal(
+                    tmp_path / f"{policy}-{attempt}", fsync=policy
+                ) as journal:
+                    best = min(best, ingest_seconds(model, feed, journal))
+            costs[policy] = best
+        print_block(
+            "fsync policy cost over {n} events (best of {b})\n".format(
+                n=len(feed), b=BEST_OF
+            )
+            + "\n".join(
+                f"  {policy:<10} {len(feed) / seconds:10.0f} events/sec"
+                for policy, seconds in costs.items()
+            )
+        )
+        assert costs["off"] <= costs["always"] * 1.05

@@ -17,6 +17,8 @@ Usage::
     python -m repro.cli loadtest --shards 4 --sessions 1000 --events 20000
     python -m repro.cli chaos   --quick
     python -m repro.cli drift   --policy fine-tune
+    python -m repro.cli serve   --journal wal/ --save-state state.npz
+    python -m repro.cli recover --journal wal/ --checkpoint state.npz
 
 Every experiment command prints the same text tables/figures the
 benchmarks emit, at the chosen preset (override individual knobs with
@@ -37,7 +39,11 @@ ingest/predict latency to ``BENCH_serve.json``.  ``drift`` runs the
 seeded concept-drift scenario suite through the continual-learning
 path (prequential test-then-train + drift detection + adaptation) and
 records the detection-delay / recovery-AUC table to
-``BENCH_drift.json``.
+``BENCH_drift.json``.  ``serve --journal`` writes every accepted event
+to a segmented CRC-checked write-ahead journal before applying it, and
+``recover`` rebuilds the serving state after a crash from the last
+checkpoint plus the journal tail, reporting any torn or corrupt
+records it had to skip (exit status 1 when the replay had gaps).
 """
 
 from __future__ import annotations
@@ -206,6 +212,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="JSONL destination ('-' = stdout)")
     serve.add_argument("--save-state", dest="save_state",
                        help="write a serving-state checkpoint here after the replay")
+    serve.add_argument("--journal", metavar="DIR",
+                       help="append every accepted event to a write-ahead "
+                            "journal in this directory (see 'repro recover')")
+    serve.add_argument("--journal-fsync", dest="journal_fsync",
+                       choices=("always", "interval", "off"), default="interval",
+                       help="journal durability policy: fsync per record, on "
+                            "a short timer, or only at rotation/close")
 
     profile = add_command(
         "profile",
@@ -274,6 +287,13 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument("--no-baseline", dest="no_baseline",
                           action="store_true",
                           help="skip the single-engine comparison phase")
+    loadtest.add_argument("--journal", metavar="DIR",
+                          help="give every shard a write-ahead journal under "
+                               "this directory (measures journaled ingest)")
+    loadtest.add_argument("--journal-fsync", dest="journal_fsync",
+                          choices=("always", "interval", "off"),
+                          default="interval",
+                          help="journal durability policy when --journal is set")
     loadtest.add_argument("--output", default="BENCH_serve.json",
                           help="where to record the JSON report")
 
@@ -345,6 +365,36 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run only these scenarios (see --list)")
     chaos.add_argument("--list", dest="list_scenarios", action="store_true",
                        help="list scenarios and exit")
+
+    recover = add_command(
+        "recover",
+        "rebuild serving state from a checkpoint plus the write-ahead "
+        "journal tail, and print the recovery report",
+    )
+    recover.add_argument("--journal", required=True, metavar="DIR",
+                         help="journal directory written by 'repro serve --journal'")
+    recover.add_argument("--checkpoint", metavar="NPZ",
+                         help="serving-state checkpoint to anchor the replay "
+                              "(default: replay the whole journal into a "
+                              "fresh engine)")
+    recover.add_argument("--updater", choices=("sum", "gru"), default="sum",
+                         help="model architecture (must match the journaled run)")
+    recover.add_argument("--feature-dim", dest="feature_dim", type=int, default=4)
+    recover.add_argument("--hidden-size", dest="hidden_size", type=int, default=32)
+    recover.add_argument("--time-dim", dest="time_dim", type=int, default=6)
+    recover.add_argument("--seed", type=int, default=0)
+    recover.add_argument("--out-of-order", dest="out_of_order",
+                         choices=("drop", "raise", "buffer"), default="drop",
+                         help="engine policy when recovering without a checkpoint")
+    recover.add_argument("--strict", action="store_true",
+                         help="fail instead of skipping quarantined corrupt "
+                              "journal records")
+    recover.add_argument("--allow-version-mismatch", dest="allow_version_mismatch",
+                         action="store_true",
+                         help="load a checkpoint written by a different code "
+                              "version anyway")
+    recover.add_argument("--save-state", dest="save_state", metavar="NPZ",
+                         help="write the recovered serving state here")
     return parser
 
 
@@ -529,6 +579,16 @@ def _run_serve(args) -> None:
             record["evicted"] = True
         return record
 
+    journal = None
+    if args.journal:
+        from repro.resilience import Journal
+
+        journal = Journal(args.journal, fsync=args.journal_fsync)
+        print(
+            f"journaling accepted events to {args.journal} "
+            f"(fsync={args.journal_fsync})",
+            file=sys.stderr,
+        )
     engine = StreamingEngine(
         model,
         max_sessions=args.max_sessions,
@@ -537,6 +597,7 @@ def _run_serve(args) -> None:
         on_evict=lambda sid, state: emit(
             session_record(sid, state, engine, final=True, evicted=True)
         ),
+        journal=journal,
     )
 
     rng = np.random.default_rng(args.seed) if args.spread > 0 else None
@@ -574,6 +635,14 @@ def _run_serve(args) -> None:
     if args.save_state:
         path = engine.checkpoint(args.save_state)
         print(f"serving state written to {path}", file=sys.stderr)
+    if journal is not None:
+        stats = journal.stats()
+        journal.close()
+        print(
+            f"journal: seq {stats['last_seq']} across {stats['segments']} "
+            f"segment(s), {stats['bytes']} bytes on disk",
+            file=sys.stderr,
+        )
     print(engine.metrics.render(), file=sys.stderr)
     print(f"{emitted} JSONL records emitted", file=sys.stderr)
     if sink is not sys.stdout:
@@ -663,6 +732,8 @@ def _run_loadtest(args) -> int:
         batch_size=args.batch_size,
         fast_apply=not args.no_fast_apply,
         baseline=not args.no_baseline,
+        journal_dir=args.journal,
+        journal_fsync=args.journal_fsync,
     )
     report = run_loadtest(
         config, log=lambda message: print(message, file=sys.stderr)
@@ -671,6 +742,42 @@ def _run_loadtest(args) -> int:
     path = write_bench(report, args.output)
     print(f"report recorded to {path}", file=sys.stderr)
     return 0
+
+
+def _run_recover(args) -> int:
+    from repro.core import TPGNN
+    from repro.resilience.errors import CheckpointVersionError, IntegrityError
+    from repro.serve import recover_engine
+
+    model = TPGNN(
+        in_features=args.feature_dim,
+        updater=args.updater,
+        hidden_size=args.hidden_size,
+        time_dim=args.time_dim,
+        seed=args.seed,
+    )
+    model.eval()
+    try:
+        engine, report = recover_engine(
+            args.journal,
+            model,
+            checkpoint=args.checkpoint,
+            engine_config={"out_of_order": args.out_of_order},
+            strict=args.strict,
+            allow_version_mismatch=args.allow_version_mismatch,
+        )
+    except CheckpointVersionError as error:
+        print(f"recover: {error}", file=sys.stderr)
+        return 2
+    except IntegrityError as error:
+        print(f"recover: {error}", file=sys.stderr)
+        return 1
+    print(report.render())
+    print(f"{len(engine.live_sessions())} live sessions recovered")
+    if args.save_state:
+        path = engine.checkpoint(args.save_state)
+        print(f"recovered serving state written to {path}", file=sys.stderr)
+    return 1 if report.gaps else 0
 
 
 def _run_dataset(args) -> int:
@@ -774,7 +881,7 @@ def main(argv: list[str] | None = None) -> int:
         _config_from_args(args)
         if args.command
         not in ("bench", "train", "serve", "profile", "chaos", "loadtest",
-                "dataset", "drift")
+                "dataset", "drift", "recover")
         else None
     )
 
@@ -815,6 +922,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_drift(args)
     elif args.command == "dataset":
         return _run_dataset(args)
+    elif args.command == "recover":
+        return _run_recover(args)
     return 0
 
 

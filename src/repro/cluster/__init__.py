@@ -14,6 +14,8 @@ a consistent-hash front-end:
 * :mod:`repro.cluster.cluster` — the front-end, live session migration
   (:meth:`~repro.cluster.cluster.ShardedCluster.rebalance`) and
   per-session quarantine;
+* :mod:`repro.cluster.supervisor` — heartbeat liveness sweeps and
+  automatic respawn of dead shards from snapshot + write-ahead journal;
 * :mod:`repro.cluster.metrics` — cluster telemetry in the shared
   :class:`~repro.telemetry.MetricRegistry`;
 * :mod:`repro.cluster.loadgen` — the ``repro loadtest`` SLO harness
@@ -38,6 +40,7 @@ from repro.cluster.queues import (
     ShardQueueFullError,
 )
 from repro.cluster.ring import HashRing, stable_hash
+from repro.cluster.supervisor import RespawnReport, ShardSupervisor, SweepReport
 from repro.cluster.worker import BACKENDS, ShardWorker
 
 __all__ = [
@@ -51,9 +54,12 @@ __all__ = [
     "LoadtestConfig",
     "LoadtestReport",
     "RebalanceReport",
+    "RespawnReport",
     "ShardQueueFullError",
+    "ShardSupervisor",
     "ShardWorker",
     "ShardedCluster",
+    "SweepReport",
     "build_model",
     "generate_feed",
     "run_loadtest",

@@ -28,6 +28,7 @@ taking down the cluster (chaos-tested by the ``shard-kill`` scenario).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from time import perf_counter
 from typing import Iterable, Sequence
 
@@ -40,6 +41,7 @@ from repro.cluster.worker import ShardWorker
 from repro.core.model import TPGNN
 from repro.resilience.breaker import CircuitBreaker
 from repro.resilience.faults import inject
+from repro.resilience.journal import FSYNC_POLICIES, Journal
 from repro.resilience.retry import RetryPolicy
 from repro.serve.engine import StreamingEngine
 from repro.serve.events import StreamEvent
@@ -99,6 +101,16 @@ class ShardedCluster:
     migration_retry:
         :class:`RetryPolicy` for the adopt step of a migration;
         failures that survive the retries quarantine the session.
+    journal_dir:
+        Root directory for per-shard write-ahead journals.  Each shard
+        appends its accepted events to ``<journal_dir>/shard-<id>``
+        before applying them, and learner observations go to
+        ``<journal_dir>/learner`` — the durable stream a
+        :class:`~repro.cluster.supervisor.ShardSupervisor` replays to
+        respawn a dead shard.  ``None`` (default) disables journaling.
+    journal_fsync:
+        Fsync policy of every journal
+        (:data:`~repro.resilience.journal.FSYNC_POLICIES`).
     """
 
     def __init__(
@@ -120,9 +132,15 @@ class ShardedCluster:
         fast_apply: bool = True,
         replicas: int = 64,
         migration_retry: RetryPolicy | None = RetryPolicy(attempts=2),
+        journal_dir: str | Path | None = None,
+        journal_fsync: str = "interval",
     ):
         if n_shards < 1:
             raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if journal_fsync not in FSYNC_POLICIES:
+            raise ValueError(
+                f"journal_fsync must be one of {FSYNC_POLICIES}, got {journal_fsync!r}"
+            )
         if backend not in BACKENDS:
             raise ValueError(
                 f"unknown backend {backend!r}; choose from {BACKENDS}"
@@ -135,6 +153,9 @@ class ShardedCluster:
         self.model = model
         self.backend = backend
         self.learner = None
+        self.journal_dir = None if journal_dir is None else Path(journal_dir)
+        self.journal_fsync = journal_fsync
+        self.learner_journal: Journal | None = None
         self.metrics = ClusterMetrics(registry)
         self.ring = HashRing(replicas=replicas)
         self.quarantined: dict[str, str] = {}
@@ -171,13 +192,28 @@ class ShardedCluster:
     # ------------------------------------------------------------------
     # Topology
     # ------------------------------------------------------------------
+    def shard_journal_dir(self, shard_id: int) -> Path:
+        """Journal directory of one shard (requires ``journal_dir``)."""
+        if self.journal_dir is None:
+            raise ValueError("cluster was built without journal_dir")
+        return self.journal_dir / f"shard-{shard_id}"
+
     def _build_worker(self, shard_id: int) -> ShardWorker:
         breaker = (
             None
             if self._breaker_config is None
             else CircuitBreaker(**self._breaker_config)
         )
-        engine = StreamingEngine(self.model, breaker=breaker, **self._engine_config)
+        journal = None
+        if self.journal_dir is not None:
+            journal = Journal(
+                self.shard_journal_dir(shard_id),
+                fsync=self.journal_fsync,
+                registry=self.metrics.registry,
+            )
+        engine = StreamingEngine(
+            self.model, breaker=breaker, journal=journal, **self._engine_config
+        )
         return ShardWorker(shard_id, engine, self.metrics, **self._worker_config)
 
     def add_shard(self) -> int:
@@ -314,6 +350,12 @@ class ShardedCluster:
                 "learner must wrap the same model object the cluster serves"
             )
         self.learner = learner
+        if self.journal_dir is not None and self.learner_journal is None:
+            self.learner_journal = Journal(
+                self.journal_dir / "learner",
+                fsync=self.journal_fsync,
+                registry=self.metrics.registry,
+            )
 
     def observe_example(self, graph) -> float:
         """Prequential test-then-train on one completed labelled session.
@@ -325,6 +367,11 @@ class ShardedCluster:
         if self.learner is None:
             raise ValueError("no learner attached (call attach_learner first)")
         self.barrier()
+        if self.learner_journal is not None:
+            # Write-ahead for the learner too: a crash mid-update
+            # replays the observation and reconstructs the exact
+            # post-update weights/moments/buffer/RNG.
+            self.learner_journal.append_observation(graph)
         return self.learner.observe(graph)
 
     # ------------------------------------------------------------------
@@ -431,6 +478,8 @@ class ShardedCluster:
         self._closed = True
         for worker in self._shards.values():
             worker.close()
+        if self.learner_journal is not None:
+            self.learner_journal.close()
 
     def __enter__(self) -> "ShardedCluster":
         return self

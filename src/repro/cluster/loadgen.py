@@ -59,6 +59,8 @@ class LoadtestConfig:
     batch_size: int = 64
     fast_apply: bool = True
     baseline: bool = True  # also run the single-engine comparison
+    journal_dir: str | None = None  # per-shard write-ahead journals live here
+    journal_fsync: str = "interval"  # fsync policy when journaling
 
     def __post_init__(self):
         if self.sessions < 1 or self.events < 1:
@@ -220,6 +222,8 @@ def run_loadtest(
         batch_size=config.batch_size,
         max_sessions=config.sessions,
         fast_apply=config.fast_apply,
+        journal_dir=config.journal_dir,
+        journal_fsync=config.journal_fsync,
     )
     rebalance_index = (
         int(len(feed) * config.rebalance_at) if config.rebalance_at > 0 else None

@@ -13,11 +13,19 @@ engines and cluster for a single export).  Series names:
 ``cluster/sessions_migrated``   counter    sessions moved by ``rebalance()``
 ``cluster/sessions_quarantined`` counter   migrations rejected (corrupt snapshot)
 ``cluster/rebalances``          counter    ``rebalance()`` invocations
+``cluster/shard_restarts``      counter    dead shards respawned by the supervisor
+``cluster/heartbeat_failures``  counter    liveness probes that found a dead shard
 ``cluster/queue_depth``         gauge      per-shard ingest queue depth (labeled ``shard``)
 ``cluster/ingest_latency_seconds``  histogram  front-end submit → queued
 ``cluster/predict_latency_seconds`` histogram  predict round-trip (barrier included)
 ``cluster/apply_latency_seconds``   histogram  per-event apply inside the drain loop
 ==============================  =========  ==============================
+
+With journaling enabled (``journal_dir=``), each shard's write-ahead
+log also reports into the same registry under ``journal/*`` (appends,
+bytes_written, fsyncs, rotations, segments_removed — see
+:mod:`repro.resilience.journal`), and the supervisor's recovery path
+adds ``journal/records_replayed`` / ``journal/gaps_detected``.
 
 All timings use ``time.perf_counter`` — a monotonic clock; wall-clock
 (``time.time``) is banned from measurement paths by a lint rule.
@@ -53,6 +61,8 @@ class ClusterMetrics:
             "cluster/sessions_quarantined"
         )
         self.rebalances = self.registry.counter("cluster/rebalances")
+        self.shard_restarts = self.registry.counter("cluster/shard_restarts")
+        self.heartbeat_failures = self.registry.counter("cluster/heartbeat_failures")
         self.ingest_latency: Histogram = self.registry.histogram(
             "cluster/ingest_latency_seconds", capacity=latency_capacity
         )

@@ -1,0 +1,233 @@
+"""Shard supervision: heartbeat liveness checks and journal respawn.
+
+A shard dies in ways the cluster front-end cannot see from the outside
+— a drain thread killed by an unhandled error, a queue closed by a
+shutdown race, a worker wedged behind a poisoned engine.  The
+:class:`ShardSupervisor` closes the loop: it sweeps every shard with
+:meth:`~repro.cluster.worker.ShardWorker.ping` (which fires the
+``cluster.heartbeat`` injection point, so chaos plans can simulate any
+of those deaths), and **respawns** a failed shard from its snapshot +
+write-ahead journal:
+
+1. recover the dead shard's state with
+   :func:`~repro.serve.recovery.recover_engine` (last snapshot, then
+   replay its journal tail) — bit-exact when the served weights were
+   static over the journal window, crash-consistent under the live
+   weights otherwise;
+2. build a fresh worker under the *same* shard id (ring placement and
+   every cached session→shard assignment stay valid);
+3. re-adopt each recovered session through the existing migration path
+   — finiteness-validated, retry-wrapped, per-session quarantine on
+   corruption — so a bad journal record can cost one session, never
+   the shard.
+
+Each respawn increments ``cluster/shard_restarts`` in the shared
+registry; failed probes increment ``cluster/heartbeat_failures``.
+
+Snapshots (:meth:`ShardSupervisor.snapshot`) double as journal anchors:
+the shard checkpoint records the journal position, and the segments
+behind it are deleted (:meth:`~repro.resilience.journal.Journal.truncate_upto`)
+so the journal stays bounded between snapshot sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.cluster.cluster import ShardedCluster
+from repro.serve.engine import StreamingEngine
+from repro.serve.recovery import RecoveryReport, recover_engine
+
+
+@dataclass(frozen=True)
+class RespawnReport:
+    """What one :meth:`ShardSupervisor.respawn` recovered."""
+
+    shard_id: int
+    adopted: int
+    quarantined: int
+    recovery: RecoveryReport | None
+
+    def describe(self) -> str:
+        lines = [
+            f"shard {self.shard_id} respawned: {self.adopted} sessions "
+            f"re-adopted, {self.quarantined} quarantined"
+        ]
+        if self.recovery is not None:
+            lines.append(self.recovery.render())
+        return "\n".join(lines)
+
+
+@dataclass
+class SweepReport:
+    """One :meth:`ShardSupervisor.check` pass over the cluster."""
+
+    alive: list[int] = field(default_factory=list)
+    dead: list[int] = field(default_factory=list)
+    respawned: list[RespawnReport] = field(default_factory=list)
+
+
+class ShardSupervisor:
+    """Keeps a :class:`ShardedCluster`'s shards alive.
+
+    Parameters
+    ----------
+    cluster:
+        The supervised cluster.  Journal-backed respawn needs it built
+        with ``journal_dir=``; without one, respawn still restores the
+        last snapshot (losing whatever followed it) — the supervisor
+        never refuses to bring a shard back.
+    snapshot_dir:
+        Where per-shard checkpoints live (created if missing).
+        Defaults to ``<journal_dir>/snapshots`` when the cluster
+        journals.
+    """
+
+    def __init__(
+        self,
+        cluster: ShardedCluster,
+        snapshot_dir: str | Path | None = None,
+    ):
+        if snapshot_dir is None:
+            if cluster.journal_dir is None:
+                raise ValueError(
+                    "pass snapshot_dir= (the cluster has no journal_dir to "
+                    "default it from)"
+                )
+            snapshot_dir = cluster.journal_dir / "snapshots"
+        self.cluster = cluster
+        self.snapshot_dir = Path(snapshot_dir)
+        self.snapshot_dir.mkdir(parents=True, exist_ok=True)
+        self.restarts: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Snapshots (journal anchors)
+    # ------------------------------------------------------------------
+    def snapshot_path(self, shard_id: int) -> Path:
+        return self.snapshot_dir / f"shard-{shard_id}.npz"
+
+    def snapshot(self, shard_id: int) -> Path:
+        """Checkpoint one shard and truncate its journal behind it.
+
+        The checkpoint is written behind the shard's barrier (so it
+        reflects every applied event) and carries the journal anchor;
+        segments fully covered by it are deleted.
+        """
+        worker = self._worker(shard_id)
+        worker.barrier()
+        with worker._lock:
+            path = worker.engine.checkpoint(self.snapshot_path(shard_id))
+            journal = worker.engine.journal
+            if journal is not None:
+                journal.truncate_upto(journal.last_seq)
+        return path
+
+    def snapshot_all(self) -> dict[int, Path]:
+        """Snapshot every live shard (one sweep of journal anchoring)."""
+        return {
+            shard_id: self.snapshot(shard_id)
+            for shard_id in self.cluster.shard_ids
+        }
+
+    # ------------------------------------------------------------------
+    # Liveness
+    # ------------------------------------------------------------------
+    def heartbeat(self, shard_id: int) -> bool:
+        """Probe one shard; False (and a counted failure) when dead."""
+        worker = self._worker(shard_id)
+        try:
+            worker.ping()
+        except Exception:
+            self.cluster.metrics.heartbeat_failures.inc()
+            return False
+        return True
+
+    def check(self, respawn: bool = True) -> SweepReport:
+        """Heartbeat every shard; respawn the dead ones (by default)."""
+        report = SweepReport()
+        for shard_id in self.cluster.shard_ids:
+            if self.heartbeat(shard_id):
+                report.alive.append(shard_id)
+            else:
+                report.dead.append(shard_id)
+        if respawn:
+            for shard_id in report.dead:
+                report.respawned.append(self.respawn(shard_id))
+        return report
+
+    # ------------------------------------------------------------------
+    # Respawn
+    # ------------------------------------------------------------------
+    def respawn(self, shard_id: int) -> RespawnReport:
+        """Replace a dead shard with a fresh worker rebuilt from disk.
+
+        The shard id — and therefore its ring placement and every
+        cached session→shard assignment — is preserved; only the
+        worker object is new.  Sessions that fail validation or
+        adoption are quarantined individually, exactly like a failed
+        live migration.
+        """
+        cluster = self.cluster
+        old = self._worker(shard_id)
+        try:
+            # Best-effort: a dead worker may refuse a clean close.
+            old.close()
+        except Exception:
+            pass
+        checkpoint = self.snapshot_path(shard_id)
+        recovered: StreamingEngine | None = None
+        recovery: RecoveryReport | None = None
+        if cluster.journal_dir is not None:
+            # Scan + replay BEFORE the new worker reopens the journal
+            # for append (reopening truncates the torn tail this scan
+            # still wants to report).
+            recovered, recovery = recover_engine(
+                cluster.shard_journal_dir(shard_id),
+                cluster.model,
+                checkpoint=checkpoint,
+                engine_config=cluster._engine_config,
+                load_weights=False,
+                registry=cluster.metrics.registry,
+            )
+        elif checkpoint.exists():
+            recovered = StreamingEngine.restore(
+                checkpoint, cluster.model, load_weights=False
+            )
+        worker = cluster._build_worker(shard_id)
+        cluster._shards[shard_id] = worker
+        adopted = quarantined = 0
+        if recovered is not None:
+            for session_id in recovered.live_sessions():
+                arrays = recovered.snapshot_session(session_id)
+                try:
+                    cluster._validate_snapshot(session_id, arrays)
+                    worker.adopt_snapshot(session_id, arrays)
+                    adopted += 1
+                except Exception as error:
+                    worker.drop_session(session_id)
+                    cluster.quarantined[session_id] = (
+                        f"{type(error).__name__}: {error}"
+                    )
+                    cluster.metrics.sessions_quarantined.inc()
+                    quarantined += 1
+        cluster.metrics.shard_restarts.inc()
+        self.restarts[shard_id] = self.restarts.get(shard_id, 0) + 1
+        return RespawnReport(
+            shard_id=shard_id,
+            adopted=adopted,
+            quarantined=quarantined,
+            recovery=recovery,
+        )
+
+    def _worker(self, shard_id: int):
+        worker = self.cluster._shards.get(shard_id)
+        if worker is None:
+            raise KeyError(f"unknown shard {shard_id!r}")
+        return worker
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardSupervisor(shards={self.cluster.shard_ids}, "
+            f"restarts={sum(self.restarts.values())})"
+        )

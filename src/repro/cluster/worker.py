@@ -205,6 +205,10 @@ class ShardWorker:
             # New session: the slow lane creates it (LRU eviction,
             # sessions_started accounting); later events go fast.
             return engine.ingest(event)
+        if engine.journal is not None:
+            # Write-ahead on the fast lane too; the slow-lane branch
+            # above journals inside engine.ingest, so no double append.
+            engine.journal.append_event(event)
         self._c_ingested.inc()
         router._sessions.move_to_end(event.session_id)
         if event.time < entry.last_applied:
@@ -233,6 +237,27 @@ class ShardWorker:
             breaker.record_success()
         self._c_applied.inc()
         return 1
+
+    # ------------------------------------------------------------------
+    # Liveness
+    # ------------------------------------------------------------------
+    def ping(self) -> bool:
+        """Liveness probe: raises when this shard can no longer serve.
+
+        Checks the states a wedged or dead shard exhibits — worker
+        closed, ingest queue closed, drain thread dead — and fires the
+        ``cluster.heartbeat`` injection point first so chaos plans can
+        simulate a shard death the supervisor must detect.  Cheap
+        enough to run on every supervisor sweep; never drains.
+        """
+        inject("cluster.heartbeat", context=self.shard_id)
+        if self._closed:
+            raise RuntimeError(f"shard {self.shard_id}: worker is closed")
+        if self.queue.closed:
+            raise RuntimeError(f"shard {self.shard_id}: ingest queue is closed")
+        if self._thread is not None and not self._thread.is_alive():
+            raise RuntimeError(f"shard {self.shard_id}: drain thread died")
+        return True
 
     # ------------------------------------------------------------------
     # Barrier + read path
@@ -321,6 +346,8 @@ class ShardWorker:
         else:
             self._drain_pending()
             self.queue.close()
+        if self.engine.journal is not None:
+            self.engine.journal.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

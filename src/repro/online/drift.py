@@ -80,14 +80,34 @@ class PageHinkley:
         return (self._cumulative - self._minimum) > self.threshold
 
 
+#: Cut-bound modes of :class:`AdaptiveWindow`.
+ADWIN_CUTS = ("variance", "fixed")
+
+
 class AdaptiveWindow:
     """ADWIN-style adaptive window test for an upward mean shift.
 
     Keeps a bounded window of recent samples; on every update it scans
     the admissible splits into an *older* and a *recent* part and
-    alarms when ``mean(recent) - mean(older)`` exceeds the Hoeffding
-    cut bound at confidence ``delta``.  On alarm the older part is
-    dropped, so the window re-anchors on the post-change regime.
+    alarms when ``mean(recent) - mean(older)`` exceeds the cut bound at
+    confidence ``delta``.  On alarm the older part is dropped, so the
+    window re-anchors on the post-change regime.
+
+    Two cut bounds are available (``cut=``):
+
+    ``"variance"`` (default)
+        The Bernstein-style bound of the original ADWIN2 —
+        ``sqrt(2·σ²·L/m) + (2/3)·R·L/m`` with ``σ²`` the window
+        variance, ``m`` the harmonic split size and
+        ``L = ln(4·n/delta)``.  On low-variance loss streams this is
+        far tighter than the range-only bound (which it matches at the
+        worst case ``σ² = R²/4``), catching small shifts the fixed cut
+        misses.
+    ``"fixed"``
+        The original Hoeffding bound, ``R·sqrt(L/(2·m))`` — depends on
+        ``value_range`` only.  Kept as the conservative fallback for
+        streams whose empirical variance is untrustworthy (heavy tails,
+        tiny windows).
     """
 
     name = "adwin"
@@ -98,6 +118,7 @@ class AdaptiveWindow:
         max_window: int = 256,
         min_split: int = 12,
         value_range: float = 4.0,
+        cut: str = "variance",
     ):
         if not 0.0 < delta < 1.0:
             raise ValueError(f"delta must be in (0, 1), got {delta}")
@@ -107,10 +128,13 @@ class AdaptiveWindow:
             raise ValueError(
                 f"max_window must be >= 2 * min_split, got {max_window} < {2 * min_split}"
             )
+        if cut not in ADWIN_CUTS:
+            raise ValueError(f"cut must be one of {ADWIN_CUTS}, got {cut!r}")
         self.delta = delta
         self.max_window = max_window
         self.min_split = min_split
         self.value_range = value_range
+        self.cut = cut
         self.reset()
 
     def reset(self) -> None:
@@ -124,13 +148,19 @@ class AdaptiveWindow:
         values = np.asarray(self._window, dtype=np.float64)
         prefix = np.concatenate([[0.0], np.cumsum(values)])
         log_term = float(np.log(4.0 * total / self.delta))
+        variance = float(values.var()) if self.cut == "variance" else 0.0
         for split in range(self.min_split, total - self.min_split + 1):
             n_old = split
             n_new = total - split
             mean_old = prefix[split] / n_old
             mean_new = (prefix[total] - prefix[split]) / n_new
             harmonic = 1.0 / (1.0 / n_old + 1.0 / n_new)
-            cut = self.value_range * float(np.sqrt(log_term / (2.0 * harmonic)))
+            if self.cut == "variance":
+                cut = float(
+                    np.sqrt(2.0 * variance * log_term / harmonic)
+                ) + (2.0 * self.value_range * log_term) / (3.0 * harmonic)
+            else:
+                cut = self.value_range * float(np.sqrt(log_term / (2.0 * harmonic)))
             if mean_new - mean_old > cut:
                 # Drop the pre-change half so the window re-anchors.
                 for _ in range(split):

@@ -29,6 +29,7 @@ from repro.resilience.breaker import (
     call_with_deadline,
 )
 from repro.resilience.errors import (
+    CheckpointVersionError,
     CircuitOpenError,
     DeadlineExceededError,
     EventValidationError,
@@ -47,6 +48,17 @@ from repro.resilience.faults import (
     perturb_feed,
     truncate_file,
 )
+from repro.resilience.journal import (
+    FSYNC_POLICIES,
+    Journal,
+    JournalGap,
+    JournalRecord,
+    JournalScan,
+    list_segments,
+    read_records,
+    scan_journal,
+    scan_segment,
+)
 from repro.resilience.retry import RetryPolicy
 
 _LAZY = {"EventValidator", "VALIDATION_POLICIES"}
@@ -62,8 +74,10 @@ def __getattr__(name: str):
 
 __all__ = [
     "FAULT_KINDS",
+    "FSYNC_POLICIES",
     "VALIDATION_POLICIES",
     "BreakerStats",
+    "CheckpointVersionError",
     "CircuitBreaker",
     "CircuitOpenError",
     "Deadline",
@@ -74,6 +88,10 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "IntegrityError",
+    "Journal",
+    "JournalGap",
+    "JournalRecord",
+    "JournalScan",
     "RetryPolicy",
     "activate",
     "active",
@@ -81,6 +99,10 @@ __all__ = [
     "corrupt_file",
     "enabled",
     "inject",
+    "list_segments",
     "perturb_feed",
+    "read_records",
+    "scan_journal",
+    "scan_segment",
     "truncate_file",
 ]

@@ -800,3 +800,242 @@ def _drift_adaptation_mid_migration(ctx: ChaosContext) -> tuple[str, str]:
         f"{report.moved} sessions migrated clean; adapted weights finite and "
         "bit-exact through snapshot/restore",
     )
+
+
+# ----------------------------------------------------------------------
+# Durability / crash-recovery scenarios
+# ----------------------------------------------------------------------
+def _engines_bitwise_equal(recovered, reference) -> None:
+    """Assert two engines hold identical sessions, bit for bit."""
+    got, want = set(recovered.live_sessions()), set(reference.live_sessions())
+    if got != want:
+        raise AssertionError(
+            f"session sets differ: missing={sorted(want - got)} "
+            f"extra={sorted(got - want)}"
+        )
+    for session_id in want:
+        ours = recovered.snapshot_session(session_id)
+        theirs = reference.snapshot_session(session_id)
+        for key in theirs:
+            if not np.array_equal(ours[key], theirs[key]):
+                raise AssertionError(
+                    f"session {session_id!r} drifted at array {key!r}"
+                )
+
+
+def _reference_engine(ctx: ChaosContext, events) -> StreamingEngine:
+    """A never-crashed engine that applied exactly ``events``."""
+    engine = StreamingEngine(ctx.model())
+    for event in events:
+        engine.ingest(event)
+    engine.flush()
+    return engine
+
+
+@scenario(
+    "journal-torn-tail",
+    "a crash mid-append tears the journal tail; recovery drops exactly "
+    "the unfinished record and replays the rest bit-exact",
+)
+def _journal_torn_tail(ctx: ChaosContext) -> tuple[str, str]:
+    from repro.resilience.journal import Journal, list_segments, scan_journal
+    from repro.serve.recovery import recover_engine
+
+    feed = ctx.feed(6)
+    wal = ctx.workdir / "torn-wal"
+    with Journal(wal, fsync="off") as journal:
+        engine = StreamingEngine(ctx.model(), journal=journal)
+        for event in feed:
+            engine.ingest(event)
+        engine.flush()
+    # Tear the tail: the last record loses its final 5 bytes, exactly
+    # what a crash between write() and a completed flush leaves behind.
+    tail = list_segments(wal)[-1]
+    with open(tail, "r+b") as stream:
+        stream.truncate(tail.stat().st_size - 5)
+    scan = scan_journal(wal)
+    if not scan.torn_tail:
+        raise AssertionError("torn tail not classified as torn-tail")
+    if scan.last_seq != len(feed) - 1:
+        raise AssertionError(
+            f"expected last intact seq {len(feed) - 1}, got {scan.last_seq}"
+        )
+    recovered, report = recover_engine(wal, ctx.model())
+    if not report.torn_tail:
+        raise AssertionError("recovery report did not flag the torn tail")
+    if report.events_replayed != len(feed) - 1:
+        raise AssertionError(
+            f"replayed {report.events_replayed}, wanted {len(feed) - 1}"
+        )
+    _engines_bitwise_equal(recovered, _reference_engine(ctx, feed[:-1]))
+    return (
+        f"CRC scan found the torn tail ({scan.gaps[-1].describe()})",
+        f"{report.events_replayed}/{len(feed)} events replayed bit-exact; "
+        "only the unfinished record dropped",
+    )
+
+
+@scenario(
+    "journal-corrupt-record",
+    "a flipped byte mid-segment is quarantined with exact offsets; "
+    "replay resynchronises past it instead of misparsing",
+)
+def _journal_corrupt_record(ctx: ChaosContext) -> tuple[str, str]:
+    from repro.resilience.journal import Journal, list_segments, scan_journal
+    from repro.serve.recovery import recover_engine
+
+    feed = ctx.feed(6)
+    wal = ctx.workdir / "corrupt-wal"
+    with Journal(wal, fsync="off") as journal:
+        engine = StreamingEngine(ctx.model(), journal=journal)
+        for event in feed:
+            engine.ingest(event)
+        engine.flush()
+    # Flip one byte in the middle of the segment — bit rot, not a torn
+    # write, so it must be reported as corruption, never as a tail.
+    segment = list_segments(wal)[0]
+    flip_at = segment.stat().st_size // 2
+    with open(segment, "r+b") as stream:
+        stream.seek(flip_at)
+        byte = stream.read(1)
+        stream.seek(flip_at)
+        stream.write(bytes([byte[0] ^ 0xFF]))
+    scan = scan_journal(wal)
+    corrupt = scan.corrupt_gaps()
+    if len(corrupt) != 1:
+        raise AssertionError(f"expected 1 corrupt gap, got {scan.gaps!r}")
+    gap = corrupt[0]
+    if not gap.start_offset <= flip_at < gap.end_offset:
+        raise AssertionError(
+            f"gap [{gap.start_offset}, {gap.end_offset}) misses the "
+            f"flipped byte at {flip_at}"
+        )
+    survivors = [record.seq for record in scan.records]
+    if len(survivors) >= len(feed):
+        raise AssertionError("corruption cost no records; flip was a no-op")
+    recovered, report = recover_engine(wal, ctx.model())
+    if not report.gaps or report.torn_tail:
+        raise AssertionError(f"misclassified damage: {report.render()}")
+    # seq k holds feed[k - 1]: replay exactly the surviving records.
+    _engines_bitwise_equal(
+        recovered, _reference_engine(ctx, [feed[seq - 1] for seq in survivors])
+    )
+    return (
+        f"CRC quarantined bytes {gap.start_offset}-{gap.end_offset} "
+        f"(flip at {flip_at})",
+        f"resynchronised on the next magic: {len(survivors)}/{len(feed)} "
+        "records replayed bit-exact",
+    )
+
+
+def _journal_kill_worker(wal_dir: str, seed: int, apply_upto: int) -> None:
+    """Ingest ``apply_upto`` events, journal one more, die before applying.
+
+    Stands in for a crash in the write-ahead window: the extra record
+    reached stable storage (fsync="always") but the engine never saw
+    it.  Recovery must surface it — durable means journaled, not
+    applied.
+    """
+    import os
+
+    from repro.resilience.journal import Journal
+
+    ctx = ChaosContext(seed=seed, workdir=Path(wal_dir))
+    feed = ctx.feed(6)
+    journal = Journal(Path(wal_dir), fsync="always")
+    engine = StreamingEngine(ctx.model(), journal=journal)
+    for event in feed[:apply_upto]:
+        engine.ingest(event)
+    journal.append_event(feed[apply_upto])
+    os._exit(1)
+
+
+def _journal_kill_rotation_worker(wal_dir: str, seed: int, apply_upto: int) -> None:
+    """Ingest across several tiny segments, then die without closing."""
+    import os
+
+    from repro.resilience.journal import Journal
+
+    ctx = ChaosContext(seed=seed, workdir=Path(wal_dir))
+    feed = ctx.feed(6)
+    journal = Journal(Path(wal_dir), fsync="always", segment_bytes=512)
+    engine = StreamingEngine(ctx.model(), journal=journal)
+    for event in feed[:apply_upto]:
+        engine.ingest(event)
+    os._exit(1)
+
+
+@scenario(
+    "journal-kill-recover",
+    "a process killed between journal append and apply loses nothing: "
+    "recovery replays the journaled-but-unapplied event too",
+    quick=False,
+)
+def _journal_kill_recover(ctx: ChaosContext) -> tuple[str, str]:
+    import multiprocessing
+
+    from repro.serve.recovery import recover_engine
+
+    wal = ctx.workdir / "kill-wal"
+    apply_upto = 10
+    process = multiprocessing.Process(
+        target=_journal_kill_worker, args=(str(wal), ctx.seed, apply_upto)
+    )
+    process.start()
+    process.join(timeout=60)
+    if process.exitcode != 1:
+        raise AssertionError(f"worker exitcode {process.exitcode}, wanted 1")
+    feed = ctx.feed(6)
+    recovered, report = recover_engine(wal, ctx.model())
+    if report.events_replayed != apply_upto + 1:
+        raise AssertionError(
+            f"replayed {report.events_replayed}, wanted {apply_upto + 1} "
+            "(the journaled-but-unapplied event must come back)"
+        )
+    _engines_bitwise_equal(
+        recovered, _reference_engine(ctx, feed[: apply_upto + 1])
+    )
+    return (
+        "SIGKILL-grade death (os._exit) between append and apply",
+        f"{apply_upto + 1} events recovered bit-exact, including the one "
+        "the engine never applied",
+    )
+
+
+@scenario(
+    "journal-kill-mid-rotation",
+    "a kill while the journal spans several segments recovers the whole "
+    "multi-segment stream bit-exact",
+    quick=False,
+)
+def _journal_kill_mid_rotation(ctx: ChaosContext) -> tuple[str, str]:
+    import multiprocessing
+
+    from repro.resilience.journal import list_segments
+    from repro.serve.recovery import recover_engine
+
+    wal = ctx.workdir / "rotate-wal"
+    apply_upto = 24
+    process = multiprocessing.Process(
+        target=_journal_kill_rotation_worker, args=(str(wal), ctx.seed, apply_upto)
+    )
+    process.start()
+    process.join(timeout=60)
+    if process.exitcode != 1:
+        raise AssertionError(f"worker exitcode {process.exitcode}, wanted 1")
+    segments = list_segments(wal)
+    if len(segments) < 2:
+        raise AssertionError(
+            f"only {len(segments)} segment(s); rotation never happened"
+        )
+    feed = ctx.feed(6)
+    recovered, report = recover_engine(wal, ctx.model())
+    if report.events_replayed != apply_upto:
+        raise AssertionError(
+            f"replayed {report.events_replayed}, wanted {apply_upto}"
+        )
+    _engines_bitwise_equal(recovered, _reference_engine(ctx, feed[:apply_upto]))
+    return (
+        f"kill with {len(segments)} open segments (512-byte rotation)",
+        f"{apply_upto} events replayed across segment boundaries bit-exact",
+    )

@@ -19,6 +19,22 @@ class IntegrityError(ValueError):
     """
 
 
+class CheckpointVersionError(IntegrityError):
+    """A serving checkpoint was written by a different ``CODE_VERSION``.
+
+    Session state layouts and learner optimizer state are only
+    guaranteed bit-compatible within one code version, so
+    :meth:`StreamingEngine.restore` refuses a mismatched checkpoint by
+    default rather than best-effort loading it.  ``stored`` / ``current``
+    carry the two versions for the operator.
+    """
+
+    def __init__(self, message: str, stored: str | None = None, current: str | None = None):
+        super().__init__(message)
+        self.stored = stored
+        self.current = current
+
+
 class FaultInjected(RuntimeError):
     """The deterministic fault harness fired at an injection point.
 

@@ -21,6 +21,7 @@ Layers, innermost out:
 
 from repro.serve.engine import StreamingEngine
 from repro.serve.events import StreamEvent, dataset_to_feed, iter_feed, session_events
+from repro.serve.recovery import RecoveryReport, recover_engine
 from repro.serve.incremental import READ_MODES, IncrementalClassifier
 from repro.serve.metrics import LatencyReservoir, ServeMetrics
 from repro.serve.router import (
@@ -34,6 +35,8 @@ from repro.serve.state import SessionState
 __all__ = [
     "StreamingEngine",
     "StreamEvent",
+    "RecoveryReport",
+    "recover_engine",
     "dataset_to_feed",
     "session_events",
     "iter_feed",

@@ -43,6 +43,14 @@ _FORMAT = "repro-serve-state"
 _FORMAT_VERSION = 1
 
 
+def _code_version() -> str:
+    # Imported lazily: repro.experiments pulls in the whole offline
+    # training stack, which the serve layer must not load at import.
+    from repro.experiments.parallel import CODE_VERSION
+
+    return CODE_VERSION
+
+
 class StreamingEngine:
     """Online TP-GNN inference over an interleaved multi-session feed.
 
@@ -101,6 +109,14 @@ class StreamingEngine:
         into :meth:`checkpoint` archives and restored by
         :meth:`restore`, so online updates survive restarts and
         cluster live migration.
+    journal:
+        Optional :class:`~repro.resilience.journal.Journal` the engine
+        appends every *accepted* event (and every learner observation
+        routed through :meth:`observe_example`) to **before** applying
+        it — the write-ahead discipline
+        :func:`~repro.serve.recovery.recover_engine` replays after a
+        crash.  Quarantined events never reach the journal; router
+        drops do (replay re-drops them deterministically).
     """
 
     def __init__(
@@ -118,6 +134,7 @@ class StreamingEngine:
         breaker: CircuitBreaker | None = None,
         deadline_seconds: float | None = None,
         learner=None,
+        journal=None,
     ):
         if deadline_seconds is not None and deadline_seconds <= 0:
             raise ValueError(f"deadline_seconds must be positive, got {deadline_seconds}")
@@ -126,6 +143,11 @@ class StreamingEngine:
         self.learner = None
         if learner is not None:
             self.attach_learner(learner)
+        self.journal = journal
+        # Replay position of the checkpoint this engine was restored
+        # from: journal records with seq <= anchor are already folded
+        # into the state (0 for a fresh engine).
+        self._journal_anchor = 0
         self._user_on_evict = on_evict
         self.validator = self._build_validator(validate, max_node)
         self.breaker = breaker
@@ -156,6 +178,11 @@ class StreamingEngine:
         """The served model (parameters shared, not copied)."""
         return self.classifier.model
 
+    @property
+    def journal_anchor(self) -> int:
+        """Journal seq already folded into this engine's base state."""
+        return self._journal_anchor
+
     def attach_learner(self, learner) -> None:
         """Co-deploy an online learner updating this engine's model.
 
@@ -168,6 +195,31 @@ class StreamingEngine:
                 "learner must wrap the same model object this engine serves"
             )
         self.learner = learner
+
+    def attach_journal(self, journal) -> None:
+        """Start write-ahead journaling every accepted event.
+
+        Attached *after* replay by :func:`~repro.serve.recovery.recover_engine`
+        so replayed events are not re-journaled.
+        """
+        self.journal = journal
+
+    def observe_example(self, graph) -> float:
+        """Feed one labelled graph to the co-deployed learner, journaled.
+
+        The observation is appended to the journal (when one is
+        attached) *before* the learner sees it, so a crash mid-update
+        replays it and reconstructs the exact post-update weights,
+        Adam moments, replay buffer and RNG state.
+        """
+        if self.learner is None:
+            raise ValueError(
+                "no learner attached; pass learner= or call attach_learner() "
+                "before observe_example()"
+            )
+        if self.journal is not None:
+            self.journal.append_observation(graph)
+        return self.learner.observe(graph)
 
     def _new_session(self, session_id: str) -> SessionState:
         self.metrics.sessions_started += 1
@@ -196,6 +248,12 @@ class StreamingEngine:
                 self.metrics.events_quarantined += 1
                 return 0
             event = admitted
+        if self.journal is not None:
+            # Write-ahead: the event hits stable storage before any
+            # router/model state changes.  Replay routes it through
+            # this same deterministic path, so drops/buffering recur
+            # identically and recovery is bit-exact.
+            self.journal.append_event(event)
         before_dropped = self.router.stats.dropped
         before_late = self.router.stats.late_dropped
         before_overflow = self.router.stats.buffer_overflow_dropped
@@ -341,7 +399,17 @@ class StreamingEngine:
         Contains the model weights, every live session's temporal
         state, the LRU order, and the metric counters — enough to
         restart the server mid-stream with :meth:`restore`.
+
+        With a journal attached the archive also anchors the journal
+        position (``journal_seq``): recovery replays only records past
+        it, and :meth:`Journal.truncate_upto` can reclaim the segments
+        behind it.  The journal is fsynced first so the anchor never
+        points past stable storage.  Note the anchor covers *accepted*
+        events — under the ``buffer`` policy, drain with :meth:`flush`
+        before checkpointing if buffered events must be folded in.
         """
+        if self.journal is not None:
+            self.journal.sync()
         arrays: dict[str, np.ndarray] = {
             f"model.{name}": value for name, value in self.model.state_dict().items()
         }
@@ -358,6 +426,12 @@ class StreamingEngine:
         meta = {
             "format": _FORMAT,
             "format_version": _FORMAT_VERSION,
+            "code_version": _code_version(),
+            "journal_seq": (
+                self.journal.last_seq
+                if self.journal is not None
+                else self._journal_anchor
+            ),
             "model_class": type(self.model).__name__,
             "has_learner": self.learner is not None,
             "sessions": session_ids,
@@ -380,6 +454,8 @@ class StreamingEngine:
         on_evict: Callable[[str, SessionState], None] | None = None,
         max_sessions: int | None = None,
         learner=None,
+        allow_version_mismatch: bool = False,
+        load_weights: bool = True,
     ) -> "StreamingEngine":
         """Rebuild an engine (weights + sessions + counters) from disk.
 
@@ -399,6 +475,19 @@ class StreamingEngine:
         buffer are loaded from the checkpoint (written there by
         :meth:`checkpoint` when a learner was attached).  Restoring a
         learner from a checkpoint that carries none raises.
+
+        A checkpoint written by a different ``CODE_VERSION`` (or one
+        predating the version field) raises
+        :class:`~repro.resilience.errors.CheckpointVersionError` —
+        state layouts are only guaranteed compatible within one
+        version.  Pass ``allow_version_mismatch=True`` to load it
+        anyway after verifying the layouts match.
+
+        ``load_weights=False`` keeps ``model``'s *current* parameters
+        instead of the checkpointed ones — the shard-respawn path: the
+        cluster model is live (possibly advanced by the online
+        learner), and a respawned shard must rejoin it, not roll it
+        back.
         """
         arrays, meta = read_archive(path)
         if meta.get("format") != _FORMAT:
@@ -407,12 +496,28 @@ class StreamingEngine:
             raise ValueError(
                 f"unsupported serving-state format {meta.get('format_version')!r}"
             )
+        stored_version = meta.get("code_version")
+        current_version = _code_version()
+        if stored_version != current_version and not allow_version_mismatch:
+            from repro.resilience.errors import CheckpointVersionError
+
+            raise CheckpointVersionError(
+                f"{path} was written by code version {stored_version!r} but this "
+                f"process runs {current_version!r}; serving-state layouts are only "
+                "guaranteed compatible within one version.  Re-checkpoint from a "
+                "matching build, or pass allow_version_mismatch=True "
+                "(repro recover --allow-version-mismatch) after verifying the "
+                "layouts match.",
+                stored=stored_version,
+                current=current_version,
+            )
         model_state = {
             key[len("model."):]: value
             for key, value in arrays.items()
             if key.startswith("model.")
         }
-        model.load_state_dict(model_state)
+        if load_weights:
+            model.load_state_dict(model_state)
         config = meta.get("config", {})
         max_buffered = config.get("max_buffered", 4096)
         engine = cls(
@@ -426,6 +531,7 @@ class StreamingEngine:
             on_evict=on_evict,
         )
         engine.metrics.load_counters(meta.get("metrics", {}))
+        engine._journal_anchor = int(meta.get("journal_seq", 0) or 0)
         for index, session_id in enumerate(meta.get("sessions", [])):
             prefix = f"session.{index}."
             session_arrays = {

@@ -1,0 +1,197 @@
+"""Shard supervision: heartbeats, journal-backed respawn, anchoring."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import ShardSupervisor, ShardedCluster
+from repro.resilience import Journal, list_segments, scan_journal
+from repro.resilience.faults import FaultPlan, activate
+from repro.serve.events import dataset_to_feed
+from repro.telemetry import MetricRegistry
+from tests.serve.conftest import make_model, random_ctdn
+
+pytestmark = pytest.mark.recovery
+
+
+def feed_for(n_sessions: int, seed: int = 0):
+    graphs = [
+        random_ctdn(seed + i, label=i % 2, graph_id=f"g{i:03d}")
+        for i in range(n_sessions)
+    ]
+    return dataset_to_feed(graphs, rng=np.random.default_rng(seed), spread=2.0)
+
+
+def journaled_cluster(tmp_path, n_shards: int = 3) -> ShardedCluster:
+    return ShardedCluster(
+        make_model(),
+        n_shards=n_shards,
+        backend="serial",
+        journal_dir=tmp_path / "wal",
+        journal_fsync="off",
+        registry=MetricRegistry(),
+    )
+
+
+class TestHeartbeat:
+    def test_all_alive_cluster_sweeps_clean(self, tmp_path):
+        with journaled_cluster(tmp_path) as cluster:
+            cluster.ingest_many(feed_for(6))
+            supervisor = ShardSupervisor(cluster)
+            report = supervisor.check()
+            assert report.alive == cluster.shard_ids
+            assert not report.dead
+            assert not report.respawned
+            assert cluster.metrics.heartbeat_failures.value == 0
+
+    def test_wedged_queue_detected(self, tmp_path):
+        with journaled_cluster(tmp_path) as cluster:
+            cluster.ingest_many(feed_for(6))
+            supervisor = ShardSupervisor(cluster)
+            victim = cluster.shard_ids[1]
+            cluster._shards[victim].queue.close()
+            report = supervisor.check(respawn=False)
+            assert report.dead == [victim]
+            assert cluster.metrics.heartbeat_failures.value == 1
+
+    def test_heartbeat_fault_injection(self, tmp_path):
+        with journaled_cluster(tmp_path) as cluster:
+            cluster.ingest_many(feed_for(6))
+            supervisor = ShardSupervisor(cluster)
+            plan = FaultPlan(seed=0).add("cluster.heartbeat", kind="raise", at=(1,))
+            with activate(plan):
+                report = supervisor.check(respawn=False)
+            assert report.dead == [cluster.shard_ids[1]]
+
+
+class TestRespawn:
+    def test_respawn_is_bit_exact_from_journal(self, tmp_path):
+        feed = feed_for(10)
+        with journaled_cluster(tmp_path) as cluster:
+            cluster.ingest_many(feed)
+            cluster.barrier()
+            before = cluster.predict_many()
+            supervisor = ShardSupervisor(cluster)
+            victim = cluster.shard_ids[0]
+            owned = set(cluster.sessions()[victim])
+            assert owned  # the scenario must actually lose something
+            cluster._shards[victim].queue.close()
+
+            sweep = supervisor.check()
+            assert sweep.dead == [victim]
+            (respawn,) = sweep.respawned
+            assert respawn.shard_id == victim
+            assert respawn.adopted == len(owned)
+            assert respawn.quarantined == 0
+            assert respawn.recovery is not None
+            assert "respawned" in respawn.describe()
+
+            # Same shard id: ring placement survives the restart.
+            assert set(cluster.sessions()[victim]) == owned
+            assert cluster.predict_many() == before
+            assert cluster.metrics.shard_restarts.value == 1
+            assert supervisor.restarts == {victim: 1}
+
+    def test_respawn_from_snapshot_plus_tail(self, tmp_path):
+        feed = feed_for(12)
+        with journaled_cluster(tmp_path) as cluster:
+            supervisor = ShardSupervisor(cluster)
+            cluster.ingest_many(feed[:20])
+            cluster.barrier()
+            supervisor.snapshot_all()
+            cluster.ingest_many(feed[20:])
+            cluster.barrier()
+            before = cluster.predict_many()
+            victim = cluster.shard_ids[2]
+            cluster._shards[victim].queue.close()
+            (respawn,) = supervisor.check().respawned
+            # The replay started from the snapshot anchor, not seq 0.
+            assert respawn.recovery.anchor_seq > 0
+            assert cluster.predict_many() == before
+
+    def test_ingest_continues_after_respawn(self, tmp_path):
+        feed = feed_for(10)
+        with journaled_cluster(tmp_path) as cluster:
+            supervisor = ShardSupervisor(cluster)
+            cluster.ingest_many(feed[:25])
+            victim = cluster.shard_ids[0]
+            cluster._shards[victim].queue.close()
+            supervisor.check()
+            # The respawned worker keeps journaling and serving.
+            cluster.ingest_many(feed[25:])
+            cluster.barrier()
+            assert set(cluster.live_sessions()) == {e.session_id for e in feed}
+            cluster._shards[victim].engine.journal.sync()
+            scan = scan_journal(cluster.shard_journal_dir(victim))
+            assert scan.records  # fresh appends landed after recovery
+
+
+class TestSnapshotAnchoring:
+    def test_snapshot_truncates_covered_segments(self, tmp_path):
+        with ShardedCluster(
+            make_model(),
+            n_shards=1,
+            backend="serial",
+            journal_dir=tmp_path / "wal",
+            journal_fsync="off",
+            registry=MetricRegistry(),
+        ) as cluster:
+            shard_id = cluster.shard_ids[0]
+            journal = cluster._shards[shard_id].engine.journal
+            journal.segment_bytes = 512  # force rotation under test load
+            cluster.ingest_many(feed_for(12))
+            cluster.barrier()
+            segments_before = len(list_segments(cluster.shard_journal_dir(shard_id)))
+            assert segments_before >= 2
+            supervisor = ShardSupervisor(cluster)
+            path = supervisor.snapshot(shard_id)
+            assert path.exists()
+            segments_after = len(list_segments(cluster.shard_journal_dir(shard_id)))
+            assert segments_after < segments_before
+
+    def test_supervisor_without_journal_needs_snapshot_dir(self, tmp_path):
+        with ShardedCluster(make_model(), n_shards=1, backend="serial") as cluster:
+            with pytest.raises(ValueError, match="snapshot_dir"):
+                ShardSupervisor(cluster)
+            supervisor = ShardSupervisor(cluster, snapshot_dir=tmp_path / "snaps")
+            assert supervisor.snapshot_dir.exists()
+
+
+class TestClusterJournalPlumbing:
+    def test_each_shard_gets_its_own_journal(self, tmp_path):
+        feed = feed_for(9)
+        with journaled_cluster(tmp_path) as cluster:
+            cluster.ingest_many(feed)
+            cluster.barrier()
+            total = 0
+            for shard_id in cluster.shard_ids:
+                cluster._shards[shard_id].engine.journal.sync()
+                scan = scan_journal(cluster.shard_journal_dir(shard_id))
+                assert not scan.gaps
+                total += len(scan.records)
+            assert total == len(feed)
+
+    def test_journal_fsync_validated(self, tmp_path):
+        with pytest.raises(ValueError, match="journal_fsync"):
+            ShardedCluster(
+                make_model(), n_shards=1, backend="serial",
+                journal_dir=tmp_path / "wal", journal_fsync="bogus",
+            )
+
+    def test_learner_journal_records_observations(self, tmp_path):
+        from repro.online import OnlineLearner
+        from repro.training import TrainConfig
+
+        with journaled_cluster(tmp_path) as cluster:
+            learner = OnlineLearner(
+                cluster.model, TrainConfig(online_update_every=2, seed=7)
+            )
+            cluster.attach_learner(learner)
+            cluster.ingest_many(feed_for(6))
+            for i in range(3):
+                cluster.observe_example(random_ctdn(700 + i, label=i % 2))
+            assert cluster.learner_journal is not None
+            cluster.learner_journal.sync()
+            scan = scan_journal(cluster.learner_journal.directory)
+            assert len(scan.records) == 3

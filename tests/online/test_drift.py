@@ -89,6 +89,53 @@ class TestDetectors:
 
 
 @pytest.mark.drift
+class TestVarianceCut:
+    """The Bernstein-style variance-adaptive ADWIN cut vs the fixed one."""
+
+    def test_cut_registry_and_validation(self):
+        from repro.online.drift import ADWIN_CUTS
+
+        assert ADWIN_CUTS == ("variance", "fixed")
+        assert AdaptiveWindow().cut == "variance"  # the default
+        assert AdaptiveWindow(cut="fixed").cut == "fixed"
+        with pytest.raises(ValueError, match="cut must be one of"):
+            AdaptiveWindow(cut="adaptive")
+        assert make_detector("adwin", cut="fixed").cut == "fixed"
+
+    def test_variance_cut_catches_shifts_the_fixed_cut_misses(self):
+        # 0.2 -> 1.2 is the suite's canonical drifted loss level; the
+        # range-only Hoeffding cut at value_range=4 floors around a gap
+        # of ~2 and stays silent, while the variance bound tracks the
+        # low-variance stream and fires.
+        rng = np.random.default_rng(7)
+        series = np.concatenate([in_control(rng, 120), drifted(rng, 200)])
+
+        fixed = AdaptiveWindow(cut="fixed")
+        assert not any(fixed.update(float(v)) for v in series)
+
+        variance = AdaptiveWindow(cut="variance")
+        fired_at = None
+        for index, value in enumerate(series):
+            if variance.update(float(value)):
+                fired_at = index
+                break
+        assert fired_at is not None, "variance cut missed the shift"
+        assert fired_at >= 120, f"fired before the shift (at {fired_at})"
+
+    def test_variance_cut_silent_on_stationary_stream(self):
+        detector = AdaptiveWindow(cut="variance")
+        rng = np.random.default_rng(8)
+        assert not any(detector.update(float(v)) for v in in_control(rng, 600))
+
+    def test_both_cuts_fire_on_a_drift_sized_jump(self):
+        for cut in ("variance", "fixed"):
+            detector = AdaptiveWindow(cut=cut)
+            rng = np.random.default_rng(9)
+            series = np.concatenate([in_control(rng, 60), drifted(rng, 80, level=3.2)])
+            assert any(detector.update(float(v)) for v in series), cut
+
+
+@pytest.mark.drift
 class TestMonitor:
     def test_single_alarm_per_drift_with_cooldown(self):
         monitor = DriftMonitor(detector=PageHinkley(), cooldown=200)

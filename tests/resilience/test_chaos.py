@@ -22,6 +22,10 @@ class TestRegistry:
         assert set(quick) < set(full)
         assert "worker-timeout" not in quick
         assert "trial-retry-resume" not in quick
+        assert "journal-kill-recover" not in quick
+        assert "journal-kill-mid-rotation" not in quick
+        assert "journal-torn-tail" in quick
+        assert "journal-corrupt-record" in quick
 
     def test_every_scenario_has_a_description(self):
         for name in scenario_names():
